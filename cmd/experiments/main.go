@@ -1,0 +1,52 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated stack.
+//
+// Usage:
+//
+//	experiments -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..9, all)")
+	flag.Parse()
+
+	pypy := bench.PyPySuite()
+	clbg := bench.CLBG()
+
+	run := func(name string, f func() string) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Println(f())
+	}
+
+	run("table1", func() string { return harness.Table1(pypy) })
+	run("table2", func() string { return harness.Table2(clbg) })
+	run("fig2", func() string { return harness.Fig2(pypy) })
+	run("fig3", func() string { return harness.Fig3("crypto_pyaes", "meteor_contest") })
+	run("fig4", func() string { return harness.Fig4(clbg) })
+	run("table3", func() string { return harness.Table3(pypy) })
+	run("fig5", func() string { return harness.Fig5(pypy) })
+	run("fig6", func() string { return harness.Fig6(pypy) })
+	run("fig7", func() string { return harness.Fig7(pypy) })
+	run("fig8", func() string { return harness.Fig8(pypy) })
+	run("fig9", func() string { return harness.Fig9(pypy) })
+	run("table4", func() string { return harness.Table4(pypy) })
+
+	switch *exp {
+	case "all", "table1", "table2", "table3", "table4",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,137 @@
+// Command mtjit runs one benchmark (or a guest source file) on one VM
+// configuration and reports cross-layer measurements: time, IPC, MPKI,
+// phase breakdown, GC and JIT statistics.
+//
+// Usage:
+//
+//	mtjit -bench richards -vm pypy
+//	mtjit -vm cpython -file prog.py
+//	mtjit -bench binarytrees -vm pypy -jitlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metajit/internal/bench"
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+	"metajit/internal/harness"
+	"metajit/internal/jitlog"
+	"metajit/internal/mtjit"
+	"metajit/internal/pintool"
+	"metajit/internal/pylang"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "benchmark name (see -list)")
+	file := flag.String("file", "", "run a guest source file instead of a benchmark")
+	vmName := flag.String("vm", "pypy", "vm: cpython | pypy-nojit | pypy | racket | pycket | c")
+	list := flag.Bool("list", false, "list benchmarks")
+	dumpLog := flag.Bool("jitlog", false, "dump the JIT log (traces and IR)")
+	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
+	flag.Parse()
+
+	if *list {
+		for _, p := range bench.All() {
+			sk := " "
+			if p.SkSource != "" {
+				sk = "s"
+			}
+			c := " "
+			if p.Static {
+				c = "c"
+			}
+			fmt.Printf("%-20s [%s] %s%s\n", p.Name, p.Suite, sk, c)
+		}
+		return
+	}
+
+	if *file != "" {
+		runFile(*file, *vmName)
+		return
+	}
+	p := bench.ByName(*benchName)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *benchName)
+		os.Exit(2)
+	}
+	r, err := harness.Run(p, harness.VMKind(*vmName), harness.Options{Threshold: *threshold})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report(r, *dumpLog)
+}
+
+func report(r *harness.Result, dumpLog bool) {
+	fmt.Printf("benchmark: %s on %s\n", r.Bench, r.VM)
+	fmt.Printf("checksum:  %d\n", r.Checksum)
+	fmt.Printf("instrs:    %d\n", r.Instrs)
+	fmt.Printf("cycles:    %.0f  (%.3f simulated ms @3GHz)\n", r.Cycles, r.Seconds()*1000)
+	fmt.Printf("IPC:       %.2f   branch MPKI: %.2f\n", r.Total.IPC(), r.Total.MPKI())
+	fmt.Printf("bytecodes: %d\n", r.Bytecodes)
+	fmt.Println("phases (instructions):")
+	for _, ph := range core.AllPhases() {
+		c := r.Phases[ph]
+		if c.Instrs == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %12d (%5.1f%%)  IPC %.2f\n",
+			ph, c.Instrs, 100*r.PhaseFraction(ph), c.IPC())
+	}
+	fmt.Printf("gc: %d minor, %d major, %d objects allocated (%d bytes)\n",
+		r.GC.Minor, r.GC.Major, r.GC.AllocObjects, r.GC.AllocBytes)
+	if r.EngStats.LoopsCompiled > 0 || r.EngStats.BridgesCompiled > 0 {
+		fmt.Printf("jit: %d loops, %d bridges, %d aborts, %d ops recorded (%d removed by optimizer)\n",
+			r.EngStats.LoopsCompiled, r.EngStats.BridgesCompiled, r.EngStats.Aborts,
+			r.EngStats.OpsRecorded, r.EngStats.OpsRemoved)
+		fmt.Printf("jit events: %d guard failures, %d deopts, %d bridge entries\n",
+			r.Events.GuardFails, r.Events.Deopts, r.Events.BridgeEnters)
+	}
+	if dumpLog && r.Log != nil {
+		fmt.Println("---- jit log ----")
+		fmt.Print(r.Log.Dump())
+	}
+}
+
+func runFile(path, vmName string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	mach := cpu.NewDefault()
+	pintool.NewPhaseTracker(mach)
+	cfg := pylang.Config{}
+	switch vmName {
+	case "cpython":
+		cfg.Profile = mtjit.ReferenceProfile()
+	case "pypy-nojit":
+		cfg.Profile = mtjit.FrameworkProfile()
+	case "pypy":
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+	default:
+		fmt.Fprintf(os.Stderr, "-file supports cpython|pypy-nojit|pypy\n")
+		os.Exit(2)
+	}
+	vm := pylang.New(mach, cfg)
+	var log *jitlog.Log
+	if vm.Eng != nil {
+		log = jitlog.Attach(vm.Eng)
+	}
+	if err := vm.LoadModule(path, string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := vm.RunFunction("main")
+	fmt.Print(vm.Output.String())
+	fmt.Printf("main() = %s\n", vm.Format(res))
+	fmt.Printf("instrs: %d  cycles: %.0f  IPC: %.2f\n",
+		mach.TotalInstrs(), mach.TotalCycles(), mach.Total().IPC())
+	if log != nil {
+		fmt.Printf("jit: %d traces compiled\n", len(log.Traces))
+	}
+}

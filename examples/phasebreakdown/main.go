@@ -1,0 +1,37 @@
+// Phasebreakdown: reproduce the heart of the paper's Figure 2 on three
+// very different workloads — a numeric kernel (JIT-dominated), a
+// bigint-heavy program (JIT-call-dominated), and an allocation storm
+// (GC-heavy) — showing that no single phase dominates everywhere.
+package main
+
+import (
+	"fmt"
+
+	"metajit/internal/bench"
+	"metajit/internal/core"
+	"metajit/internal/harness"
+)
+
+func main() {
+	names := []string{"spectral_norm", "pidigits", "binarytrees", "richards"}
+	fmt.Printf("%-16s", "benchmark")
+	for _, ph := range core.AllPhases() {
+		fmt.Printf(" %9s", ph)
+	}
+	fmt.Println()
+	for _, name := range names {
+		p := bench.ByName(name)
+		r, err := harness.Run(p, harness.VMPyPyJIT, harness.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s", name)
+		for _, ph := range core.AllPhases() {
+			fmt.Printf("    %5.1f%%", 100*r.PhaseFraction(ph))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: spectral_norm lives in jit, pidigits in jit_call")
+	fmt.Println("(bigint residual calls), binarytrees stresses gc — the paper's")
+	fmt.Println("point that every phase matters for some workload.")
+}

@@ -1,0 +1,3 @@
+module metajit
+
+go 1.22

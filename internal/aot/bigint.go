@@ -1,0 +1,411 @@
+package aot
+
+import "fmt"
+
+// Big is the arbitrary-precision integer used by the guest languages: the
+// analog of RPython's rbigint, which the paper identifies as a major source
+// of AOT-compiled residual calls (pidigits spends >90% of its time in
+// rbigint.add/divmod/lshift/mul, Table III). Digits are base-2^32,
+// little-endian; Neg holds the sign. The zero value is 0.
+type Big struct {
+	Digits []uint32
+	Neg    bool
+}
+
+// BigFromInt64 converts a machine integer.
+func BigFromInt64(v int64) *Big {
+	b := &Big{}
+	u := uint64(v)
+	if v < 0 {
+		b.Neg = true
+		u = uint64(-v) // note: math.MinInt64 handled below
+		if v == -9223372036854775808 {
+			u = 1 << 63
+		}
+	}
+	for u != 0 {
+		b.Digits = append(b.Digits, uint32(u))
+		u >>= 32
+	}
+	return b
+}
+
+// BigFromString parses a decimal literal (optionally signed).
+func BigFromString(s string) (*Big, bool) {
+	if s == "" {
+		return nil, false
+	}
+	neg := false
+	if s[0] == '-' || s[0] == '+' {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if s == "" {
+		return nil, false
+	}
+	acc := &Big{}
+	ten := BigFromInt64(10)
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return nil, false
+		}
+		acc = BigAdd(BigMul(acc, ten), BigFromInt64(int64(s[i]-'0')))
+	}
+	acc.Neg = neg && !acc.IsZero()
+	return acc, true
+}
+
+// IsZero reports whether b is zero.
+func (b *Big) IsZero() bool { return len(b.Digits) == 0 }
+
+// Sign returns -1, 0, or 1.
+func (b *Big) Sign() int {
+	if b.IsZero() {
+		return 0
+	}
+	if b.Neg {
+		return -1
+	}
+	return 1
+}
+
+// Int64 returns the value as an int64 if it fits.
+func (b *Big) Int64() (int64, bool) {
+	if len(b.Digits) > 2 {
+		return 0, false
+	}
+	var u uint64
+	for i := len(b.Digits) - 1; i >= 0; i-- {
+		u = u<<32 | uint64(b.Digits[i])
+	}
+	if b.Neg {
+		if u > 1<<63 {
+			return 0, false
+		}
+		return -int64(u), true // u == 1<<63 wraps to MinInt64, which is correct
+	}
+	if u > 1<<63-1 {
+		return 0, false
+	}
+	return int64(u), true
+}
+
+func (b *Big) norm() *Big {
+	for len(b.Digits) > 0 && b.Digits[len(b.Digits)-1] == 0 {
+		b.Digits = b.Digits[:len(b.Digits)-1]
+	}
+	if len(b.Digits) == 0 {
+		b.Neg = false
+	}
+	return b
+}
+
+// CmpAbs compares |a| and |b|.
+func CmpAbs(a, c *Big) int {
+	if len(a.Digits) != len(c.Digits) {
+		if len(a.Digits) < len(c.Digits) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(a.Digits) - 1; i >= 0; i-- {
+		if a.Digits[i] != c.Digits[i] {
+			if a.Digits[i] < c.Digits[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Cmp compares a and c.
+func (b *Big) Cmp(c *Big) int {
+	sa, sc := b.Sign(), c.Sign()
+	switch {
+	case sa < sc:
+		return -1
+	case sa > sc:
+		return 1
+	case sa == 0:
+		return 0
+	}
+	r := CmpAbs(b, c)
+	if sa < 0 {
+		return -r
+	}
+	return r
+}
+
+func addAbs(a, c []uint32) []uint32 {
+	if len(a) < len(c) {
+		a, c = c, a
+	}
+	out := make([]uint32, len(a)+1)
+	var carry uint64
+	for i := 0; i < len(c); i++ {
+		s := uint64(a[i]) + uint64(c[i]) + carry
+		out[i] = uint32(s)
+		carry = s >> 32
+	}
+	for i := len(c); i < len(a); i++ {
+		s := uint64(a[i]) + carry
+		out[i] = uint32(s)
+		carry = s >> 32
+	}
+	out[len(a)] = uint32(carry)
+	return out
+}
+
+// subAbs computes a-c assuming |a| >= |c|.
+func subAbs(a, c []uint32) []uint32 {
+	out := make([]uint32, len(a))
+	var borrow uint64
+	for i := 0; i < len(a); i++ {
+		var cv uint64
+		if i < len(c) {
+			cv = uint64(c[i])
+		}
+		d := uint64(a[i]) - cv - borrow
+		out[i] = uint32(d)
+		borrow = (d >> 63) & 1 // 1 if underflowed
+	}
+	return out
+}
+
+// BigAdd returns a+c.
+func BigAdd(a, c *Big) *Big {
+	if a.Neg == c.Neg {
+		return (&Big{Digits: addAbs(a.Digits, c.Digits), Neg: a.Neg}).norm()
+	}
+	// Different signs: subtract smaller magnitude from larger.
+	if CmpAbs(a, c) >= 0 {
+		return (&Big{Digits: subAbs(a.Digits, c.Digits), Neg: a.Neg}).norm()
+	}
+	return (&Big{Digits: subAbs(c.Digits, a.Digits), Neg: c.Neg}).norm()
+}
+
+// BigSub returns a-c.
+func BigSub(a, c *Big) *Big {
+	nc := &Big{Digits: c.Digits, Neg: !c.Neg}
+	return BigAdd(a, nc)
+}
+
+// BigMul returns a*c by schoolbook multiplication.
+func BigMul(a, c *Big) *Big {
+	if a.IsZero() || c.IsZero() {
+		return &Big{}
+	}
+	out := make([]uint32, len(a.Digits)+len(c.Digits))
+	for i, ad := range a.Digits {
+		var carry uint64
+		for j, cd := range c.Digits {
+			t := uint64(ad)*uint64(cd) + uint64(out[i+j]) + carry
+			out[i+j] = uint32(t)
+			carry = t >> 32
+		}
+		out[i+len(c.Digits)] += uint32(carry)
+	}
+	return (&Big{Digits: out, Neg: a.Neg != c.Neg}).norm()
+}
+
+// BigLsh returns a << n.
+func BigLsh(a *Big, n uint) *Big {
+	if a.IsZero() {
+		return &Big{}
+	}
+	words := int(n / 32)
+	bits := n % 32
+	out := make([]uint32, len(a.Digits)+words+1)
+	for i, d := range a.Digits {
+		out[i+words] |= d << bits
+		if bits != 0 {
+			out[i+words+1] |= uint32(uint64(d) >> (32 - bits))
+		}
+	}
+	return (&Big{Digits: out, Neg: a.Neg}).norm()
+}
+
+// BigRsh returns a >> n (arithmetic on magnitude; callers use non-negative
+// values, matching the guests' use).
+func BigRsh(a *Big, n uint) *Big {
+	words := int(n / 32)
+	bits := n % 32
+	if words >= len(a.Digits) {
+		return &Big{}
+	}
+	out := make([]uint32, len(a.Digits)-words)
+	for i := range out {
+		out[i] = a.Digits[i+words] >> bits
+		if bits != 0 && i+words+1 < len(a.Digits) {
+			out[i] |= uint32(uint64(a.Digits[i+words+1]) << (32 - bits))
+		}
+	}
+	return (&Big{Digits: out, Neg: a.Neg}).norm()
+}
+
+// BigDivMod returns q, r with a = q*c + r, r taking the sign of c
+// (floored division, Python semantics). c must be non-zero.
+func BigDivMod(a, c *Big) (q, r *Big) {
+	if c.IsZero() {
+		panic("aot: bigint division by zero")
+	}
+	qAbs, rAbs := divModAbs(a.Digits, c.Digits)
+	q = (&Big{Digits: qAbs, Neg: a.Neg != c.Neg}).norm()
+	r = (&Big{Digits: rAbs, Neg: a.Neg}).norm()
+	// Floor semantics: if r != 0 and signs differ, adjust.
+	if !r.IsZero() && r.Neg != c.Neg {
+		q = BigSub(q, BigFromInt64(1))
+		r = BigAdd(r, c)
+	}
+	return q, r
+}
+
+// divModAbs computes |a| / |c| and |a| % |c| using Knuth Algorithm D with a
+// simple short-division fast path.
+func divModAbs(a, c []uint32) (q, r []uint32) {
+	// Trim.
+	for len(a) > 0 && a[len(a)-1] == 0 {
+		a = a[:len(a)-1]
+	}
+	for len(c) > 0 && c[len(c)-1] == 0 {
+		c = c[:len(c)-1]
+	}
+	if len(c) == 0 {
+		panic("aot: division by zero magnitude")
+	}
+	if len(a) < len(c) {
+		return nil, append([]uint32(nil), a...)
+	}
+	if len(c) == 1 {
+		q = make([]uint32, len(a))
+		d := uint64(c[0])
+		var rem uint64
+		for i := len(a) - 1; i >= 0; i-- {
+			cur := rem<<32 | uint64(a[i])
+			q[i] = uint32(cur / d)
+			rem = cur % d
+		}
+		if rem != 0 {
+			r = []uint32{uint32(rem)}
+		}
+		return q, r
+	}
+
+	// Normalize so the divisor's top digit has its high bit set.
+	shift := uint(0)
+	for c[len(c)-1]<<shift&0x8000_0000 == 0 {
+		shift++
+	}
+	un := shiftLeft(a, shift, true)  // len(a)+1 digits
+	vn := shiftLeft(c, shift, false) // len(c) digits
+	n := len(vn)
+	m := len(un) - n - 1
+
+	q = make([]uint32, m+1)
+	for j := m; j >= 0; j-- {
+		// Estimate q̂ from the top two dividend digits.
+		top := uint64(un[j+n])<<32 | uint64(un[j+n-1])
+		qhat := top / uint64(vn[n-1])
+		rhat := top % uint64(vn[n-1])
+		for qhat >= 1<<32 ||
+			qhat*uint64(vn[n-2]) > rhat<<32|uint64(un[j+n-2]) {
+			qhat--
+			rhat += uint64(vn[n-1])
+			if rhat >= 1<<32 {
+				break
+			}
+		}
+		// Multiply and subtract (Hacker's Delight divmnu formulation).
+		var k uint64
+		var t int64
+		for i := 0; i < n; i++ {
+			p := qhat * uint64(vn[i])
+			t = int64(uint64(un[i+j])) - int64(k) - int64(p&0xFFFF_FFFF)
+			un[i+j] = uint32(t)
+			k = (p >> 32) - uint64(t>>32)
+		}
+		t = int64(uint64(un[j+n])) - int64(k)
+		un[j+n] = uint32(t)
+
+		q[j] = uint32(qhat)
+		if t < 0 {
+			// q̂ was one too large: add the divisor back.
+			q[j]--
+			var c2 uint64
+			for i := 0; i < n; i++ {
+				s := uint64(un[i+j]) + uint64(vn[i]) + c2
+				un[i+j] = uint32(s)
+				c2 = s >> 32
+			}
+			un[j+n] = uint32(uint64(un[j+n]) + c2)
+		}
+	}
+
+	// Denormalize remainder.
+	r = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		r[i] = un[i] >> shift
+		if shift != 0 && i+1 < len(un) {
+			r[i] |= uint32(uint64(un[i+1]) << (32 - shift))
+		}
+	}
+	return trim(q), trim(r)
+}
+
+func trim(d []uint32) []uint32 {
+	for len(d) > 0 && d[len(d)-1] == 0 {
+		d = d[:len(d)-1]
+	}
+	return d
+}
+
+func shiftLeft(d []uint32, s uint, extend bool) []uint32 {
+	n := len(d)
+	if extend {
+		n++
+	}
+	out := make([]uint32, n)
+	for i, v := range d {
+		out[i] |= v << s
+		if s != 0 && i+1 < n {
+			out[i+1] |= uint32(uint64(v) >> (32 - s))
+		}
+	}
+	return out
+}
+
+// String renders b in decimal.
+func (b *Big) String() string {
+	if b.IsZero() {
+		return "0"
+	}
+	// Repeated division by 1e9.
+	digits := append([]uint32(nil), b.Digits...)
+	var groups []uint32
+	for len(digits) > 0 {
+		var rem uint64
+		for i := len(digits) - 1; i >= 0; i-- {
+			cur := rem<<32 | uint64(digits[i])
+			digits[i] = uint32(cur / 1_000_000_000)
+			rem = cur % 1_000_000_000
+		}
+		groups = append(groups, uint32(rem))
+		digits = trim(digits)
+	}
+	s := ""
+	for i := len(groups) - 1; i >= 0; i-- {
+		if i == len(groups)-1 {
+			s += fmt.Sprintf("%d", groups[i])
+		} else {
+			s += fmt.Sprintf("%09d", groups[i])
+		}
+	}
+	if b.Neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// NumDigits returns the digit count (cost-model input).
+func (b *Big) NumDigits() int { return len(b.Digits) }

@@ -1,0 +1,165 @@
+package aot
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func toGoBig(b *Big) *big.Int {
+	out := new(big.Int)
+	for i := len(b.Digits) - 1; i >= 0; i-- {
+		out.Lsh(out, 32)
+		out.Or(out, big.NewInt(int64(b.Digits[i])))
+	}
+	if b.Neg {
+		out.Neg(out)
+	}
+	return out
+}
+
+func randomBig(rng *rand.Rand, maxDigits int) *Big {
+	n := rng.Intn(maxDigits)
+	b := &Big{Neg: rng.Intn(2) == 0}
+	for i := 0; i < n; i++ {
+		b.Digits = append(b.Digits, rng.Uint32())
+	}
+	return b.norm()
+}
+
+func TestBigFromInt64RoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, 1 << 31, -(1 << 31), 1<<63 - 1, -(1 << 62), -9223372036854775808}
+	for _, v := range cases {
+		b := BigFromInt64(v)
+		got, ok := b.Int64()
+		if !ok || got != v {
+			t.Errorf("round trip %d -> %d (ok=%v)", v, got, ok)
+		}
+		if toGoBig(b).String() != big.NewInt(v).String() {
+			t.Errorf("FromInt64(%d) = %s", v, toGoBig(b))
+		}
+	}
+}
+
+func TestBigAddSubMulAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := randomBig(rng, 8)
+		b := randomBig(rng, 8)
+		ga, gb := toGoBig(a), toGoBig(b)
+		if got, want := toGoBig(BigAdd(a, b)), new(big.Int).Add(ga, gb); got.Cmp(want) != 0 {
+			t.Fatalf("add %s + %s = %s, want %s", ga, gb, got, want)
+		}
+		if got, want := toGoBig(BigSub(a, b)), new(big.Int).Sub(ga, gb); got.Cmp(want) != 0 {
+			t.Fatalf("sub %s - %s = %s, want %s", ga, gb, got, want)
+		}
+		if got, want := toGoBig(BigMul(a, b)), new(big.Int).Mul(ga, gb); got.Cmp(want) != 0 {
+			t.Fatalf("mul %s * %s = %s, want %s", ga, gb, got, want)
+		}
+	}
+}
+
+func TestBigDivModAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a := randomBig(rng, 10)
+		b := randomBig(rng, 5)
+		if b.IsZero() {
+			continue
+		}
+		ga, gb := toGoBig(a), toGoBig(b)
+		q, r := BigDivMod(a, b)
+		// Python floored division: big.Int DivMod does Euclidean; use
+		// Div/Mod with explicit floor semantics.
+		wantQ := new(big.Int).Div(ga, gb) // big.Div is floored toward -inf? No: Euclidean.
+		wantR := new(big.Int).Mod(ga, gb)
+		// big.Int.Div implements Euclidean division (r >= 0); adjust to
+		// floored semantics (r takes divisor's sign).
+		if wantR.Sign() != 0 && gb.Sign() < 0 {
+			wantQ.Sub(wantQ, big.NewInt(1))
+			wantR.Add(wantR, gb)
+		}
+		if toGoBig(q).Cmp(wantQ) != 0 || toGoBig(r).Cmp(wantR) != 0 {
+			t.Fatalf("divmod(%s, %s) = (%s, %s), want (%s, %s)",
+				ga, gb, toGoBig(q), toGoBig(r), wantQ, wantR)
+		}
+		// Invariant: a == q*b + r.
+		recon := BigAdd(BigMul(q, b), r)
+		if toGoBig(recon).Cmp(ga) != 0 {
+			t.Fatalf("q*b+r != a: %s vs %s", toGoBig(recon), ga)
+		}
+	}
+}
+
+func TestBigDivModKnuthAddBackPath(t *testing.T) {
+	// Crafted operands that exercise the rare "add back" correction in
+	// Knuth Algorithm D.
+	a := &Big{Digits: []uint32{0, 0, 0x8000_0000, 0x7FFF_FFFF}}
+	b := &Big{Digits: []uint32{1, 0, 0x8000_0000}}
+	q, r := BigDivMod(a, b)
+	ga, gb := toGoBig(a), toGoBig(b)
+	wantQ, wantR := new(big.Int).QuoRem(ga, gb, new(big.Int))
+	if toGoBig(q).Cmp(wantQ) != 0 || toGoBig(r).Cmp(wantR) != 0 {
+		t.Fatalf("add-back case: got (%s,%s) want (%s,%s)", toGoBig(q), toGoBig(r), wantQ, wantR)
+	}
+}
+
+func TestBigShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a := randomBig(rng, 6)
+		a.Neg = false
+		n := uint(rng.Intn(100))
+		ga := toGoBig(a)
+		if got, want := toGoBig(BigLsh(a, n)), new(big.Int).Lsh(ga, n); got.Cmp(want) != 0 {
+			t.Fatalf("%s << %d = %s, want %s", ga, n, got, want)
+		}
+		if got, want := toGoBig(BigRsh(a, n)), new(big.Int).Rsh(ga, n); got.Cmp(want) != 0 {
+			t.Fatalf("%s >> %d = %s, want %s", ga, n, got, want)
+		}
+	}
+}
+
+func TestBigString(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := randomBig(rng, 8)
+		if got, want := a.String(), toGoBig(a).String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+	if BigFromInt64(0).String() != "0" {
+		t.Errorf("zero renders as %q", BigFromInt64(0).String())
+	}
+}
+
+func TestBigCmp(t *testing.T) {
+	f := func(x, y int64) bool {
+		a, b := BigFromInt64(x), BigFromInt64(y)
+		want := 0
+		if x < y {
+			want = -1
+		} else if x > y {
+			want = 1
+		}
+		return a.Cmp(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (a+b)-b == a for random bigs.
+func TestBigAddSubInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomBig(rng, 12)
+		b := randomBig(rng, 12)
+		back := BigSub(BigAdd(a, b), b)
+		return back.Cmp(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

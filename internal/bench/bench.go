@@ -1,0 +1,57 @@
+// Package bench holds the workload corpus: guest-language implementations
+// modeled on the PyPy Benchmark Suite and the Computer Language Benchmarks
+// Game (Section III). Every program defines main() returning an integer
+// checksum so results can be compared across VM configurations.
+package bench
+
+// Program is one benchmark.
+type Program struct {
+	Name string
+	// Suite is "pypy" or "clbg".
+	Suite string
+	// Source is the Python-guest implementation.
+	Source string
+	// SkSource is the Scheme-guest implementation ("" if not ported,
+	// mirroring the paper's note that some CLBG benchmarks did not run
+	// on Pycket).
+	SkSource string
+	// Static reports whether a statically-compiled kernel exists in
+	// internal/static for the C/C++ reference row.
+	Static bool
+}
+
+// ByName returns the program with the given name, or nil.
+func ByName(name string) *Program {
+	for i := range all {
+		if all[i].Name == name {
+			return &all[i]
+		}
+	}
+	return nil
+}
+
+// PyPySuite returns the PyPy-benchmark-suite-style programs, in the
+// paper's Table I speedup order.
+func PyPySuite() []Program {
+	var out []Program
+	for _, p := range all {
+		if p.Suite == "pypy" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CLBG returns the benchmarks-game-style programs.
+func CLBG() []Program {
+	var out []Program
+	for _, p := range all {
+		if p.Suite == "clbg" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// All returns every program.
+func All() []Program { return append([]Program(nil), all...) }

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"metajit/internal/cpu"
+	"metajit/internal/pylang"
+	"metajit/internal/sklang"
+)
+
+func TestRegistryConsistency(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range All() {
+		if p.Name == "" || p.Source == "" {
+			t.Errorf("program with empty name/source: %+v", p.Name)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate benchmark %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Suite != "pypy" && p.Suite != "clbg" {
+			t.Errorf("%s: bad suite %q", p.Name, p.Suite)
+		}
+	}
+	if len(PyPySuite()) < 12 {
+		t.Errorf("PyPy suite too small: %d", len(PyPySuite()))
+	}
+	if len(CLBG()) < 6 {
+		t.Errorf("CLBG too small: %d", len(CLBG()))
+	}
+	if ByName("richards") == nil || ByName("nope") != nil {
+		t.Errorf("ByName broken")
+	}
+}
+
+// Every Python source must parse and define main.
+func TestAllSourcesCompile(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			vm := pylang.New(cpu.NewDefault(), pylang.Config{})
+			if err := vm.LoadModule(p.Name, p.Source); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, ok := vm.GetGlobal("main"); !ok {
+				t.Fatalf("no main()")
+			}
+			if !strings.Contains(p.Source, "def main") {
+				t.Fatalf("source convention violated")
+			}
+		})
+	}
+}
+
+// Every Scheme variant must read and compile.
+func TestSchemeSourcesCompile(t *testing.T) {
+	for _, p := range All() {
+		if p.SkSource == "" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			vm := pylang.New(cpu.NewDefault(), pylang.Config{})
+			vm.UnicodeStrings = false
+			if err := sklang.Load(vm, p.SkSource); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, ok := vm.GetGlobal("main"); !ok {
+				t.Fatalf("no (main)")
+			}
+		})
+	}
+}

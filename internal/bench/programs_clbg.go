@@ -1,0 +1,483 @@
+package bench
+
+// CLBG-style benchmarks in the Python guest.
+
+// binarytrees: allocation/GC stress — builds and walks perfect binary
+// trees (the paper's canonical GC-heavy benchmark, Figure 4).
+const srcBinarytrees = `
+class Node:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+def make_tree(depth):
+    if depth == 0:
+        return Node(None, None)
+    return Node(make_tree(depth - 1), make_tree(depth - 1))
+
+def check_tree(node):
+    if node.left is None:
+        return 1
+    return 1 + check_tree(node.left) + check_tree(node.right)
+
+def main():
+    max_depth = 10
+    total = 0
+    stretch = make_tree(max_depth + 1)
+    total += check_tree(stretch)
+    long_lived = make_tree(max_depth)
+    depth = 4
+    while depth <= max_depth:
+        iterations = 1 << (max_depth - depth + 4)
+        partial = 0
+        for i in range(iterations):
+            partial += check_tree(make_tree(depth))
+        total += partial % 1000000007
+        depth += 2
+    total += check_tree(long_lived)
+    return total % 1000000007
+`
+
+// fasta: pseudo-random DNA sequence generation (string building).
+const srcFasta = `
+def main():
+    alu = "GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGG"
+    iub = "acgtBDHKMNRSVWY"
+    seed = 42
+    out_len = 0
+    checksum = 0
+    line = []
+    for i in range(12000):
+        seed = (seed * 3877 + 29573) % 139968
+        idx = seed * len(iub) // 139968
+        ch = iub[idx]
+        line.append(ch)
+        if len(line) == 60:
+            s = "".join(line)
+            out_len += len(s)
+            checksum = (checksum * 31 + ord(s[0]) + ord(s[59])) % 1000000007
+            line = []
+    rep = []
+    pos = 0
+    for i in range(200):
+        rep.append(alu[pos % len(alu)])
+        pos += 7
+    checksum = (checksum + len("".join(rep))) % 1000000007
+    return checksum + out_len
+`
+
+// knucleotide: k-mer counting in a dictionary (hashmap-dominated).
+const srcKnucleotide = `
+def gen_seq(n):
+    bases = "ACGT"
+    seed = 7
+    out = []
+    for i in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        out.append(bases[seed % 4])
+    return "".join(out)
+
+def count_kmers(seq, k):
+    counts = {}
+    n = len(seq) - k + 1
+    for i in range(n):
+        kmer = seq[i:i + k]
+        c = counts.get(kmer, 0)
+        counts[kmer] = c + 1
+    return counts
+
+def main():
+    seq = gen_seq(4000)
+    total = 0
+    for k in range(1, 4):
+        counts = count_kmers(seq, k)
+        best = 0
+        for kmer in counts:
+            c = counts[kmer]
+            if c > best:
+                best = c
+        total += best * 1000 + len(counts)
+    return total
+`
+
+// mandelbrot: complex-plane escape iteration (pure float kernel).
+const srcMandelbrot = `
+def main():
+    size = 80
+    bits = 0
+    checksum = 0
+    for y in range(size):
+        ci = 2.0 * y / size - 1.0
+        for x in range(size):
+            cr = 2.0 * x / size - 1.5
+            zr = 0.0
+            zi = 0.0
+            i = 0
+            inside = True
+            while i < 50:
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    inside = False
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+                i += 1
+            if inside:
+                bits += 1
+        checksum = (checksum * 31 + bits) % 1000000007
+    return checksum
+`
+
+// revcomp: reverse-complement via a translation table (the benchmark
+// where the paper sees PyPy stuck in the interpreter but Pycket compiling
+// quickly).
+const srcRevcomp = `
+def build_table():
+    pairs = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+    return pairs
+
+def gen_seq(n):
+    bases = "ACGTN"
+    seed = 99
+    out = []
+    for i in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        out.append(bases[seed % 5])
+    return "".join(out)
+
+def main():
+    table = build_table()
+    seq = gen_seq(6000)
+    out = []
+    i = len(seq) - 1
+    while i >= 0:
+        out.append(table[seq[i]])
+        i -= 1
+    r = "".join(out)
+    check = 0
+    for j in range(0, len(r), 61):
+        check = (check * 31 + ord(r[j])) % 1000000007
+    return check
+`
+
+// ---- Scheme-guest (sklang) variants ----
+
+const skBinarytrees = `
+(define (make-tree depth)
+  (if (= depth 0)
+      (vector 1 0 0)
+      (vector 1 (make-tree (- depth 1)) (make-tree (- depth 1)))))
+
+(define (check-tree node)
+  (if (= (vector-ref node 1) 0)
+      1
+      (+ 1 (check-tree (vector-ref node 1)) (check-tree (vector-ref node 2)))))
+
+(define (bench-depth depth iters acc)
+  (if (= iters 0)
+      acc
+      (bench-depth depth (- iters 1) (+ acc (check-tree (make-tree depth))))))
+
+(define (main)
+  (let ((max-depth 10))
+    (let ((stretch (check-tree (make-tree (+ max-depth 1))))
+          (long-lived (make-tree max-depth)))
+      (let ((t1 (bench-depth 4 1024 0))
+            (t2 (bench-depth 6 256 0))
+            (t3 (bench-depth 8 64 0))
+            (t4 (bench-depth 10 16 0)))
+        (modulo (+ stretch t1 t2 t3 t4 (check-tree long-lived)) 1000000007)))))
+`
+
+const skFannkuch = `
+(define (swap-range! v lo hi)
+  (if (< lo hi)
+      (begin
+        (let ((t (vector-ref v lo)))
+          (vector-set! v lo (vector-ref v hi))
+          (vector-set! v hi t))
+        (swap-range! v (+ lo 1) (- hi 1)))
+      0))
+
+(define (count-flips v)
+  (let ((k (vector-ref v 0)))
+    (if (= k 0)
+        0
+        (begin
+          (swap-range! v 0 k)
+          (+ 1 (count-flips v))))))
+
+(define (copy-vec src n)
+  (let ((dst (make-vector n 0)))
+    (copy-loop src dst 0 n)
+    dst))
+
+(define (copy-loop src dst i n)
+  (if (< i n)
+      (begin
+        (vector-set! dst i (vector-ref src i))
+        (copy-loop src dst (+ i 1) n))
+      0))
+
+(define (rotate! v i)
+  (let ((first (vector-ref v 0)))
+    (rotate-loop! v 0 i)
+    (vector-set! v i first)))
+
+(define (rotate-loop! v j i)
+  (if (< j i)
+      (begin
+        (vector-set! v j (vector-ref v (+ j 1)))
+        (rotate-loop! v (+ j 1) i))
+      0))
+
+(define (fannkuch n)
+  (let ((perm1 (make-vector n 0))
+        (count (make-vector n 0))
+        (max-flips 0)
+        (checksum 0)
+        (sign 1)
+        (done 0))
+    (init-perm perm1 0 n)
+    (fk-loop perm1 count n 0 0 1)))
+
+(define (init-perm v i n)
+  (if (< i n)
+      (begin (vector-set! v i i) (init-perm v (+ i 1) n))
+      0))
+
+(define (fk-loop perm1 count n max-flips checksum sign)
+  (let ((flips (if (= (vector-ref perm1 0) 0)
+                   0
+                   (count-flips (copy-vec perm1 n)))))
+    (let ((mf (if (> flips max-flips) flips max-flips))
+          (cs (+ checksum (* sign flips))))
+      (let ((i (advance! perm1 count n 1)))
+        (if (>= i n)
+            (+ (* mf 1000000) (modulo cs 1000))
+            (fk-loop perm1 count n mf cs (- 0 sign)))))))
+
+(define (advance! perm1 count n i)
+  (if (>= i n)
+      i
+      (begin
+        (rotate! perm1 i)
+        (vector-set! count i (+ (vector-ref count i) 1))
+        (if (<= (vector-ref count i) i)
+            i
+            (begin
+              (vector-set! count i 0)
+              (advance! perm1 count n (+ i 1)))))))
+
+(define (main) (fannkuch 7))
+`
+
+const skNbody = `
+(define (advance xs ys zs vxs vys vzs ms dt n)
+  (adv-i xs ys zs vxs vys vzs ms dt n 0))
+
+(define (adv-i xs ys zs vxs vys vzs ms dt n i)
+  (if (>= i n)
+      (move xs ys zs vxs vys vzs dt n 0)
+      (begin
+        (adv-j xs ys zs vxs vys vzs ms dt n i (+ i 1))
+        (adv-i xs ys zs vxs vys vzs ms dt n (+ i 1)))))
+
+(define (adv-j xs ys zs vxs vys vzs ms dt n i j)
+  (if (>= j n)
+      0
+      (begin
+        (let ((dx (- (vector-ref xs i) (vector-ref xs j)))
+              (dy (- (vector-ref ys i) (vector-ref ys j)))
+              (dz (- (vector-ref zs i) (vector-ref zs j))))
+          (let ((d2 (+ (+ (* dx dx) (* dy dy)) (* dz dz))))
+            (let ((mag (* dt (expt d2 -1.5))))
+              (let ((mi (* (vector-ref ms i) mag))
+                    (mj (* (vector-ref ms j) mag)))
+                (vector-set! vxs i (- (vector-ref vxs i) (* dx mj)))
+                (vector-set! vys i (- (vector-ref vys i) (* dy mj)))
+                (vector-set! vzs i (- (vector-ref vzs i) (* dz mj)))
+                (vector-set! vxs j (+ (vector-ref vxs j) (* dx mi)))
+                (vector-set! vys j (+ (vector-ref vys j) (* dy mi)))
+                (vector-set! vzs j (+ (vector-ref vzs j) (* dz mi)))))))
+        (adv-j xs ys zs vxs vys vzs ms dt n i (+ j 1)))))
+
+(define (move xs ys zs vxs vys vzs dt n i)
+  (if (>= i n)
+      0
+      (begin
+        (vector-set! xs i (+ (vector-ref xs i) (* dt (vector-ref vxs i))))
+        (vector-set! ys i (+ (vector-ref ys i) (* dt (vector-ref vys i))))
+        (vector-set! zs i (+ (vector-ref zs i) (* dt (vector-ref vzs i))))
+        (move xs ys zs vxs vys vzs dt n (+ i 1)))))
+
+(define (energy xs ys zs vxs vys vzs ms n)
+  (en-i xs ys zs vxs vys vzs ms n 0 0.0))
+
+(define (en-i xs ys zs vxs vys vzs ms n i e)
+  (if (>= i n)
+      e
+      (let ((e1 (+ e (* 0.5 (vector-ref ms i)
+                        (+ (+ (* (vector-ref vxs i) (vector-ref vxs i))
+                              (* (vector-ref vys i) (vector-ref vys i)))
+                           (* (vector-ref vzs i) (vector-ref vzs i)))))))
+        (en-i xs ys zs vxs vys vzs ms n (+ i 1)
+              (en-j xs ys zs ms n i (+ i 1) e1)))))
+
+(define (en-j xs ys zs ms n i j e)
+  (if (>= j n)
+      e
+      (let ((dx (- (vector-ref xs i) (vector-ref xs j)))
+            (dy (- (vector-ref ys i) (vector-ref ys j)))
+            (dz (- (vector-ref zs i) (vector-ref zs j))))
+        (en-j xs ys zs ms n i (+ j 1)
+              (- e (/ (* (vector-ref ms i) (vector-ref ms j))
+                      (sqrt (+ (+ (* dx dx) (* dy dy)) (* dz dz)))))))))
+
+(define (steps xs ys zs vxs vys vzs ms n k)
+  (if (= k 0)
+      0
+      (begin
+        (advance xs ys zs vxs vys vzs ms 0.01 n)
+        (steps xs ys zs vxs vys vzs ms n (- k 1)))))
+
+(define (main)
+  (let ((n 5)
+        (xs (vector 0.0 4.84143144246472090 8.34336671824457987 12.894369562139131 15.379697114850917))
+        (ys (vector 0.0 -1.16032004402742839 4.12479856412430479 -15.111151401698631 -25.919314609987964))
+        (zs (vector 0.0 -0.103622044471123109 -0.403523417114321381 -0.223307578892655734 0.179258772950371181))
+        (vxs (vector 0.0 0.00166007664274403694 -0.00276742510726862411 0.00296460137564761618 0.00288930532531037084))
+        (vys (vector 0.0 0.00769901118419740425 0.00499852801234917238 0.00237847173959480950 0.00114714441179217817))
+        (vzs (vector 0.0 -0.0000690460016972063023 0.0000230417297573763929 -0.0000296589568540237556 -0.000039021756012039))
+        (ms (vector 39.47841760435743 0.03769367487038949 0.011286326131968767 0.0017237240570597112 0.00020336868699246304)))
+    (steps xs ys zs vxs vys vzs ms n 600)
+    (truncate (* (energy xs ys zs vxs vys vzs ms n) 1000000.0))))
+`
+
+const skMandelbrot = `
+(define (iterate zr zi cr ci i)
+  (if (>= i 50)
+      1
+      (let ((zr2 (* zr zr))
+            (zi2 (* zi zi)))
+        (if (> (+ zr2 zi2) 4.0)
+            0
+            (iterate (+ (- zr2 zi2) cr) (+ (* 2.0 (* zr zi)) ci) cr ci (+ i 1))))))
+
+(define (row y size x bits)
+  (if (>= x size)
+      bits
+      (let ((ci (- (/ (* 2.0 y) size) 1.0))
+            (cr (- (/ (* 2.0 x) size) 1.5)))
+        (row y size (+ x 1) (+ bits (iterate 0.0 0.0 cr ci 0))))))
+
+(define (rows y size bits checksum)
+  (if (>= y size)
+      checksum
+      (let ((b (+ bits (row y size 0 0))))
+        (rows (+ y 1) size b (modulo (+ (* checksum 31) b) 1000000007)))))
+
+(define (main) (rows 0 80 0 0))
+`
+
+const skSpectral = `
+(define (eval-a i j)
+  (/ 1.0 (+ (+ (/ (* (+ i j) (+ (+ i j) 1)) 2) i) 1)))
+
+(define (av-sum u n i j s)
+  (if (>= j n)
+      s
+      (av-sum u n i (+ j 1) (+ s (* (eval-a i j) (vector-ref u j))))))
+
+(define (atv-sum u n i j s)
+  (if (>= j n)
+      s
+      (atv-sum u n i (+ j 1) (+ s (* (eval-a j i) (vector-ref u j))))))
+
+(define (a-times-u u out n i)
+  (if (>= i n)
+      0
+      (begin
+        (vector-set! out i (av-sum u n i 0 0.0))
+        (a-times-u u out n (+ i 1)))))
+
+(define (at-times-u u out n i)
+  (if (>= i n)
+      0
+      (begin
+        (vector-set! out i (atv-sum u n i 0 0.0))
+        (at-times-u u out n (+ i 1)))))
+
+(define (iterate u v w n k)
+  (if (= k 0)
+      0
+      (begin
+        (a-times-u u w n 0)
+        (at-times-u w v n 0)
+        (a-times-u v w n 0)
+        (at-times-u w u n 0)
+        (iterate u v w n (- k 1)))))
+
+(define (dots u v n i vbv vv)
+  (if (>= i n)
+      (/ vbv vv)
+      (dots u v n (+ i 1)
+            (+ vbv (* (vector-ref u i) (vector-ref v i)))
+            (+ vv (* (vector-ref v i) (vector-ref v i))))))
+
+(define (main)
+  (let ((n 60))
+    (let ((u (make-vector n 1.0))
+          (v (make-vector n 0.0))
+          (w (make-vector n 0.0)))
+      (iterate u v w n 10)
+      (truncate (* (sqrt (dots u v n 0 0.0 0.0)) 1000000.0)))))
+`
+
+const skFasta = `
+(define (gen i seed line-len out-len checksum first last)
+  (if (= i 0)
+      (+ checksum out-len)
+      (let ((s2 (modulo (+ (* seed 3877) 29573) 139968)))
+        (let ((idx (quotient (* s2 15) 139968)))
+          (if (= line-len 59)
+              (gen (- i 1) s2 0 (+ out-len 60)
+                   (modulo (+ (* checksum 31) (+ first idx)) 1000000007)
+                   0 0)
+              (gen (- i 1) s2 (+ line-len 1) out-len checksum
+                   (if (= line-len 0) idx first) idx))))))
+
+(define (main) (gen 12000 42 0 0 0 0 0))
+`
+
+const skPidigits = `
+(define (emit i ndigits k ns a t u k1 n d check q)
+  (if (= (modulo (+ i 1) 10) 0)
+      (spigot (+ i 1) ndigits k 0
+              (* (- a (* d q)) 10) t u k1 (* n 10) d
+              (modulo (+ (* check 31) (+ (* ns 10) q)) 1000000007))
+      (spigot (+ i 1) ndigits k (+ (* ns 10) q)
+              (* (- a (* d q)) 10) t u k1 (* n 10) d
+              check)))
+
+(define (step i ndigits k ns a t u k1 n d check)
+  (if (>= a n)
+      (let ((q (quotient (+ (* n 3) a) d))
+            (r (remainder (+ (* n 3) a) d)))
+        (if (> d (+ r n))
+            (emit i ndigits k ns a t (+ r n) k1 n d check q)
+            (spigot i ndigits k ns a t u k1 n d check)))
+      (spigot i ndigits k ns a t u k1 n d check)))
+
+(define (spigot i ndigits k ns a t u k1 n d check)
+  (if (>= i ndigits)
+      check
+      (let ((k2 (+ k 1))
+            (t2 (* n 2))
+            (k12 (+ k1 2)))
+        (step i ndigits k2 ns
+              (* (+ a t2) k12) t2 u k12 (* n k2) (* d k12) check))))
+
+(define (main) (spigot 0 100 0 0 0 0 0 1 1 1 0))
+`

@@ -1,0 +1,940 @@
+package bench
+
+var all = []Program{
+	{Name: "richards", Suite: "pypy", Static: false, Source: srcRichards},
+	{Name: "crypto_pyaes", Suite: "pypy", Source: srcCrypto},
+	{Name: "chaos", Suite: "pypy", Source: srcChaos},
+	{Name: "telco", Suite: "pypy", Source: srcTelco},
+	{Name: "spectral_norm", Suite: "pypy", Static: true, Source: srcSpectral},
+	{Name: "django", Suite: "pypy", Source: srcDjango},
+	{Name: "spitfire_cstringio", Suite: "pypy", Source: srcSpitfire},
+	{Name: "raytrace_simple", Suite: "pypy", Source: srcRaytrace},
+	{Name: "hexiom2", Suite: "pypy", Source: srcHexiom},
+	{Name: "float", Suite: "pypy", Static: true, Source: srcFloat},
+	{Name: "ai", Suite: "pypy", Source: srcAI},
+	{Name: "fannkuch", Suite: "pypy", Static: true, Source: srcFannkuch, SkSource: skFannkuch},
+	{Name: "json_bench", Suite: "pypy", Source: srcJSON},
+	{Name: "meteor_contest", Suite: "pypy", Source: srcMeteor},
+	{Name: "nbody_modified", Suite: "pypy", Static: true, Source: srcNbody, SkSource: skNbody},
+	{Name: "pidigits", Suite: "pypy", Source: srcPidigits, SkSource: skPidigits},
+
+	{Name: "binarytrees", Suite: "clbg", Static: true, Source: srcBinarytrees, SkSource: skBinarytrees},
+	{Name: "fasta", Suite: "clbg", Static: true, Source: srcFasta, SkSource: skFasta},
+	{Name: "knucleotide", Suite: "clbg", Source: srcKnucleotide},
+	{Name: "mandelbrot", Suite: "clbg", Static: true, Source: srcMandelbrot, SkSource: skMandelbrot},
+	{Name: "nbody", Suite: "clbg", Static: true, Source: srcNbody, SkSource: skNbody},
+	{Name: "revcomp", Suite: "clbg", Source: srcRevcomp},
+	{Name: "spectralnorm", Suite: "clbg", Static: true, Source: srcSpectral, SkSource: skSpectral},
+	{Name: "pidigits_clbg", Suite: "clbg", Source: srcPidigits, SkSource: skPidigits},
+}
+
+// richards: the classic operating-system task scheduler simulation, the
+// paper's top JIT-speedup benchmark (branchy, method-call heavy, guard
+// dominated).
+const srcRichards = `
+IDLE = 1
+WORKER = 2
+HANDLERA = 3
+HANDLERB = 4
+DEVA = 5
+DEVB = 6
+
+class Packet:
+    def __init__(self, link, ident, kind):
+        self.link = link
+        self.ident = ident
+        self.kind = kind
+        self.datum = 0
+        self.data = [0, 0, 0, 0]
+
+def append_packet(lst, pkt):
+    pkt.link = None
+    if lst is None:
+        return pkt
+    p = lst
+    while not (p.link is None):
+        p = p.link
+    p.link = pkt
+    return lst
+
+class Task:
+    def __init__(self, ident, priority, queue, sched):
+        self.ident = ident
+        self.priority = priority
+        self.queue = queue
+        self.sched = sched
+        self.holding = False
+        self.waiting = queue is None
+        self.v1 = 0
+        self.v2 = 0
+        self.kind = 0
+
+    def run_one(self, pkt):
+        return None
+
+    def wait_task(self):
+        self.waiting = True
+        return self
+
+    def release(self, ident):
+        t = self.sched.find_task(ident)
+        t.holding = False
+        if t.priority > self.priority:
+            return t
+        return self
+
+    def qpkt(self, pkt):
+        t = self.sched.find_task(pkt.ident)
+        self.sched.qcount += 1
+        pkt.link = None
+        pkt.ident = self.ident
+        if t.waiting:
+            t.waiting = False
+            t.pending = append_packet(t.pending, pkt)
+            if t.priority > self.priority:
+                return t
+            return self
+        t.pending = append_packet(t.pending, pkt)
+        return self
+
+class IdleTask(Task):
+    def __init__(self, ident, priority, sched, count):
+        self.ident = ident
+        self.priority = priority
+        self.queue = None
+        self.sched = sched
+        self.holding = False
+        self.waiting = False
+        self.v1 = 1
+        self.count = count
+        self.pending = None
+        self.kind = 1
+
+    def run_one(self, pkt):
+        self.count -= 1
+        if self.count == 0:
+            return self.wait_task()
+        if self.v1 % 2 == 0:
+            self.v1 = self.v1 // 2
+            return self.release(DEVA)
+        self.v1 = self.v1 // 2 ^ 53256
+        return self.release(DEVB)
+
+class WorkerTask(Task):
+    def __init__(self, ident, priority, sched):
+        self.ident = ident
+        self.priority = priority
+        self.sched = sched
+        self.holding = False
+        self.waiting = True
+        self.v1 = HANDLERA
+        self.v2 = 0
+        self.pending = None
+        self.kind = 2
+
+    def run_one(self, pkt):
+        if pkt is None:
+            return self.wait_task()
+        if self.v1 == HANDLERA:
+            self.v1 = HANDLERB
+        else:
+            self.v1 = HANDLERA
+        pkt.ident = self.v1
+        pkt.datum = 0
+        i = 0
+        while i < 4:
+            self.v2 += 1
+            if self.v2 > 26:
+                self.v2 = 1
+            pkt.data[i] = self.v2
+            i += 1
+        return self.qpkt(pkt)
+
+class HandlerTask(Task):
+    def __init__(self, ident, priority, sched):
+        self.ident = ident
+        self.priority = priority
+        self.sched = sched
+        self.holding = False
+        self.waiting = True
+        self.workq = None
+        self.devq = None
+        self.pending = None
+        self.kind = 3
+
+    def run_one(self, pkt):
+        if not (pkt is None):
+            if pkt.kind == 1:
+                self.workq = append_packet(self.workq, pkt)
+            else:
+                self.devq = append_packet(self.devq, pkt)
+        if not (self.workq is None):
+            w = self.workq
+            count = w.datum
+            if count > 3:
+                self.workq = w.link
+                return self.qpkt(w)
+            if not (self.devq is None):
+                d = self.devq
+                self.devq = d.link
+                d.datum = w.data[count]
+                w.datum = count + 1
+                return self.qpkt(d)
+        return self.wait_task()
+
+class DeviceTask(Task):
+    def __init__(self, ident, priority, sched):
+        self.ident = ident
+        self.priority = priority
+        self.sched = sched
+        self.holding = False
+        self.waiting = True
+        self.v1 = 0
+        self.saved = None
+        self.pending = None
+        self.kind = 4
+
+    def run_one(self, pkt):
+        if pkt is None:
+            if self.saved is None:
+                return self.wait_task()
+            p = self.saved
+            self.saved = None
+            return self.qpkt(p)
+        self.saved = pkt
+        self.sched.holdcount += 1
+        self.holding = True
+        return self
+
+class Scheduler:
+    def __init__(self):
+        self.tasks = {}
+        self.qcount = 0
+        self.holdcount = 0
+
+    def add(self, task):
+        self.tasks[task.ident] = task
+
+    def find_task(self, ident):
+        return self.tasks[ident]
+
+    def schedule(self):
+        order = [IDLE, WORKER, HANDLERA, HANDLERB, DEVA, DEVB]
+        running = True
+        while running:
+            running = False
+            for ident in order:
+                t = self.tasks[ident]
+                if t.holding:
+                    continue
+                if t.waiting:
+                    if t.pending is None:
+                        continue
+                    t.waiting = False
+                pkt = None
+                if not (t.pending is None):
+                    pkt = t.pending
+                    t.pending = pkt.link
+                t.run_one(pkt)
+                running = True
+
+def run_richards(iterations):
+    total_q = 0
+    total_h = 0
+    for it in range(iterations):
+        s = Scheduler()
+        s.add(IdleTask(IDLE, 0, s, 600))
+        wq = None
+        w = WorkerTask(WORKER, 1000, s)
+        w.pending = append_packet(append_packet(None, Packet(None, WORKER, 1)),
+                                  Packet(None, WORKER, 1))
+        s.add(w)
+        ha = HandlerTask(HANDLERA, 2000, s)
+        ha.pending = append_packet(append_packet(append_packet(None,
+            Packet(None, HANDLERA, 1)), Packet(None, HANDLERA, 1)),
+            Packet(None, HANDLERA, 1))
+        s.add(ha)
+        hb = HandlerTask(HANDLERB, 3000, s)
+        hb.pending = append_packet(None, Packet(None, HANDLERB, 1))
+        s.add(hb)
+        s.add(DeviceTask(DEVA, 4000, s))
+        s.add(DeviceTask(DEVB, 5000, s))
+        s.schedule()
+        total_q += s.qcount
+        total_h += s.holdcount
+    return total_q * 1000 + total_h
+
+def main():
+    return run_richards(12)
+`
+
+// crypto_pyaes: byte-oriented block cipher rounds (S-box lookups, xors)
+// over lists, the paper's #2 speedup benchmark.
+const srcCrypto = `
+def make_sbox():
+    sbox = []
+    for i in range(256):
+        v = i
+        v = (v * 7 + 99) % 256
+        v = (v ^ (v * 2 % 256)) % 256
+        sbox.append(v)
+    return sbox
+
+def expand_key(key, sbox):
+    rk = []
+    for r in range(11):
+        row = []
+        for i in range(16):
+            row.append(sbox[(key[i] + r * 17 + i) % 256])
+        rk.append(row)
+    return rk
+
+def encrypt_block(block, rk, sbox):
+    state = []
+    for i in range(16):
+        state.append(block[i])
+    for r in range(10):
+        round_key = rk[r]
+        for i in range(16):
+            state[i] = sbox[state[i] ^ round_key[i]]
+        t = state[0]
+        for i in range(15):
+            state[i] = state[i + 1]
+        state[15] = t
+        for i in range(0, 16, 4):
+            a = state[i]
+            b = state[i + 1]
+            state[i] = (a * 2 ^ b) % 256
+            state[i + 1] = (b * 2 ^ a) % 256
+    return state
+
+def main():
+    sbox = make_sbox()
+    key = []
+    for i in range(16):
+        key.append((i * 13 + 7) % 256)
+    rk = expand_key(key, sbox)
+    check = 0
+    block = []
+    for i in range(16):
+        block.append(i * 11 % 256)
+    for n in range(900):
+        block = encrypt_block(block, rk, sbox)
+        check = (check + block[n % 16]) % 1000000007
+    return check
+`
+
+// chaos: the chaosgame fractal generator (float arithmetic through a
+// point class, allocation per iteration).
+const srcChaos = `
+class GVector:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def dist(self, other):
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return sqrt(dx * dx + dy * dy)
+
+    def linear_combination(self, other, l1):
+        l2 = 1.0 - l1
+        return GVector(self.x * l1 + other.x * l2,
+                       self.y * l1 + other.y * l2)
+
+def make_splines():
+    pts = []
+    pts.append(GVector(1.6, 0.4))
+    pts.append(GVector(0.2, 0.9))
+    pts.append(GVector(0.7, 0.1))
+    pts.append(GVector(1.1, 0.8))
+    pts.append(GVector(0.3, 0.3))
+    return pts
+
+def main():
+    points = make_splines()
+    x = 0.5
+    y = 0.5
+    seed = 123456789
+    cells = []
+    for i in range(64):
+        cells.append(0)
+    pos = GVector(x, y)
+    for i in range(60000):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        idx = seed % 5
+        target = points[idx]
+        pos = pos.linear_combination(target, 0.5)
+        cx = int(pos.x * 4.0)
+        cy = int(pos.y * 4.0)
+        if cx < 0:
+            cx = 0
+        if cx > 7:
+            cx = 7
+        if cy < 0:
+            cy = 0
+        if cy > 7:
+            cy = 7
+        cells[cy * 8 + cx] += 1
+    check = 0
+    for i in range(64):
+        check = (check * 31 + cells[i]) % 1000000007
+    return check
+`
+
+// telco: telephone billing — parse call durations from strings, compute
+// rates with integer cents, heavy string_to_int residual calls.
+const srcTelco = `
+def make_calls(n):
+    calls = []
+    seed = 42
+    for i in range(n):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        calls.append(str(seed % 86400))
+    return calls
+
+def main():
+    calls = make_calls(4000)
+    total = 0
+    ltotal = 0
+    dtotal = 0
+    for c in calls:
+        dur = int(c)
+        if dur % 2 == 0:
+            rate = 13
+        else:
+            rate = 31
+        price = dur * rate
+        tax = price * 6 // 100
+        if rate == 31:
+            dtax = price * 12 // 100
+            dtotal += price + dtax
+        else:
+            ltotal += price + tax
+        total += price
+    return (total + ltotal * 3 + dtotal * 7) % 1000000007
+`
+
+// spectral_norm: the float kernel (eigenvalue power method) shared by the
+// PyPy suite and CLBG.
+const srcSpectral = `
+def eval_A(i, j):
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+def eval_A_times_u(u, out):
+    n = len(u)
+    for i in range(n):
+        s = 0.0
+        for j in range(n):
+            s += eval_A(i, j) * u[j]
+        out[i] = s
+
+def eval_At_times_u(u, out):
+    n = len(u)
+    for i in range(n):
+        s = 0.0
+        for j in range(n):
+            s += eval_A(j, i) * u[j]
+        out[i] = s
+
+def main():
+    n = 60
+    u = []
+    v = []
+    w = []
+    for i in range(n):
+        u.append(1.0)
+        v.append(0.0)
+        w.append(0.0)
+    for it in range(10):
+        eval_A_times_u(u, w)
+        eval_At_times_u(w, v)
+        eval_A_times_u(v, w)
+        eval_At_times_u(w, u)
+    vbv = 0.0
+    vv = 0.0
+    for i in range(n):
+        vbv += u[i] * v[i]
+        vv += v[i] * v[i]
+    return int(sqrt(vbv / vv) * 1000000.0)
+`
+
+// django: template-rendering-style workload — dict lookups, string
+// replace/concat, the rordereddict + rstring.replace profile of Table III.
+const srcDjango = `
+def render_row(tmpl, ctx, keys):
+    out = tmpl
+    for k in keys:
+        out = out.replace("{" + k + "}", ctx[k])
+    return out
+
+def main():
+    tmpl = "<tr><td>{name}</td><td>{value}</td><td>{status}</td></tr>"
+    keys = ["name", "value", "status"]
+    rows = []
+    check = 0
+    for i in range(700):
+        ctx = {}
+        ctx["name"] = "item" + str(i)
+        ctx["value"] = str(i * i % 9973)
+        if i % 3 == 0:
+            ctx["status"] = "ok"
+        else:
+            ctx["status"] = "pending"
+        row = render_row(tmpl, ctx, keys)
+        rows.append(row)
+        check += len(row)
+    page = "".join(rows)
+    return len(page) * 1000 + check % 1000
+`
+
+// spitfire_cstringio: template engine compiled to string-buffer appends
+// (rbuilder.ll_append / ll_join profile).
+const srcSpitfire = `
+def render_table(rows, cols):
+    buf = []
+    buf.append("<table>")
+    for i in range(rows):
+        buf.append("<tr>")
+        for j in range(cols):
+            buf.append("<td>")
+            buf.append(str(i * cols + j))
+            buf.append("</td>")
+        buf.append("</tr>")
+    buf.append("</table>")
+    return "".join(buf)
+
+def main():
+    check = 0
+    for it in range(25):
+        s = render_table(50, 10)
+        check = (check + len(s) + ord(s[it % len(s)])) % 1000000007
+    return check
+`
+
+// raytrace_simple: a small sphere raytracer (vector class, sqrt, method
+// calls).
+const srcRaytrace = `
+class Vec:
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def add(self, o):
+        return Vec(self.x + o.x, self.y + o.y, self.z + o.z)
+
+    def sub(self, o):
+        return Vec(self.x - o.x, self.y - o.y, self.z - o.z)
+
+    def scale(self, k):
+        return Vec(self.x * k, self.y * k, self.z * k)
+
+    def dot(self, o):
+        return self.x * o.x + self.y * o.y + self.z * o.z
+
+class Sphere:
+    def __init__(self, center, radius):
+        self.center = center
+        self.radius = radius
+
+    def intersect(self, orig, dir):
+        oc = orig.sub(self.center)
+        b = oc.dot(dir)
+        c = oc.dot(oc) - self.radius * self.radius
+        disc = b * b - c
+        if disc < 0.0:
+            return -1.0
+        t = 0.0 - b - sqrt(disc)
+        if t < 0.0:
+            return -1.0
+        return t
+
+def main():
+    spheres = []
+    spheres.append(Sphere(Vec(0.0, 0.0, 5.0), 1.0))
+    spheres.append(Sphere(Vec(1.5, 0.5, 6.0), 0.7))
+    spheres.append(Sphere(Vec(-1.2, -0.4, 4.5), 0.5))
+    width = 48
+    height = 48
+    hits = 0
+    shade = 0.0
+    orig = Vec(0.0, 0.0, 0.0)
+    for py in range(height):
+        for px in range(width):
+            dx = (px - width // 2) / 24.0
+            dy = (py - height // 2) / 24.0
+            d = Vec(dx, dy, 1.0)
+            norm = sqrt(d.dot(d))
+            dir = d.scale(1.0 / norm)
+            best = 1000000.0
+            found = False
+            for s in spheres:
+                t = s.intersect(orig, dir)
+                if t > 0.0 and t < best:
+                    best = t
+                    found = True
+            if found:
+                hits += 1
+                p = dir.scale(best)
+                shade += p.dot(p)
+    return hits * 1000 + int(shade)
+`
+
+// hexiom2: puzzle-solver-style search (lists, branchy recursion).
+const srcHexiom = `
+def valid_moves(board, n):
+    moves = []
+    for i in range(n):
+        if board[i] == 0:
+            moves.append(i)
+    return moves
+
+def score(board, n):
+    s = 0
+    for i in range(n):
+        v = board[i]
+        if v == 0:
+            continue
+        left = 0
+        if i > 0:
+            left = board[i - 1]
+        right = 0
+        if i < n - 1:
+            right = board[i + 1]
+        if left == v or right == v:
+            s += v
+        else:
+            s -= 1
+    return s
+
+def solve(board, n, depth, best):
+    if depth == 0:
+        sc = score(board, n)
+        if sc > best:
+            return sc
+        return best
+    moves = valid_moves(board, n)
+    for mv in moves:
+        board[mv] = depth
+        r = solve(board, n, depth - 1, best)
+        if r > best:
+            best = r
+        board[mv] = 0
+    return best
+
+def main():
+    n = 9
+    total = 0
+    for round in range(6):
+        board = []
+        for i in range(n):
+            board.append(0)
+        board[round % n] = 9
+        total += solve(board, n, 4, -100)
+    return total
+`
+
+// float: the PyPy suite's float benchmark — point allocation + float
+// methods in a hot loop (escape-analysis showcase).
+const srcFloat = `
+class Point:
+    def __init__(self, i):
+        self.x = sin_approx(i)
+        self.y = cos_approx(i) * 2.0
+        self.z = 0.0
+
+    def normalize(self):
+        norm = sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+        self.x = self.x / norm
+        self.y = self.y / norm
+        self.z = self.z / norm
+
+    def maximize(self, other):
+        if other.x > self.x:
+            self.x = other.x
+        if other.y > self.y:
+            self.y = other.y
+        if other.z > self.z:
+            self.z = other.z
+        return self
+
+def sin_approx(i):
+    x = i * 0.1
+    x = x - int(x / 6.283185) * 6.283185
+    return x - x * x * x / 6.0 + x * x * x * x * x / 120.0
+
+def cos_approx(i):
+    x = i * 0.1
+    x = x - int(x / 6.283185) * 6.283185
+    return 1.0 - x * x / 2.0 + x * x * x * x / 24.0
+
+def benchmark(n):
+    points = []
+    for i in range(n):
+        p = Point(i)
+        p.z = p.x + p.y
+        p.normalize()
+        points.append(p)
+    m = points[0]
+    for p in points:
+        m = m.maximize(p)
+    return m
+
+def main():
+    m = benchmark(4000)
+    return int(m.x * 1000.0) + int(m.y * 100.0) + int(m.z * 10.0)
+`
+
+// ai: n-queens solver (recursion, list mutation, branchy).
+const srcAI = `
+def ok(queens, row, col):
+    i = 0
+    for qcol in queens:
+        if qcol == col:
+            return False
+        if qcol - col == row - i:
+            return False
+        if col - qcol == row - i:
+            return False
+        i += 1
+    return True
+
+def solve(queens, n):
+    row = len(queens)
+    if row == n:
+        return 1
+    count = 0
+    for col in range(n):
+        if ok(queens, row, col):
+            queens.append(col)
+            count += solve(queens, n)
+            queens.pop()
+    return count
+
+def main():
+    total = 0
+    for i in range(3):
+        total += solve([], 7)
+    return total
+`
+
+// fannkuch: permutation flipping with setslice (IntegerListStrategy
+// profile from Table III).
+const srcFannkuch = `
+def fannkuch(n):
+    perm1 = []
+    for i in range(n):
+        perm1.append(i)
+    count = []
+    for i in range(n):
+        count.append(0)
+    max_flips = 0
+    checksum = 0
+    r = n
+    sign = 1
+    while True:
+        if perm1[0] != 0:
+            perm = perm1[0:n]
+            flips = 0
+            k = perm[0]
+            while k != 0:
+                lo = 0
+                hi = k
+                while lo < hi:
+                    t = perm[lo]
+                    perm[lo] = perm[hi]
+                    perm[hi] = t
+                    lo += 1
+                    hi -= 1
+                flips += 1
+                k = perm[0]
+            if flips > max_flips:
+                max_flips = flips
+            checksum += sign * flips
+        sign = -sign
+        i = 1
+        while True:
+            if i >= n:
+                return max_flips * 1000000 + checksum % 1000
+            first = perm1[0]
+            j = 0
+            while j < i:
+                perm1[j] = perm1[j + 1]
+                j += 1
+            perm1[i] = first
+            count[i] += 1
+            if count[i] <= i:
+                break
+            count[i] = 0
+            i += 1
+
+def main():
+    return fannkuch(7)
+`
+
+// json_bench: serialize nested data to JSON via string escaping
+// (_pypyjson profile).
+const srcJSON = `
+def escape(s):
+    out = ['"']
+    for ch in s:
+        if ch == '"':
+            out.append('\\"')
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+def encode_value(v):
+    return str(v)
+
+def encode_obj(names, vals):
+    parts = []
+    i = 0
+    for nm in names:
+        parts.append(escape(nm) + ":" + encode_value(vals[i]))
+        i += 1
+    return "{" + ",".join(parts) + "}"
+
+def main():
+    names = ["id", "count", "score", "flag"]
+    out = []
+    for i in range(800):
+        vals = [i, i * 3 % 97, i * i % 1009, i % 2]
+        out.append(encode_obj(names, vals))
+    doc = "[" + ",".join(out) + "]"
+    return len(doc) * 100 + ord(doc[777])
+`
+
+// meteor_contest: board-filling with set difference/subset operations
+// (BytesSetStrategy profile).
+const srcMeteor = `
+def make_set(items):
+    s = {}
+    for x in items:
+        s[x] = True
+    return s
+
+def difference(a, b):
+    out = {}
+    for k in a:
+        if not (k in b):
+            out[k] = True
+    return out
+
+def issubset(a, b):
+    for k in a:
+        if not (k in b):
+            return False
+    return True
+
+def main():
+    full = []
+    for i in range(50):
+        full.append(i)
+    board = make_set(full)
+    pieces = []
+    for p in range(10):
+        cells = []
+        for j in range(5):
+            cells.append((p * 7 + j * 3) % 50)
+        pieces.append(make_set(cells))
+    placed = 0
+    check = 0
+    for it in range(300):
+        free = board
+        for p in pieces:
+            if issubset(p, free):
+                free = difference(free, p)
+                placed += 1
+        check += len(free)
+    return placed * 1000 + check % 1000
+`
+
+// nbody: planetary simulation with pow() as the dominant AOT call
+// (nbody_modified in the paper uses pow(d, -1.5)).
+const srcNbody = `
+def advance(xs, ys, zs, vxs, vys, vzs, ms, dt, n):
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            dz = zs[i] - zs[j]
+            d2 = dx * dx + dy * dy + dz * dz
+            mag = dt * pow(d2, -1.5)
+            mi = ms[i] * mag
+            mj = ms[j] * mag
+            vxs[i] -= dx * mj
+            vys[i] -= dy * mj
+            vzs[i] -= dz * mj
+            vxs[j] += dx * mi
+            vys[j] += dy * mi
+            vzs[j] += dz * mi
+    for i in range(n):
+        xs[i] += dt * vxs[i]
+        ys[i] += dt * vys[i]
+        zs[i] += dt * vzs[i]
+
+def energy(xs, ys, zs, vxs, vys, vzs, ms, n):
+    e = 0.0
+    for i in range(n):
+        e += 0.5 * ms[i] * (vxs[i] * vxs[i] + vys[i] * vys[i] + vzs[i] * vzs[i])
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            dz = zs[i] - zs[j]
+            e -= ms[i] * ms[j] / sqrt(dx * dx + dy * dy + dz * dz)
+    return e
+
+def main():
+    n = 5
+    xs = [0.0, 4.84143144246472090, 8.34336671824457987, 12.894369562139131, 15.379697114850917]
+    ys = [0.0, -1.16032004402742839, 4.12479856412430479, -15.111151401698631, -25.919314609987964]
+    zs = [0.0, -0.103622044471123109, -0.403523417114321381, -0.223307578892655734, 0.179258772950371181]
+    vxs = [0.0, 0.00166007664274403694, -0.00276742510726862411, 0.00296460137564761618, 0.00288930532531037084]
+    vys = [0.0, 0.00769901118419740425, 0.00499852801234917238, 0.00237847173959480950, 0.00114714441179217817]
+    vzs = [0.0, -0.0000690460016972063023, 0.0000230417297573763929, -0.0000296589568540237556, -0.000039021756012039]
+    ms = [39.47841760435743, 0.03769367487038949, 0.011286326131968767, 0.0017237240570597112, 0.00020336868699246304]
+    for it in range(600):
+        advance(xs, ys, zs, vxs, vys, vzs, ms, 0.01, n)
+    e = energy(xs, ys, zs, vxs, vys, vzs, ms, n)
+    return int(e * 1000000.0)
+`
+
+// pidigits: the bigint spigot algorithm — rbigint.add/divmod/lshift/mul
+// dominate (Table III).
+const srcPidigits = `
+def main():
+    ndigits = 120
+    i = 0
+    k = 0
+    ns = 0
+    a = 0
+    t = 0
+    u = 0
+    k1 = 1
+    n = 1
+    d = 1
+    check = 0
+    while i < ndigits:
+        k += 1
+        t = n << 1
+        n = n * k
+        a = a + t
+        k1 += 2
+        a = a * k1
+        d = d * k1
+        if a >= n:
+            q, r = divmod(n * 3 + a, d)
+            u = r + n
+            if d > u:
+                ns = ns * 10 + q
+                i += 1
+                if i % 10 == 0:
+                    check = (check * 31 + ns) % 1000000007
+                    ns = 0
+                a = (a - d * q) * 10
+                n = n * 10
+    return check
+`

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryDefineIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Define("app.request_start")
+	b := r.Define("app.request_start")
+	if a != b {
+		t.Fatalf("Define not idempotent: %v vs %v", a, b)
+	}
+	c := r.Define("app.request_end")
+	if c == a {
+		t.Fatalf("distinct names share a tag: %v", c)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Define("b")
+	r.Define("a")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v, want [a b] sorted", names)
+	}
+}
+
+func TestRegistryNameLookup(t *testing.T) {
+	r := NewRegistry()
+	tg := r.Define("custom")
+	if got := r.Name(tg); got != "custom" {
+		t.Errorf("Name(custom tag) = %q", got)
+	}
+	if got := r.Name(TagDispatch); got != "dispatch" {
+		t.Errorf("Name(TagDispatch) = %q, want dispatch", got)
+	}
+	if got := r.Name(Tag(9999)); got != "tag<9999>" {
+		t.Errorf("Name(unknown) = %q", got)
+	}
+}
+
+func TestBuiltinTagsAllNamed(t *testing.T) {
+	r := NewRegistry()
+	for tg := TagDispatch; tg < tagFirstDynamic; tg++ {
+		name := r.Name(tg)
+		if name == fmt.Sprintf("tag<%d>", tg) {
+			t.Errorf("built-in tag %d has no name", tg)
+		}
+	}
+}
+
+func TestDynamicTagsDoNotCollideWithBuiltins(t *testing.T) {
+	r := NewRegistry()
+	f := func(n uint8) bool {
+		tg := r.Define(fmt.Sprintf("t%d", n))
+		return tg >= tagFirstDynamic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseInterp:    "interp",
+		PhaseTracing:   "tracing",
+		PhaseJIT:       "jit",
+		PhaseJITCall:   "jit_call",
+		PhaseGC:        "gc",
+		PhaseBlackhole: "blackhole",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Phase(200).String() != "unknown" {
+		t.Errorf("out-of-range phase should be unknown")
+	}
+}
+
+func TestAllPhases(t *testing.T) {
+	ps := AllPhases()
+	if len(ps) != int(NumPhases) {
+		t.Fatalf("AllPhases() has %d entries, want %d", len(ps), NumPhases)
+	}
+	for i, p := range ps {
+		if int(p) != i {
+			t.Errorf("AllPhases()[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestObserverFunc(t *testing.T) {
+	var got Annotation
+	var o Observer = ObserverFunc(func(a Annotation, instrs, cycles uint64) { got = a })
+	o.OnAnnotation(Annotation{Tag: TagJITEnter, Arg: 7}, 1, 2)
+	if got.Tag != TagJITEnter || got.Arg != 7 {
+		t.Fatalf("ObserverFunc did not pass through annotation: %+v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+// Built-in tags. These are the framework-level and interpreter-level
+// annotation points the paper inserts into RPython (Section IV): phase
+// boundaries (tracing, JIT execution, calls to AOT-compiled functions from
+// JIT code, garbage collection, blackhole deoptimization), the
+// dispatch-loop tick used as the layer-independent measure of work, and the
+// JIT-IR bookkeeping annotations used to connect traces, IR nodes, and
+// assembly instructions.
+//
+// Tags below tagFirstDynamic are reserved; application-level tags are
+// allocated from a Registry.
+const (
+	// TagNone is the zero Tag and is never emitted.
+	TagNone Tag = iota
+
+	// TagDispatch marks the top of the interpreter dispatch loop: one
+	// annotation per guest bytecode, regardless of whether the plain
+	// interpreter, the tracing meta-interpreter, or (via trace entry
+	// bookkeeping) JIT-compiled code is doing the work. Arg carries the
+	// number of guest bytecodes this tick represents (1 from the
+	// interpreter; a trace reports its bytecode length on entry so that
+	// the work meter stays exact without per-bytecode annotations in
+	// compiled code).
+	TagDispatch
+
+	// Phase-boundary annotations. Enter/Leave pairs bracket framework
+	// activities; the PhaseTracker tool reconstructs a phase stack from
+	// them (GC can interrupt any phase, blackhole interrupts JIT, etc.).
+	TagTraceStart     // meta-interpreter begins recording (Arg: green key hash)
+	TagTraceEnd       // recording + optimize + assemble finished (Arg: trace ID)
+	TagTraceAbort     // recording aborted (Arg: abort reason code)
+	TagJITEnter       // execution enters JIT-compiled code (Arg: trace ID)
+	TagJITLeave       // execution leaves JIT-compiled code back to interp
+	TagAOTCallEnter   // JIT code calls an AOT-compiled function (Arg: func ID)
+	TagAOTCallLeave   // AOT-compiled function returns to JIT code
+	TagGCMinorStart   // minor (nursery) collection begins
+	TagGCMinorEnd     // minor collection ends (Arg: bytes promoted)
+	TagGCMajorStart   // major collection begins
+	TagGCMajorEnd     // major collection ends (Arg: bytes live)
+	TagBlackholeEnter // guard failure: blackhole deoptimization begins (Arg: guard ID)
+	TagBlackholeLeave // interpreter state reconstructed
+
+	// JIT-IR-level annotations.
+	TagTraceCompiled // a trace or bridge was installed (Arg: trace ID)
+	TagGuardFail     // a guard failed (Arg: global guard ID)
+	TagBridgeEnter   // execution transferred through a bridge (Arg: bridge trace ID)
+
+	// tagFirstDynamic is the first tag available to Registry.Define.
+	tagFirstDynamic
+)
+
+var builtinTagNames = map[Tag]string{
+	TagDispatch:       "dispatch",
+	TagTraceStart:     "trace_start",
+	TagTraceEnd:       "trace_end",
+	TagTraceAbort:     "trace_abort",
+	TagJITEnter:       "jit_enter",
+	TagJITLeave:       "jit_leave",
+	TagAOTCallEnter:   "aot_call_enter",
+	TagAOTCallLeave:   "aot_call_leave",
+	TagGCMinorStart:   "gc_minor_start",
+	TagGCMinorEnd:     "gc_minor_end",
+	TagGCMajorStart:   "gc_major_start",
+	TagGCMajorEnd:     "gc_major_end",
+	TagBlackholeEnter: "blackhole_enter",
+	TagBlackholeLeave: "blackhole_leave",
+	TagTraceCompiled:  "trace_compiled",
+	TagGuardFail:      "guard_fail",
+	TagBridgeEnter:    "bridge_enter",
+}
+
+// Phase is the framework-level execution phase taxonomy of Section V-B:
+// every cycle of a meta-tracing VM's execution belongs to exactly one of
+// these phases.
+type Phase uint8
+
+// The phases of meta-tracing execution (Figure 2 of the paper).
+const (
+	PhaseInterp    Phase = iota // plain interpreter execution
+	PhaseTracing                // meta-interpreter recording + optimize + assemble
+	PhaseJIT                    // JIT-compiled trace execution
+	PhaseJITCall                // AOT-compiled functions called from JIT code
+	PhaseGC                     // minor + major garbage collection
+	PhaseBlackhole              // deoptimization via the blackhole interpreter
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"interp", "tracing", "jit", "jit_call", "gc", "blackhole",
+}
+
+// String returns the phase's short name as used in figures.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// AllPhases lists phases in presentation order.
+func AllPhases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package cpu
+
+// cache is a direct-mapped cache model tracking only hit/miss (no data).
+type cache struct {
+	tags  []uint64
+	valid []bool
+	sets  uint64
+	shift uint
+}
+
+func newCache(size, line int) *cache {
+	sets := size / line
+	sh := uint(0)
+	for 1<<sh < line {
+		sh++
+	}
+	return &cache{
+		tags:  make([]uint64, sets),
+		valid: make([]bool, sets),
+		sets:  uint64(sets),
+		shift: sh,
+	}
+}
+
+// access touches addr and reports whether it hit.
+func (c *cache) access(addr uint64) (hit bool) {
+	block := addr >> c.shift
+	idx := block % c.sets
+	if c.valid[idx] && c.tags[idx] == block {
+		return true
+	}
+	c.valid[idx] = true
+	c.tags[idx] = block
+	return false
+}

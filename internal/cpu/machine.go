@@ -1,0 +1,295 @@
+package cpu
+
+import (
+	"metajit/internal/core"
+	"metajit/internal/isa"
+)
+
+// Counters holds retired-instruction and event counts for one accounting
+// domain (one phase, or the whole run).
+type Counters struct {
+	Instrs      uint64
+	Cycles      float64
+	CondBr      uint64
+	CondMiss    uint64
+	IndBr       uint64
+	IndMiss     uint64
+	Returns     uint64
+	RetMiss     uint64
+	Loads       uint64
+	Stores      uint64
+	L1Miss      uint64
+	L2Miss      uint64
+	ClassCounts [isa.NumClasses]uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Instrs += o.Instrs
+	c.Cycles += o.Cycles
+	c.CondBr += o.CondBr
+	c.CondMiss += o.CondMiss
+	c.IndBr += o.IndBr
+	c.IndMiss += o.IndMiss
+	c.Returns += o.Returns
+	c.RetMiss += o.RetMiss
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.L1Miss += o.L1Miss
+	c.L2Miss += o.L2Miss
+	for i := range c.ClassCounts {
+		c.ClassCounts[i] += o.ClassCounts[i]
+	}
+}
+
+// IPC returns retired instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / c.Cycles
+}
+
+// Branches returns the total predicted-control-flow events (conditional +
+// indirect + returns).
+func (c Counters) Branches() uint64 { return c.CondBr + c.IndBr + c.Returns }
+
+// Mispredicts returns total branch mispredictions.
+func (c Counters) Mispredicts() uint64 { return c.CondMiss + c.IndMiss + c.RetMiss }
+
+// BranchRate returns branches per instruction.
+func (c Counters) BranchRate() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return float64(c.Branches()) / float64(c.Instrs)
+}
+
+// MissRate returns the fraction of branches mispredicted.
+func (c Counters) MissRate() float64 {
+	if b := c.Branches(); b != 0 {
+		return float64(c.Mispredicts()) / float64(b)
+	}
+	return 0
+}
+
+// MPKI returns branch mispredictions per thousand instructions, the metric
+// reported in Table I.
+func (c Counters) MPKI() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return float64(c.Mispredicts()) / float64(c.Instrs) * 1000
+}
+
+// Machine is the simulated core. It implements isa.Stream; all simulated
+// components of the VM stack emit into one Machine so that predictor and
+// cache state is shared across layers, exactly as on real hardware.
+type Machine struct {
+	p Params
+
+	phase   core.Phase
+	byPhase [core.NumPhases]Counters
+
+	bp  *gshare
+	btb *btb
+	ras *ras
+	l1  *cache
+	l2  *cache
+
+	observers []core.Observer
+	registry  *core.Registry
+}
+
+var _ isa.Stream = (*Machine)(nil)
+
+// New returns a Machine with the given parameters.
+func New(p Params) *Machine {
+	return &Machine{
+		p:        p,
+		bp:       newGShare(p.GShareBits, p.HistoryBits),
+		btb:      newBTB(p.BTBBits),
+		ras:      newRAS(p.RASDepth),
+		l1:       newCache(p.L1Size, p.L1Line),
+		l2:       newCache(p.L2Size, p.L2Line),
+		registry: core.NewRegistry(),
+	}
+}
+
+// NewDefault returns a Machine with DefaultParams.
+func NewDefault() *Machine { return New(DefaultParams()) }
+
+// Registry returns the machine's cross-layer tag registry.
+func (m *Machine) Registry() *core.Registry { return m.registry }
+
+// Observe registers an annotation interceptor (a "PinTool").
+func (m *Machine) Observe(o core.Observer) { m.observers = append(m.observers, o) }
+
+// SetPhase switches the accounting domain for subsequently retired
+// instructions. It is typically called by a phase-tracking observer in
+// response to phase-boundary annotations.
+func (m *Machine) SetPhase(p core.Phase) { m.phase = p }
+
+// Phase returns the current accounting phase.
+func (m *Machine) Phase() core.Phase { return m.phase }
+
+// PhaseCounters returns the accumulated counters of one phase.
+func (m *Machine) PhaseCounters(p core.Phase) Counters { return m.byPhase[p] }
+
+// Total returns counters summed over all phases.
+func (m *Machine) Total() Counters {
+	var t Counters
+	for i := range m.byPhase {
+		t.Add(m.byPhase[i])
+	}
+	return t
+}
+
+// TotalInstrs returns total retired instructions (cheap, for sampling).
+func (m *Machine) TotalInstrs() uint64 {
+	var t uint64
+	for i := range m.byPhase {
+		t += m.byPhase[i].Instrs
+	}
+	return t
+}
+
+// TotalCycles returns total elapsed cycles.
+func (m *Machine) TotalCycles() float64 {
+	var t float64
+	for i := range m.byPhase {
+		t += m.byPhase[i].Cycles
+	}
+	return t
+}
+
+// Ops implements isa.Stream.
+func (m *Machine) Ops(c isa.Class, n int) {
+	d := &m.byPhase[m.phase]
+	d.Instrs += uint64(n)
+	d.ClassCounts[c] += uint64(n)
+	d.Cycles += m.p.IssueCost[c] * float64(n)
+}
+
+// Load implements isa.Stream.
+func (m *Machine) Load(addr uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Load]++
+	d.Loads++
+	cyc := m.p.IssueCost[isa.Load] + m.p.LoadUseStall
+	if !m.l1.access(addr) {
+		d.L1Miss++
+		if m.l2.access(addr) {
+			cyc += m.p.L1MissPenalty
+		} else {
+			d.L2Miss++
+			cyc += m.p.L1MissPenalty + m.p.L2MissPenalty
+		}
+	}
+	d.Cycles += cyc
+}
+
+// Store implements isa.Stream.
+func (m *Machine) Store(addr uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Store]++
+	d.Stores++
+	cyc := m.p.IssueCost[isa.Store]
+	if !m.l1.access(addr) {
+		d.L1Miss++
+		if m.l2.access(addr) {
+			cyc += m.p.L1MissPenalty * 0.5 // store misses are mostly hidden
+		} else {
+			d.L2Miss++
+			cyc += m.p.L2MissPenalty * 0.5
+		}
+	}
+	d.Cycles += cyc
+}
+
+// Branch implements isa.Stream.
+func (m *Machine) Branch(pc uint64, taken bool) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Branch]++
+	d.CondBr++
+	cyc := m.p.IssueCost[isa.Branch]
+	if !m.bp.predict(pc, taken) {
+		d.CondMiss++
+		cyc += m.p.MispredictPenalty
+	}
+	d.Cycles += cyc
+}
+
+// Indirect implements isa.Stream.
+func (m *Machine) Indirect(pc, target uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.IndirectJump]++
+	d.IndBr++
+	cyc := m.p.IssueCost[isa.IndirectJump]
+	if !m.btb.predict(pc, target) {
+		d.IndMiss++
+		cyc += m.p.MispredictPenalty
+	}
+	d.Cycles += cyc
+}
+
+// CallDirect implements isa.Stream.
+func (m *Machine) CallDirect(pc uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Call]++
+	d.Cycles += m.p.IssueCost[isa.Call]
+	m.ras.push(pc + 4)
+}
+
+// CallIndirect implements isa.Stream.
+func (m *Machine) CallIndirect(pc, target uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.IndirectCall]++
+	d.IndBr++
+	cyc := m.p.IssueCost[isa.IndirectCall]
+	if !m.btb.predict(pc, target) {
+		d.IndMiss++
+		cyc += m.p.MispredictPenalty
+	}
+	d.Cycles += cyc
+	m.ras.push(pc + 4)
+}
+
+// Return implements isa.Stream.
+func (m *Machine) Return() {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Ret]++
+	d.Returns++
+	cyc := m.p.IssueCost[isa.Ret]
+	if !m.ras.pop() {
+		d.RetMiss++
+		cyc += m.p.MispredictPenalty
+	}
+	d.Cycles += cyc
+}
+
+// Annot implements isa.Stream: retires a tagged nop and dispatches it to
+// every registered observer with the machine's current instruction and
+// cycle totals.
+func (m *Machine) Annot(tag core.Tag, arg uint64) {
+	d := &m.byPhase[m.phase]
+	d.Instrs++
+	d.ClassCounts[isa.Nop]++
+	d.Cycles += m.p.IssueCost[isa.Nop]
+	if len(m.observers) == 0 {
+		return
+	}
+	a := core.Annotation{Tag: tag, Arg: arg}
+	instrs := m.TotalInstrs()
+	cycles := uint64(m.TotalCycles())
+	for _, o := range m.observers {
+		o.OnAnnotation(a, instrs, cycles)
+	}
+}

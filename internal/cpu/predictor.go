@@ -1,0 +1,112 @@
+package cpu
+
+// gshare is a global-history two-bit-counter conditional branch predictor.
+// When bits == 0 it degrades to static predict-not-taken.
+type gshare struct {
+	table   []uint8 // 2-bit saturating counters
+	history uint64
+	mask    uint64
+	hmask   uint64
+	static_ bool
+}
+
+func newGShare(bits, history uint) *gshare {
+	g := &gshare{}
+	if bits == 0 {
+		g.static_ = true
+		return g
+	}
+	g.table = make([]uint8, 1<<bits)
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	g.mask = uint64(len(g.table) - 1)
+	g.hmask = (1 << history) - 1
+	return g
+}
+
+// predict returns the prediction for the branch at pc and updates state
+// with the actual outcome, reporting whether the prediction was correct.
+func (g *gshare) predict(pc uint64, taken bool) (correct bool) {
+	if g.static_ {
+		return !taken
+	}
+	idx := ((pc >> 2) ^ g.history) & g.mask
+	ctr := g.table[idx]
+	pred := ctr >= 2
+	if taken {
+		if ctr < 3 {
+			g.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.hmask
+	return pred == taken
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btb is a direct-mapped branch target buffer predicting indirect-branch
+// targets by last target seen.
+type btb struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+}
+
+func newBTB(bits uint) *btb {
+	n := 1 << bits
+	return &btb{
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// predict looks up pc, reports whether the stored target matches the actual
+// target, and updates the entry.
+func (b *btb) predict(pc, target uint64) (correct bool) {
+	idx := (pc >> 2) & b.mask
+	correct = b.tags[idx] == pc && b.targets[idx] == target
+	b.tags[idx] = pc
+	b.targets[idx] = target
+	return correct
+}
+
+// ras is a return-address stack. Calls push a synthetic return address;
+// returns pop and are predicted correctly if the stack has not overflowed
+// past the matching entry.
+type ras struct {
+	stack []uint64
+	depth int
+}
+
+func newRAS(depth int) *ras {
+	return &ras{stack: make([]uint64, 0, depth), depth: depth}
+}
+
+func (r *ras) push(addr uint64) {
+	if len(r.stack) == r.depth {
+		// Overflow: discard the oldest entry.
+		copy(r.stack, r.stack[1:])
+		r.stack = r.stack[:len(r.stack)-1]
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// pop returns whether the return was predicted (stack non-empty). Deep
+// recursion past RASDepth shows up as return mispredictions, as on real
+// hardware.
+func (r *ras) pop() (correct bool) {
+	if len(r.stack) == 0 {
+		return false
+	}
+	r.stack = r.stack[:len(r.stack)-1]
+	return true
+}

@@ -1,0 +1,467 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"metajit/internal/bench"
+	"metajit/internal/core"
+	"metajit/internal/mtjit"
+)
+
+// Table1 reproduces Table I: PyPy-suite performance of the reference
+// interpreter, the framework interpreter without JIT, and with JIT —
+// time, speedup vs the reference, IPC, and branch MPKI.
+func Table1(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: PyPy Benchmark Suite Performance (simulated; t in Mcycles)\n")
+	fmt.Fprintf(&sb, "%-20s %10s %6s %6s | %10s %6s %6s %6s | %10s %6s %6s %6s\n",
+		"Benchmark", "CPy t", "IPC", "MPKI", "noJIT t", "vC", "IPC", "MPKI", "JIT t", "vC", "IPC", "MPKI")
+	type row struct {
+		name    string
+		text    string
+		speedup float64
+	}
+	var rows []row
+	for i := range progs {
+		p := &progs[i]
+		rc := MustRun(p, VMCPython, Options{})
+		rn := MustRun(p, VMPyPyNoJIT, Options{})
+		rj := MustRun(p, VMPyPyJIT, Options{})
+		if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum {
+			panic(fmt.Sprintf("checksum mismatch on %s: %d/%d/%d",
+				p.Name, rc.Checksum, rn.Checksum, rj.Checksum))
+		}
+		sp := rc.Cycles / rj.Cycles
+		text := fmt.Sprintf("%-20s %10.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f",
+			p.Name,
+			rc.Cycles/1e6, rc.Total.IPC(), rc.Total.MPKI(),
+			rn.Cycles/1e6, rc.Cycles/rn.Cycles, rn.Total.IPC(), rn.Total.MPKI(),
+			rj.Cycles/1e6, sp, rj.Total.IPC(), rj.Total.MPKI())
+		rows = append(rows, row{name: p.Name, text: text, speedup: sp})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
+	for _, r := range rows {
+		sb.WriteString(r.text)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Table2 reproduces Table II: CLBG times across CPython, PyPy, Racket,
+// Pycket, and statically compiled C analogs.
+func Table2(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table II: CLBG Performance (simulated Mcycles; '-' = not supported, as with Pycket in the paper)\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s\n",
+		"Benchmark", "C", "CPython", "PyPy", "Racket", "Pycket")
+	for i := range progs {
+		p := &progs[i]
+		cell := func(kind VMKind) string {
+			if kind == VMC && !p.Static {
+				return "-"
+			}
+			if (kind == VMRacket || kind == VMPycket) && p.SkSource == "" {
+				return "-"
+			}
+			r := MustRun(p, kind, Options{})
+			return fmt.Sprintf("%.2f", r.Cycles/1e6)
+		}
+		fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s\n",
+			p.Name, cell(VMC), cell(VMCPython), cell(VMPyPyJIT), cell(VMRacket), cell(VMPycket))
+	}
+	return sb.String()
+}
+
+// Fig2 reproduces Figure 2: execution-time breakdown by framework phase
+// for the PyPy suite under the meta-tracing JIT.
+func Fig2(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 2: Phase breakdown (%% of instructions, PyPy with JIT)\n")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole")
+	for i := range progs {
+		p := &progs[i]
+		r := MustRun(p, VMPyPyJIT, Options{})
+		fmt.Fprintf(&sb, "%-20s", p.Name)
+		for _, ph := range core.AllPhases() {
+			fmt.Fprintf(&sb, " %7.1f%%", 100*r.PhaseFraction(ph))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig3 reproduces Figure 3: phase timeline over execution for a
+// fast-warming and a slow-warming benchmark.
+func Fig3(fast, slow string) string {
+	var sb strings.Builder
+	for _, name := range []string{fast, slow} {
+		p := bench.ByName(name)
+		r := MustRun(p, VMPyPyJIT, Options{SampleInterval: 2_000_00})
+		fmt.Fprintf(&sb, "Figure 3 (%s): per-interval dominant phase\n", name)
+		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole)")
+		var prev [core.NumPhases]uint64
+		for _, s := range r.Samples {
+			var deltas [core.NumPhases]uint64
+			var total uint64
+			for ph := range s.PhaseInstrs {
+				deltas[ph] = s.PhaseInstrs[ph] - prev[ph]
+				total += deltas[ph]
+				prev[ph] = s.PhaseInstrs[ph]
+			}
+			if total == 0 {
+				continue
+			}
+			bar := ""
+			letters := []byte{'I', 'T', 'J', 'C', 'G', 'B'}
+			for ph, d := range deltas {
+				n := int(40 * d / total)
+				bar += strings.Repeat(string(letters[ph]), n)
+			}
+			fmt.Fprintf(&sb, "%12d  %s\n", s.Instrs, bar)
+		}
+	}
+	return sb.String()
+}
+
+// Fig4 reproduces Figure 4: phase breakdown of PyPy vs Pycket on CLBG.
+func Fig4(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: Phase breakdown, PyPy vs Pycket (CLBG)\n")
+	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "VM", "interp", "tracing", "jit", "jitcall", "gc", "blkhole")
+	for i := range progs {
+		p := &progs[i]
+		for _, kind := range []VMKind{VMPyPyJIT, VMPycket} {
+			if kind == VMPycket && p.SkSource == "" {
+				continue
+			}
+			r := MustRun(p, kind, Options{})
+			fmt.Fprintf(&sb, "%-16s %-7s", p.Name, kind)
+			for _, ph := range core.AllPhases() {
+				fmt.Fprintf(&sb, " %7.1f%%", 100*r.PhaseFraction(ph))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// AOTEntry is one Table III row.
+type AOTEntry struct {
+	Bench   string
+	Percent float64
+	Src     string
+	Name    string
+}
+
+// Table3Data computes the significant AOT-compiled functions called from
+// meta-traces (>= minPercent of total execution).
+func Table3Data(progs []bench.Program, minPercent float64) []AOTEntry {
+	var out []AOTEntry
+	for i := range progs {
+		p := &progs[i]
+		r := MustRun(p, VMPyPyJIT, Options{})
+		for id, cyc := range r.AOT.CyclesByFunc {
+			pct := 100 * cyc / r.Cycles
+			if pct >= minPercent {
+				info := r.AOTNames[id]
+				out = append(out, AOTEntry{Bench: p.Name, Percent: pct, Src: info.Src, Name: info.Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Percent > out[j].Percent
+	})
+	return out
+}
+
+// Table3 renders Table III.
+func Table3(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table III: Significant AOT-compiled functions called from meta-traces (>=5%% of execution)\n")
+	fmt.Fprintf(&sb, "%-20s %6s %4s %s\n", "Benchmark", "%", "Src", "Function")
+	for _, e := range Table3Data(progs, 5) {
+		fmt.Fprintf(&sb, "%-20s %6.1f %4s %s\n", e.Bench, e.Percent, e.Src, e.Name)
+	}
+	return sb.String()
+}
+
+// WarmupData holds Figure 5's series for one benchmark.
+type WarmupData struct {
+	Bench string
+	// Points are (instrs, rate-normalized-to-CPython).
+	Instrs []uint64
+	Rate   []float64
+	// BreakEvenCPy / BreakEvenNoJIT: instruction counts where PyPy's
+	// cumulative bytecodes catch up with each baseline (0 = never in
+	// the window).
+	BreakEvenCPy   uint64
+	BreakEvenNoJIT uint64
+	// FinalSpeedup is the end-of-run cycle speedup over CPython.
+	FinalSpeedup float64
+}
+
+// Fig5Data computes warmup curves: bytecode execution rate of PyPy (with
+// JIT) normalized to the reference interpreter's steady rate, plus
+// break-even points (Section V-D).
+func Fig5Data(p *bench.Program, interval uint64) WarmupData {
+	rj := MustRun(p, VMPyPyJIT, Options{SampleInterval: interval})
+	rc := MustRun(p, VMCPython, Options{})
+	rn := MustRun(p, VMPyPyNoJIT, Options{})
+
+	cpyRate := float64(rc.Bytecodes) / float64(rc.Instrs)
+	nojitRate := float64(rn.Bytecodes) / float64(rn.Instrs)
+
+	w := WarmupData{Bench: p.Name, FinalSpeedup: rc.Cycles / rj.Cycles}
+	var prevI, prevB uint64
+	for _, s := range rj.Samples {
+		di := s.Instrs - prevI
+		db := s.Bytecodes - prevB
+		if di == 0 {
+			continue
+		}
+		rate := (float64(db) / float64(di)) / cpyRate
+		w.Instrs = append(w.Instrs, s.Instrs)
+		w.Rate = append(w.Rate, rate)
+		if w.BreakEvenCPy == 0 && float64(s.Bytecodes) >= cpyRate*float64(s.Instrs) {
+			w.BreakEvenCPy = s.Instrs
+		}
+		if w.BreakEvenNoJIT == 0 && float64(s.Bytecodes) >= nojitRate*float64(s.Instrs) {
+			w.BreakEvenNoJIT = s.Instrs
+		}
+		prevI, prevB = s.Instrs, s.Bytecodes
+	}
+	return w
+}
+
+// Fig5 renders warmup curves as text sparklines.
+func Fig5(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: PyPy warmup - bytecode rate normalized to CPython\n")
+	for i := range progs {
+		w := Fig5Data(&progs[i], 200_000)
+		fmt.Fprintf(&sb, "%-20s speedup %5.1fx  break-even: vs CPython @%s, vs noJIT @%s\n",
+			w.Bench, w.FinalSpeedup, fmtInstr(w.BreakEvenCPy), fmtInstr(w.BreakEvenNoJIT))
+		fmt.Fprintf(&sb, "%-20s |", "")
+		for _, r := range w.Rate {
+			sb.WriteByte(sparkChar(r))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+func fmtInstr(v uint64) string {
+	if v == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%.1fM", float64(v)/1e6)
+}
+
+func sparkChar(rate float64) byte {
+	levels := " .:-=+*#%@"
+	i := int(rate * 2)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(levels) {
+		i = len(levels) - 1
+	}
+	return levels[i]
+}
+
+// Fig6 reproduces Figure 6: IR nodes compiled, hot-node concentration,
+// and dynamic IR nodes per million instructions.
+func Fig6(progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6: JIT IR node compilation and execution statistics\n")
+	fmt.Fprintf(&sb, "%-20s %12s %16s %16s\n",
+		"Benchmark", "(a) compiled", "(b) hot95%% frac", "(c) nodes/1M instr")
+	for i := range progs {
+		p := &progs[i]
+		r := MustRun(p, VMPyPyJIT, Options{})
+		if r.Log == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-20s %12d %15.1f%% %16.0f\n",
+			p.Name,
+			r.Log.TotalIRNodes(),
+			100*r.Log.HotNodeFraction(0.95),
+			float64(r.Log.DynamicIRNodes())/(float64(r.Instrs)/1e6))
+	}
+	return sb.String()
+}
+
+// Fig7 reproduces Figure 7: IR node category breakdown per benchmark.
+func Fig7(progs []bench.Program) string {
+	var sb strings.Builder
+	cats := mtjit.AllCategories()
+	fmt.Fprintf(&sb, "Figure 7: dynamic IR node categories (%% of executed nodes)\n")
+	fmt.Fprintf(&sb, "%-20s", "Benchmark")
+	for _, c := range cats {
+		fmt.Fprintf(&sb, " %7s", c)
+	}
+	sb.WriteByte('\n')
+	totals := map[mtjit.Category]float64{}
+	n := 0
+	for i := range progs {
+		p := &progs[i]
+		r := MustRun(p, VMPyPyJIT, Options{})
+		if r.Log == nil {
+			continue
+		}
+		br := r.Log.CategoryBreakdown()
+		fmt.Fprintf(&sb, "%-20s", p.Name)
+		for _, c := range cats {
+			fmt.Fprintf(&sb, " %6.1f%%", 100*br[c])
+			totals[c] += br[c]
+		}
+		sb.WriteByte('\n')
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%-20s", "MEAN")
+		for _, c := range cats {
+			fmt.Fprintf(&sb, " %6.1f%%", 100*totals[c]/float64(n))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig8 reproduces Figure 8: the dynamic frequency histogram of IR node
+// types across the suite.
+func Fig8(progs []bench.Program) string {
+	counts := map[mtjit.Opcode]uint64{}
+	var total uint64
+	for i := range progs {
+		r := MustRun(&progs[i], VMPyPyJIT, Options{})
+		if r.Log == nil {
+			continue
+		}
+		for _, f := range r.Log.DynamicOpcodeHistogram() {
+			counts[f.Opc] += f.Count
+			total += f.Count
+		}
+	}
+	type kv struct {
+		opc mtjit.Opcode
+		n   uint64
+	}
+	var list []kv
+	for o, n := range counts {
+		list = append(list, kv{o, n})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8: dynamic frequency of IR node types (suite aggregate)\n")
+	for _, e := range list {
+		fmt.Fprintf(&sb, "%-22s %6.2f%%  %s\n", e.opc.Name(),
+			100*float64(e.n)/float64(total),
+			strings.Repeat("#", int(60*float64(e.n)/float64(total))))
+	}
+	return sb.String()
+}
+
+// Fig9 reproduces Figure 9: mean assembly instructions per IR node type.
+func Fig9(progs []bench.Program) string {
+	seen := map[mtjit.Opcode]float64{}
+	for i := range progs {
+		r := MustRun(&progs[i], VMPyPyJIT, Options{})
+		if r.Log == nil {
+			continue
+		}
+		for opc, asm := range r.Log.AsmPerOpcode() {
+			seen[opc] = asm
+		}
+	}
+	type kv struct {
+		opc mtjit.Opcode
+		asm float64
+	}
+	var list []kv
+	for o, a := range seen {
+		list = append(list, kv{o, a})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].asm > list[j].asm })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 9: assembly instructions per IR node type\n")
+	for _, e := range list {
+		fmt.Fprintf(&sb, "%-22s %5.1f  %s\n", e.opc.Name(), e.asm,
+			strings.Repeat("#", int(e.asm)))
+	}
+	return sb.String()
+}
+
+// Table4 reproduces Table IV: per-phase microarchitectural statistics
+// (mean and standard deviation over the suite).
+func Table4(progs []bench.Program) string {
+	type acc struct {
+		ipc, br, miss []float64
+	}
+	accs := map[core.Phase]*acc{}
+	for _, ph := range core.AllPhases() {
+		accs[ph] = &acc{}
+	}
+	for i := range progs {
+		r := MustRun(&progs[i], VMPyPyJIT, Options{})
+		for _, ph := range core.AllPhases() {
+			c := r.Phases[ph]
+			// The paper folds JIT calls into the JIT phase for this
+			// table.
+			if ph == core.PhaseJIT {
+				c.Add(r.Phases[core.PhaseJITCall])
+			}
+			if ph == core.PhaseJITCall {
+				continue
+			}
+			if c.Instrs < 10000 {
+				continue // too little data to be meaningful
+			}
+			a := accs[ph]
+			a.ipc = append(a.ipc, c.IPC())
+			a.br = append(a.br, c.BranchRate())
+			a.miss = append(a.miss, c.MissRate())
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table IV: per-phase microarchitectural statistics (mean +/- std over suite)\n")
+	fmt.Fprintf(&sb, "%-10s %16s %20s %18s\n", "Phase", "IPC", "branches/instr", "branch miss rate")
+	for _, ph := range core.AllPhases() {
+		if ph == core.PhaseJITCall {
+			continue
+		}
+		a := accs[ph]
+		if len(a.ipc) == 0 {
+			continue
+		}
+		m1, s1 := meanStd(a.ipc)
+		m2, s2 := meanStd(a.br)
+		m3, s3 := meanStd(a.miss)
+		fmt.Fprintf(&sb, "%-10s %8.2f +/-%5.2f %12.3f +/-%6.3f %10.3f +/-%6.3f\n",
+			ph, m1, s1, m2, s2, m3, s3)
+	}
+	return sb.String()
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"metajit/internal/bench"
+)
+
+// A small sub-corpus keeps formatter tests fast.
+func smallSuite() []bench.Program {
+	return []bench.Program{
+		*bench.ByName("telco"),
+		*bench.ByName("float"),
+	}
+}
+
+func TestTable1Format(t *testing.T) {
+	out := Table1(smallSuite())
+	if !strings.Contains(out, "telco") || !strings.Contains(out, "float") {
+		t.Fatalf("missing benchmarks:\n%s", out)
+	}
+	if !strings.Contains(out, "IPC") || !strings.Contains(out, "MPKI") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+	// Rows are sorted by speedup: float (numeric) should come first.
+	if strings.Index(out, "float") > strings.Index(out, "telco") {
+		t.Errorf("rows not sorted by speedup:\n%s", out)
+	}
+}
+
+func TestTable2Format(t *testing.T) {
+	progs := []bench.Program{*bench.ByName("nbody"), *bench.ByName("knucleotide")}
+	out := Table2(progs)
+	if !strings.Contains(out, "Pycket") || !strings.Contains(out, "Racket") {
+		t.Fatalf("missing VM columns:\n%s", out)
+	}
+	// knucleotide has no scheme port nor static kernel: dashes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "knucleotide") && !strings.Contains(line, "-") {
+			t.Errorf("expected '-' cells for knucleotide: %s", line)
+		}
+	}
+}
+
+func TestFig2AndFig7Format(t *testing.T) {
+	out := Fig2(smallSuite())
+	for _, col := range []string{"interp", "tracing", "jit", "gc", "blkhole"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("fig2 missing column %s", col)
+		}
+	}
+	out7 := Fig7(smallSuite())
+	if !strings.Contains(out7, "MEAN") || !strings.Contains(out7, "guard") {
+		t.Errorf("fig7 malformed:\n%s", out7)
+	}
+}
+
+func TestFig6Fig8Fig9Format(t *testing.T) {
+	suite := smallSuite()
+	if out := Fig6(suite); !strings.Contains(out, "hot95") {
+		t.Errorf("fig6 malformed:\n%s", out)
+	}
+	if out := Fig8(suite); !strings.Contains(out, "guard_class") {
+		t.Errorf("fig8 missing guard_class:\n%s", out)
+	}
+	out9 := Fig9(suite)
+	if !strings.Contains(out9, "jump") {
+		t.Errorf("fig9 missing jump:\n%s", out9)
+	}
+	// call_assembler must top Figure 9 when present; at minimum the
+	// first listed node has the largest footprint.
+	lines := strings.Split(strings.TrimSpace(out9), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("fig9 too short")
+	}
+}
+
+func TestTable4Format(t *testing.T) {
+	out := Table4(smallSuite())
+	if !strings.Contains(out, "jit") || !strings.Contains(out, "+/-") {
+		t.Errorf("table4 malformed:\n%s", out)
+	}
+	if strings.Contains(out, "jit_call") {
+		t.Errorf("table4 must fold jit_call into jit:\n%s", out)
+	}
+}
+
+func TestTable3DataThreshold(t *testing.T) {
+	entries := Table3Data([]bench.Program{*bench.ByName("pidigits")}, 5)
+	if len(entries) == 0 {
+		t.Fatalf("pidigits must show significant AOT functions")
+	}
+	for _, e := range entries {
+		if e.Percent < 5 {
+			t.Errorf("entry below threshold: %+v", e)
+		}
+		if e.Src == "" || e.Name == "" {
+			t.Errorf("entry missing metadata: %+v", e)
+		}
+	}
+	// Dominated by rbigint.
+	if !strings.HasPrefix(entries[0].Name, "rbigint") {
+		t.Errorf("pidigits top AOT fn = %s, want rbigint.*", entries[0].Name)
+	}
+}
+
+func TestFig3Format(t *testing.T) {
+	out := Fig3("telco", "telco")
+	if !strings.Contains(out, "interval phase mix") {
+		t.Fatalf("fig3 malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := bench.ByName("knucleotide")
+	if _, err := Run(p, VMPycket, Options{}); err == nil {
+		t.Errorf("expected error for missing scheme source")
+	}
+	if _, err := Run(p, VMC, Options{}); err == nil {
+		t.Errorf("expected error for missing static kernel")
+	}
+	if _, err := Run(p, VMKind("nonesuch"), Options{}); err == nil {
+		t.Errorf("expected error for unknown VM")
+	}
+}
+
+func TestSecondsAndFractions(t *testing.T) {
+	r := MustRun(bench.ByName("telco"), VMCPython, Options{})
+	if r.Seconds() <= 0 {
+		t.Errorf("Seconds = %f", r.Seconds())
+	}
+	if r.Checksum == 0 {
+		t.Errorf("checksum zero")
+	}
+}

@@ -1,0 +1,210 @@
+// Package harness runs benchmarks across VM configurations and
+// regenerates every table and figure of the paper's evaluation. Simulated
+// time is reported as cycles of the modeled core (the paper's seconds
+// column maps to simulated cycles; shapes, not absolute values, are the
+// reproduction target).
+package harness
+
+import (
+	"fmt"
+
+	"metajit/internal/bench"
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+	"metajit/internal/heap"
+	"metajit/internal/jitlog"
+	"metajit/internal/mtjit"
+	"metajit/internal/pintool"
+	"metajit/internal/pylang"
+	"metajit/internal/sklang"
+	"metajit/internal/static"
+)
+
+// VMKind selects one of the paper's VM configurations.
+type VMKind string
+
+// The VM configurations of Tables I and II.
+const (
+	VMCPython   VMKind = "cpython"    // reference interpreter (CPython analog)
+	VMPyPyNoJIT VMKind = "pypy-nojit" // framework interpreter, JIT off
+	VMPyPyJIT   VMKind = "pypy"       // framework interpreter + meta-tracing JIT
+	VMRacket    VMKind = "racket"     // custom-VM baseline for the Scheme guest
+	VMPycket    VMKind = "pycket"     // Scheme guest on the meta-tracing framework
+	VMC         VMKind = "c"          // statically compiled reference
+)
+
+// Options tunes a run.
+type Options struct {
+	// HeapConfig overrides the benchmark heap geometry. The default
+	// scales the paper's testbed down to simulator workload sizes: a
+	// nursery small relative to benchmark working sets, so that GC
+	// pressure (binarytrees!) shows the same shape.
+	HeapConfig *heap.Config
+	// SampleInterval enables WorkMeter sampling every N instructions.
+	SampleInterval uint64
+	// Threshold / BridgeThreshold override JIT defaults when non-zero.
+	Threshold       int
+	BridgeThreshold int
+	// Opts overrides the optimizer configuration.
+	Opts *mtjit.OptConfig
+	// Params overrides the CPU model.
+	Params *cpu.Params
+	// MaxInstrs stops sampling-based comparisons early (0 = run to
+	// completion; execution itself always completes).
+	MaxInstrs uint64
+}
+
+// Result is one benchmark execution's measurements.
+type Result struct {
+	Bench string
+	VM    VMKind
+
+	Checksum int64
+	Instrs   uint64
+	Cycles   float64
+
+	Total   cpu.Counters
+	Phases  [core.NumPhases]cpu.Counters
+	GC      heap.Stats
+	Samples []pintool.Sample
+
+	Bytecodes uint64
+	AOT       *pintool.AOTAttributor
+	Log       *jitlog.Log
+	Events    *pintool.TraceEventCounter
+	EngStats  mtjit.EngineStats
+	AOTNames  map[uint32]aotInfo
+}
+
+type aotInfo struct {
+	Name string
+	Src  string
+}
+
+// Seconds converts cycles to simulated seconds at a 3 GHz clock.
+func (r *Result) Seconds() float64 { return r.Cycles / 3e9 }
+
+// PhaseFraction returns the fraction of instructions in a phase.
+func (r *Result) PhaseFraction(p core.Phase) float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Phases[p].Instrs) / float64(r.Instrs)
+}
+
+// Run executes one benchmark on one VM configuration.
+func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
+	params := cpu.DefaultParams()
+	if opt.Params != nil {
+		params = *opt.Params
+	}
+	mach := cpu.New(params)
+
+	res := &Result{Bench: p.Name, VM: kind}
+
+	if kind == VMC {
+		k := static.ByName(p.Name)
+		if k == nil {
+			return nil, fmt.Errorf("harness: no static kernel for %s", p.Name)
+		}
+		res.Checksum = k.Run(mach)
+		res.finish(mach)
+		return res, nil
+	}
+
+	pintool.NewPhaseTracker(mach)
+	wm := pintool.NewWorkMeter(mach, opt.SampleInterval)
+	att := pintool.NewAOTAttributor(mach)
+	events := pintool.NewTraceEventCounter(mach)
+
+	cfg := pylang.Config{}
+	src := p.Source
+	scheme := false
+	switch kind {
+	case VMCPython:
+		cfg.Profile = mtjit.ReferenceProfile()
+	case VMPyPyNoJIT:
+		cfg.Profile = mtjit.FrameworkProfile()
+	case VMPyPyJIT:
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+	case VMRacket:
+		cfg.Profile = mtjit.CustomVMProfile()
+		src = p.SkSource
+		scheme = true
+	case VMPycket:
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+		src = p.SkSource
+		scheme = true
+	default:
+		return nil, fmt.Errorf("harness: unknown VM %q", kind)
+	}
+	if src == "" {
+		return nil, fmt.Errorf("harness: %s has no source for %s", p.Name, kind)
+	}
+	cfg.Threshold = opt.Threshold
+	cfg.BridgeThreshold = opt.BridgeThreshold
+	cfg.Opts = opt.Opts
+	if opt.HeapConfig != nil {
+		cfg.HeapConfig = opt.HeapConfig
+	} else {
+		cfg.HeapConfig = &heap.Config{
+			NurserySize:    32 << 10,
+			MajorThreshold: 384 << 10,
+			MajorGrowth:    1.82,
+		}
+	}
+
+	vm := pylang.New(mach, cfg)
+	var log *jitlog.Log
+	if cfg.JIT {
+		log = jitlog.Attach(vm.Eng)
+	}
+	if scheme {
+		vm.UnicodeStrings = false
+		if err := sklang.Load(vm, src); err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", p.Name, kind, err)
+		}
+	} else {
+		if err := vm.LoadModule(p.Name, src); err != nil {
+			return nil, fmt.Errorf("harness: %s on %s: %w", p.Name, kind, err)
+		}
+	}
+	out := vm.RunFunction("main")
+	res.Checksum = out.I
+
+	res.GC = vm.H.Stats()
+	res.Bytecodes = wm.Bytecodes
+	res.Samples = wm.Samples
+	res.AOT = att
+	res.Events = events
+	res.Log = log
+	if vm.Eng != nil {
+		res.EngStats = vm.Eng.Stats()
+	}
+	res.AOTNames = map[uint32]aotInfo{}
+	for _, f := range vm.RT.Funcs() {
+		res.AOTNames[f.ID] = aotInfo{Name: f.Name, Src: f.Src.String()}
+	}
+	res.finish(mach)
+	return res, nil
+}
+
+func (r *Result) finish(mach *cpu.Machine) {
+	r.Total = mach.Total()
+	r.Instrs = r.Total.Instrs
+	r.Cycles = r.Total.Cycles
+	for p := core.Phase(0); p < core.NumPhases; p++ {
+		r.Phases[p] = mach.PhaseCounters(p)
+	}
+}
+
+// MustRun is Run, panicking on configuration errors (used by benches).
+func MustRun(p *bench.Program, kind VMKind, opt Options) *Result {
+	r, err := Run(p, kind, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/core"
+)
+
+// TestAllBenchmarksAgreeAcrossVMs is the master differential test: every
+// benchmark must produce the same checksum on the reference interpreter,
+// the framework interpreter, and the meta-tracing JIT; Scheme variants
+// must agree between the custom-VM baseline and the meta-tracing backend.
+func TestAllBenchmarksAgreeAcrossVMs(t *testing.T) {
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rc, err := Run(&p, VMCPython, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, err := Run(&p, VMPyPyNoJIT, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rj, err := Run(&p, VMPyPyJIT, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum {
+				t.Fatalf("checksums differ: cpython=%d nojit=%d jit=%d",
+					rc.Checksum, rn.Checksum, rj.Checksum)
+			}
+			if rj.EngStats.LoopsCompiled == 0 {
+				t.Errorf("JIT compiled no loops")
+			}
+			if p.SkSource != "" {
+				rr, err := Run(&p, VMRacket, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rp, err := Run(&p, VMPycket, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rr.Checksum != rp.Checksum {
+					t.Fatalf("scheme checksums differ: racket=%d pycket=%d",
+						rr.Checksum, rp.Checksum)
+				}
+			}
+		})
+	}
+}
+
+func TestJITSpeedupShape(t *testing.T) {
+	// The headline result: the meta-tracing JIT beats the reference
+	// interpreter on most benchmarks, strongly on the best ones.
+	wins := 0
+	var best float64
+	progs := bench.PyPySuite()
+	for i := range progs {
+		rc := MustRun(&progs[i], VMCPython, Options{})
+		rj := MustRun(&progs[i], VMPyPyJIT, Options{})
+		sp := rc.Cycles / rj.Cycles
+		if sp > 1 {
+			wins++
+		}
+		if sp > best {
+			best = sp
+		}
+		t.Logf("%-20s speedup %.2fx", progs[i].Name, sp)
+	}
+	if wins < len(progs)*2/3 {
+		t.Errorf("JIT won only %d/%d benchmarks", wins, len(progs))
+	}
+	if best < 4 {
+		t.Errorf("best speedup %.2fx; expected substantial wins on numeric kernels", best)
+	}
+}
+
+func TestFrameworkInterpreterSlowerThanReference(t *testing.T) {
+	// Table I discussion: the reference interpreter usually beats the
+	// framework interpreter without JIT, by roughly 2x.
+	slower := 0
+	progs := bench.PyPySuite()
+	for i := range progs {
+		rc := MustRun(&progs[i], VMCPython, Options{})
+		rn := MustRun(&progs[i], VMPyPyNoJIT, Options{})
+		if rn.Cycles > rc.Cycles {
+			slower++
+		}
+	}
+	if slower != len(progs) {
+		t.Errorf("framework interp slower on %d/%d; expected all", slower, len(progs))
+	}
+}
+
+func TestPhaseBreakdownSane(t *testing.T) {
+	p := bench.ByName("richards")
+	r := MustRun(p, VMPyPyJIT, Options{})
+	var sum float64
+	for _, ph := range core.AllPhases() {
+		f := r.PhaseFraction(ph)
+		if f < 0 || f > 1 {
+			t.Errorf("phase %v fraction %f out of range", ph, f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("phase fractions sum to %f", sum)
+	}
+	// Steady-state richards should spend most time in JIT-related
+	// phases, not plain interpretation.
+	jitish := r.PhaseFraction(core.PhaseJIT) + r.PhaseFraction(core.PhaseJITCall)
+	if jitish < 0.2 {
+		t.Errorf("richards spends only %.1f%% in jit phases", 100*jitish)
+	}
+}
+
+func TestGCHeavyBenchmarkShowsGCPhase(t *testing.T) {
+	r := MustRun(bench.ByName("binarytrees"), VMPyPyJIT, Options{})
+	if r.PhaseFraction(core.PhaseGC) < 0.02 {
+		t.Errorf("binarytrees GC fraction %.2f%%; expected pronounced GC",
+			100*r.PhaseFraction(core.PhaseGC))
+	}
+}
+
+func TestAOTAttributionFindsBigintForPidigits(t *testing.T) {
+	r := MustRun(bench.ByName("pidigits"), VMPyPyJIT, Options{})
+	var bigCycles, total float64
+	for id, cyc := range r.AOT.CyclesByFunc {
+		total += cyc
+		name := r.AOTNames[id].Name
+		if len(name) >= 7 && name[:7] == "rbigint" {
+			bigCycles += cyc
+		}
+	}
+	if total == 0 || bigCycles/r.Cycles < 0.10 {
+		t.Errorf("pidigits rbigint share = %.1f%% of cycles; expected dominant",
+			100*bigCycles/r.Cycles)
+	}
+}
+
+func TestStaticKernelsFasterThanJIT(t *testing.T) {
+	for _, name := range []string{"spectral_norm", "nbody", "mandelbrot", "fannkuch"} {
+		p := bench.ByName(name)
+		rs := MustRun(p, VMC, Options{})
+		rj := MustRun(p, VMPyPyJIT, Options{})
+		if rs.Cycles >= rj.Cycles {
+			t.Errorf("%s: static (%0.f) not faster than JIT (%.0f)", name, rs.Cycles, rj.Cycles)
+		}
+	}
+}
+
+func TestWarmupBreakEven(t *testing.T) {
+	w := Fig5Data(bench.ByName("crypto_pyaes"), 100_000)
+	if w.BreakEvenNoJIT == 0 {
+		t.Errorf("no break-even vs noJIT found")
+	}
+	if w.FinalSpeedup < 1 {
+		t.Errorf("final speedup %.2f < 1", w.FinalSpeedup)
+	}
+	if w.BreakEvenCPy != 0 && w.BreakEvenNoJIT > w.BreakEvenCPy {
+		t.Errorf("break-even vs noJIT (%d) later than vs CPython (%d)",
+			w.BreakEvenNoJIT, w.BreakEvenCPy)
+	}
+}

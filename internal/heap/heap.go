@@ -1,0 +1,321 @@
+package heap
+
+import (
+	"fmt"
+
+	"metajit/internal/isa"
+)
+
+// Config sets the collector's geometry.
+type Config struct {
+	// NurserySize is the allocation budget in simulated bytes between
+	// minor collections.
+	NurserySize uint64
+	// MajorThreshold is the old-generation size in simulated bytes that
+	// triggers the first major collection; after each major collection
+	// the threshold becomes MajorGrowth × live bytes.
+	MajorThreshold uint64
+	// MajorGrowth is the heap-growth factor (RPython default is 1.82).
+	MajorGrowth float64
+	// Debug enables dead-object access checking (slower).
+	Debug bool
+}
+
+// DefaultConfig returns the configuration used in experiments.
+func DefaultConfig() Config {
+	return Config{
+		NurserySize:    512 << 10,
+		MajorThreshold: 12 << 20,
+		MajorGrowth:    1.82,
+	}
+}
+
+// RootProvider enumerates GC roots (VM frame stacks, trace registers,
+// interned constants). Providers are registered by VMs before execution.
+type RootProvider interface {
+	Roots(visit func(*Obj))
+}
+
+// RootFunc adapts a function to RootProvider.
+type RootFunc func(visit func(*Obj))
+
+// Roots implements RootProvider.
+func (f RootFunc) Roots(visit func(*Obj)) { f(visit) }
+
+// NativeScanner is implemented by Native payloads (dict tables, etc.) that
+// hold references the collector must trace.
+type NativeScanner interface {
+	ScanRefs(visit func(*Obj))
+}
+
+// NativeSized is implemented by Native payloads that contribute to the
+// object's accounted size.
+type NativeSized interface {
+	NativeSize() uint64
+}
+
+// Stats accumulates collector statistics for EXPERIMENTS.md reporting.
+type Stats struct {
+	Minor          uint64
+	Major          uint64
+	AllocObjects   uint64
+	AllocBytes     uint64
+	PromotedBytes  uint64
+	CollectedYoung uint64 // nursery objects that died young
+	LiveAtMajor    uint64 // live bytes at last major collection
+}
+
+// Heap is the simulated guest heap.
+type Heap struct {
+	cfg    Config
+	stream isa.Stream
+
+	nextAddr   uint64
+	sinceMinor uint64
+	oldBytes   uint64
+	majorAt    uint64
+
+	nursery []*Obj
+	old     []*Obj
+	remset  []*Obj
+	roots   []RootProvider
+
+	epoch   uint32
+	nextUID uint64
+	stats   Stats
+
+	shapes   []*Shape
+	gcActive bool
+	inMajor  bool
+}
+
+// New returns a heap emitting allocation and collection costs into stream.
+func New(stream isa.Stream, cfg Config) *Heap {
+	if cfg.NurserySize == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Heap{
+		cfg:      cfg,
+		stream:   stream,
+		nextAddr: isa.RegionHeap,
+		majorAt:  cfg.MajorThreshold,
+	}
+}
+
+// Stats returns a copy of the collector statistics.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// Stream returns the instruction stream the heap emits into.
+func (h *Heap) Stream() isa.Stream { return h.stream }
+
+// AddRoots registers a root provider.
+func (h *Heap) AddRoots(r RootProvider) { h.roots = append(h.roots, r) }
+
+// NewShape registers an object layout. VTable addresses are spaced so that
+// shape compares and dispatches have distinct cache/BTB behavior.
+func (h *Heap) NewShape(name string, numFields int) *Shape {
+	s := &Shape{
+		Name:       name,
+		ID:         uint32(len(h.shapes) + 1),
+		VTableAddr: isa.RegionVMText + 0x80_0000 + uint64(len(h.shapes))*256,
+		NumFields:  numFields,
+	}
+	h.shapes = append(h.shapes, s)
+	return s
+}
+
+func (h *Heap) bump(size uint64) uint64 {
+	// Round to 8 bytes like a real bump allocator.
+	size = (size + 7) &^ 7
+	a := h.nextAddr
+	h.nextAddr += size
+	return a
+}
+
+// allocCost emits the inlined fast-path bump allocation sequence: pointer
+// add, limit compare + branch (not taken), header store.
+func (h *Heap) allocCost(hdrAddr uint64) {
+	h.stream.Ops(isa.ALU, 2)
+	h.stream.Branch(siteAllocLimit.PC(), false)
+	h.stream.Store(hdrAddr)
+}
+
+var (
+	siteAllocLimit = isa.NewSite()
+	siteBarrier    = isa.NewSite()
+)
+
+// AllocObj allocates an object with nFields fixed fields, running a minor
+// collection first if the nursery budget is exhausted.
+func (h *Heap) AllocObj(shape *Shape, nFields int) *Obj {
+	o := &Obj{
+		Shape:  shape,
+		Fields: make([]Value, nFields),
+		live:   true,
+	}
+	o.recomputeSize()
+	h.allocate(o)
+	return o
+}
+
+// AllocBytes allocates a bytes-payload object (guest string).
+func (h *Heap) AllocBytes(shape *Shape, b []byte) *Obj {
+	o := &Obj{Shape: shape, Bytes: b, live: true}
+	o.recomputeSize()
+	h.allocate(o)
+	return o
+}
+
+// AllocElems allocates an object with an array part of length n.
+func (h *Heap) AllocElems(shape *Shape, nFields, n int) *Obj {
+	o := &Obj{
+		Shape:  shape,
+		Fields: make([]Value, nFields),
+		Elems:  make([]Value, n),
+		live:   true,
+	}
+	h.allocate(o)
+	o.elemsAddr = h.bump(8 * uint64(max(n, 1)))
+	o.recomputeSize()
+	return o
+}
+
+func (h *Heap) allocate(o *Obj) {
+	if h.sinceMinor >= h.cfg.NurserySize && !h.gcActive {
+		h.Minor()
+	}
+	o.addr = h.bump(o.size)
+	h.nextUID++
+	o.uid = h.nextUID
+	h.allocCost(o.addr)
+	h.sinceMinor += o.size
+	h.stats.AllocObjects++
+	h.stats.AllocBytes += o.size
+	h.nursery = append(h.nursery, o)
+}
+
+// RawAlloc reserves simulated address space for a native payload table
+// (dict index arrays, string-builder buffers). The space is accounted to
+// the owning object via heap.NativeSized, not tracked individually.
+func (h *Heap) RawAlloc(size uint64) uint64 { return h.bump(size) }
+
+// checkLive panics on dead-object access in debug mode.
+func (h *Heap) checkLive(o *Obj) {
+	if h.cfg.Debug && !o.live {
+		panic(fmt.Sprintf("heap: access to dead object %s@%#x", o.Shape.Name, o.addr))
+	}
+}
+
+// ReadField loads field i, emitting the load.
+func (h *Heap) ReadField(o *Obj, i int) Value {
+	h.checkLive(o)
+	h.stream.Load(o.FieldAddr(i))
+	return o.Fields[i]
+}
+
+// WriteField stores v into field i with the generational write barrier.
+func (h *Heap) WriteField(o *Obj, i int, v Value) {
+	h.checkLive(o)
+	h.barrier(o, v)
+	h.stream.Store(o.FieldAddr(i))
+	o.Fields[i] = v
+}
+
+// ReadElem loads array element i.
+func (h *Heap) ReadElem(o *Obj, i int) Value {
+	h.checkLive(o)
+	h.stream.Load(o.ElemAddr(i))
+	return o.Elems[i]
+}
+
+// WriteElem stores v into array element i with the write barrier.
+func (h *Heap) WriteElem(o *Obj, i int, v Value) {
+	h.checkLive(o)
+	h.barrier(o, v)
+	h.stream.Store(o.ElemAddr(i))
+	o.Elems[i] = v
+}
+
+// LoadByte loads byte i of the payload.
+func (h *Heap) LoadByte(o *Obj, i int) byte {
+	h.checkLive(o)
+	h.stream.Load(o.ByteAddr(i))
+	return o.Bytes[i]
+}
+
+// GrowElems reallocates the array part to capacity n, emitting the copy
+// cost (the list-resize path of the runtime).
+func (h *Heap) GrowElems(o *Obj, n int) {
+	h.checkLive(o)
+	old := len(o.Elems)
+	ne := make([]Value, n)
+	copy(ne, o.Elems)
+	o.Elems = ne
+	o.elemsAddr = h.bump(8 * uint64(max(n, 1)))
+	// memcpy of the old contents plus allocation.
+	h.allocCost(o.elemsAddr)
+	h.stream.Ops(isa.Load, min(old, n))
+	h.stream.Ops(isa.Store, min(old, n))
+	delta := 16 + 8*uint64(n-old)
+	o.size += delta
+	h.sinceMinor += delta
+	h.stats.AllocBytes += delta
+}
+
+// AppendElem appends to the array part with amortized-doubling growth (the
+// list-append fast path of the runtime).
+func (h *Heap) AppendElem(o *Obj, v Value) {
+	h.checkLive(o)
+	n := len(o.Elems)
+	if n == cap(o.Elems) {
+		newCap := cap(o.Elems)*2 + 4
+		ne := make([]Value, n, newCap)
+		copy(ne, o.Elems)
+		o.Elems = ne
+		o.elemsAddr = h.bump(8 * uint64(newCap))
+		h.allocCost(o.elemsAddr)
+		h.stream.Ops(isa.Load, n)
+		h.stream.Ops(isa.Store, n)
+		delta := 8 * uint64(newCap-n)
+		o.size += delta
+		h.sinceMinor += delta
+		h.stats.AllocBytes += delta
+	}
+	h.barrier(o, v)
+	o.Elems = append(o.Elems, v)
+	h.stream.Store(o.ElemAddr(n))
+	h.stream.Ops(isa.ALU, 2)
+}
+
+// GrowFields extends the fixed-field area to at least n slots (attribute
+// added to a class after instances exist).
+func (h *Heap) GrowFields(o *Obj, n int) {
+	if n <= len(o.Fields) {
+		return
+	}
+	old := len(o.Fields)
+	nf := make([]Value, n)
+	copy(nf, o.Fields)
+	o.Fields = nf
+	h.stream.Ops(isa.Load, old)
+	h.stream.Ops(isa.Store, n)
+	delta := 8 * uint64(n-old)
+	o.size += delta
+	h.sinceMinor += delta
+}
+
+// Barrier runs the write barrier for storing v somewhere inside o without
+// performing a store (used by Native payload mutations).
+func (h *Heap) Barrier(o *Obj, v Value) { h.barrier(o, v) }
+
+func (h *Heap) barrier(o *Obj, v Value) {
+	// Flag check + branch; the slow path (remembered-set insert) is rare.
+	h.stream.Ops(isa.ALU, 1)
+	slow := o.gen == 1 && v.Kind == KindRef && v.O != nil && v.O.gen == 0 && !o.inRemset
+	h.stream.Branch(siteBarrier.PC(), slow)
+	if slow {
+		o.inRemset = true
+		h.remset = append(h.remset, o)
+		h.stream.Store(isa.RegionStack + 0x100000 + uint64(len(h.remset)%4096)*8)
+	}
+}

@@ -1,0 +1,144 @@
+// Package isa defines the synthetic instruction-set architecture that every
+// layer of the simulated VM stack emits into, and that the CPU model in
+// internal/cpu consumes.
+//
+// The paper measures real x86 executions with Pin and performance counters.
+// This reproduction has no hardware access, so instead each component — the
+// reference interpreter, the framework interpreter, the meta-interpreter,
+// AOT-compiled runtime functions, the garbage collector, and JIT-compiled
+// traces — emits a stream of synthetic instructions as it executes. The
+// stream preserves what the microarchitecture model needs: instruction
+// class mix, branch program counters and outcomes (for branch prediction),
+// memory addresses (for the cache model), and tagged nop instructions
+// carrying cross-layer annotations.
+package isa
+
+import "metajit/internal/core"
+
+// Class is a synthetic instruction class. The CPU model assigns issue cost
+// and hazards per class.
+type Class uint8
+
+// Instruction classes.
+const (
+	ALU          Class = iota // integer ALU op (add, sub, cmp, logic, lea)
+	Mul                       // integer multiply
+	Div                       // integer divide (long latency)
+	FPU                       // floating-point add/sub/cmp/convert
+	FMul                      // floating-point multiply
+	FDiv                      // floating-point divide / sqrt (long latency)
+	Load                      // memory load
+	Store                     // memory store
+	Branch                    // conditional direct branch
+	Jump                      // unconditional direct jump
+	IndirectJump              // indirect jump (interpreter dispatch)
+	Call                      // direct call
+	IndirectCall              // indirect call
+	Ret                       // return
+	Nop                       // annotation carrier
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"alu", "mul", "div", "fpu", "fmul", "fdiv", "load", "store",
+	"branch", "jump", "ijump", "call", "icall", "ret", "nop",
+}
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// IsBranch reports whether the class goes through branch prediction.
+func (c Class) IsBranch() bool {
+	switch c {
+	case Branch, Jump, IndirectJump, Call, IndirectCall, Ret:
+		return true
+	}
+	return false
+}
+
+// Stream is the instruction sink every simulated component emits into.
+// internal/cpu.Machine is the canonical implementation; tests use
+// CountingStream.
+type Stream interface {
+	// Ops retires n straight-line instructions of class c. c must not be
+	// a branch class.
+	Ops(c Class, n int)
+	// Load retires one load from the simulated address addr.
+	Load(addr uint64)
+	// Store retires one store to the simulated address addr.
+	Store(addr uint64)
+	// Branch retires a conditional direct branch at pc with the given
+	// outcome.
+	Branch(pc uint64, taken bool)
+	// Indirect retires an indirect jump at pc to target (interpreter
+	// dispatch, vtable dispatch).
+	Indirect(pc, target uint64)
+	// CallDirect retires a direct call at pc (pushes the return-address
+	// stack).
+	CallDirect(pc uint64)
+	// CallIndirect retires an indirect call at pc to target.
+	CallIndirect(pc, target uint64)
+	// Return retires a return (pops the return-address stack).
+	Return()
+	// Annot retires a tagged nop carrying a cross-layer annotation.
+	Annot(tag core.Tag, arg uint64)
+}
+
+// CountingStream is a minimal Stream that tallies instruction classes and
+// records annotations; used in unit tests and by cost-model calibration.
+type CountingStream struct {
+	Counts      [NumClasses]uint64
+	Taken       uint64
+	Annotations []core.Annotation
+}
+
+var _ Stream = (*CountingStream)(nil)
+
+// Total returns the total number of retired instructions.
+func (s *CountingStream) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Ops implements Stream.
+func (s *CountingStream) Ops(c Class, n int) { s.Counts[c] += uint64(n) }
+
+// Load implements Stream.
+func (s *CountingStream) Load(addr uint64) { s.Counts[Load]++ }
+
+// Store implements Stream.
+func (s *CountingStream) Store(addr uint64) { s.Counts[Store]++ }
+
+// Branch implements Stream.
+func (s *CountingStream) Branch(pc uint64, taken bool) {
+	s.Counts[Branch]++
+	if taken {
+		s.Taken++
+	}
+}
+
+// Indirect implements Stream.
+func (s *CountingStream) Indirect(pc, target uint64) { s.Counts[IndirectJump]++ }
+
+// CallDirect implements Stream.
+func (s *CountingStream) CallDirect(pc uint64) { s.Counts[Call]++ }
+
+// CallIndirect implements Stream.
+func (s *CountingStream) CallIndirect(pc, target uint64) { s.Counts[IndirectCall]++ }
+
+// Return implements Stream.
+func (s *CountingStream) Return() { s.Counts[Ret]++ }
+
+// Annot implements Stream.
+func (s *CountingStream) Annot(tag core.Tag, arg uint64) {
+	s.Counts[Nop]++
+	s.Annotations = append(s.Annotations, core.Annotation{Tag: tag, Arg: arg})
+}

@@ -1,0 +1,56 @@
+package isa
+
+import "sync/atomic"
+
+// Synthetic program counters. Branch predictors and BTBs are indexed by PC,
+// so every static emission site (a bytecode handler's dispatch branch, a
+// guard inside a lowered trace, an AOT function's inner-loop branch) needs a
+// stable synthetic address. Regions keep the address spaces of different
+// components apart, mimicking a process layout: the VM binary's text
+// section, the JIT code area, and the simulated heap.
+const (
+	// RegionVMText holds PCs of the interpreter, runtime, and AOT
+	// functions (the "binary" of the VM).
+	RegionVMText uint64 = 0x0040_0000
+	// RegionJITCode holds PCs of lowered traces and bridges.
+	RegionJITCode uint64 = 0x7f00_0000_0000
+	// RegionHeap is the base of simulated guest heap addresses.
+	RegionHeap uint64 = 0x1000_0000_0000
+	// RegionStack is the base of simulated VM-stack addresses (frames,
+	// value stacks).
+	RegionStack uint64 = 0x7fff_0000_0000
+	// RegionStatic holds PCs for statically-compiled (C-analog) kernels.
+	RegionStatic uint64 = 0x0100_0000
+)
+
+// PCAlloc hands out non-overlapping PC ranges within a region.
+type PCAlloc struct {
+	next atomic.Uint64
+}
+
+// NewPCAlloc returns an allocator starting at base.
+func NewPCAlloc(base uint64) *PCAlloc {
+	a := &PCAlloc{}
+	a.next.Store(base)
+	return a
+}
+
+// Take reserves n bytes of PC space and returns the range's base.
+func (a *PCAlloc) Take(n uint64) uint64 {
+	return a.next.Add(n) - n
+}
+
+// Site is a convenience for a single static emission site: a stable PC for
+// one branch or call instruction.
+type Site uint64
+
+// VMText is the shared allocator for VM-binary PCs. Sites are allocated at
+// package init time across the codebase; 16 bytes per site keeps aliasing
+// in predictor tables realistic but rare.
+var VMText = NewPCAlloc(RegionVMText)
+
+// NewSite reserves a stable VM-text PC for one static branch site.
+func NewSite() Site { return Site(VMText.Take(16)) }
+
+// PC returns the site's program counter.
+func (s Site) PC() uint64 { return uint64(s) }

@@ -1,0 +1,168 @@
+// Package jitlog is the analog of the PyPy Log facility (Section III): it
+// records, for every compiled trace and bridge, the JIT IR nodes, the
+// lowered assembly footprint, and execution counts, supporting the JIT-IR
+// level studies (Figures 6-9).
+package jitlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metajit/internal/mtjit"
+)
+
+// Log collects trace records from an engine.
+type Log struct {
+	Traces []*mtjit.Trace
+}
+
+// Attach registers the log with an engine's compile hook.
+func Attach(eng *mtjit.Engine) *Log {
+	l := &Log{}
+	eng.OnCompile = func(t *mtjit.Trace) { l.Traces = append(l.Traces, t) }
+	return l
+}
+
+// TotalIRNodes returns the number of IR nodes compiled across all traces
+// (Figure 6a's metric).
+func (l *Log) TotalIRNodes() int {
+	n := 0
+	for _, t := range l.Traces {
+		n += t.NewOpsCount()
+	}
+	return n
+}
+
+// TotalAsmInstrs returns the lowered assembly footprint.
+func (l *Log) TotalAsmInstrs() int {
+	n := 0
+	for _, t := range l.Traces {
+		n += t.AsmLen
+	}
+	return n
+}
+
+// OpcodeFreq is the dynamic execution count of one IR node type.
+type OpcodeFreq struct {
+	Opc   mtjit.Opcode
+	Count uint64
+}
+
+// DynamicOpcodeHistogram returns per-opcode dynamic execution counts,
+// descending (Figure 8).
+func (l *Log) DynamicOpcodeHistogram() []OpcodeFreq {
+	counts := map[mtjit.Opcode]uint64{}
+	for _, t := range l.Traces {
+		for i := range t.Ops {
+			counts[t.Ops[i].Opc] += t.OpExecs[i]
+		}
+	}
+	out := make([]OpcodeFreq, 0, len(counts))
+	for opc, c := range counts {
+		out = append(out, OpcodeFreq{Opc: opc, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// CategoryBreakdown returns the dynamic IR-node category mix (Figure 7),
+// as fractions summing to 1 (zero map if nothing executed).
+func (l *Log) CategoryBreakdown() map[mtjit.Category]float64 {
+	counts := map[mtjit.Category]uint64{}
+	var total uint64
+	for _, t := range l.Traces {
+		for i := range t.Ops {
+			if t.Ops[i].Opc == mtjit.OpLabel {
+				continue
+			}
+			counts[t.Ops[i].Opc.Cat()] += t.OpExecs[i]
+			total += t.OpExecs[i]
+		}
+	}
+	out := map[mtjit.Category]float64{}
+	if total == 0 {
+		return out
+	}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// HotNodeFraction returns the fraction of compiled IR nodes that account
+// for the given share of dynamic executions (Figure 6b with share=0.95).
+func (l *Log) HotNodeFraction(share float64) float64 {
+	type node struct{ execs uint64 }
+	var nodes []node
+	var total uint64
+	for _, t := range l.Traces {
+		for i := range t.Ops {
+			if t.Ops[i].Opc == mtjit.OpLabel {
+				continue
+			}
+			nodes = append(nodes, node{execs: t.OpExecs[i]})
+			total += t.OpExecs[i]
+		}
+	}
+	if total == 0 || len(nodes) == 0 {
+		return 0
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].execs > nodes[j].execs })
+	target := uint64(float64(total) * share)
+	var acc uint64
+	for i, n := range nodes {
+		acc += n.execs
+		if acc >= target {
+			return float64(i+1) / float64(len(nodes))
+		}
+	}
+	return 1
+}
+
+// DynamicIRNodes returns total IR-node executions (Figure 6c's numerator).
+func (l *Log) DynamicIRNodes() uint64 {
+	var n uint64
+	for _, t := range l.Traces {
+		for i := range t.Ops {
+			if t.Ops[i].Opc != mtjit.OpLabel {
+				n += t.OpExecs[i]
+			}
+		}
+	}
+	return n
+}
+
+// AsmPerOpcode returns the mean lowered-assembly instruction count per IR
+// node type, for types that appear in the log (Figure 9).
+func (l *Log) AsmPerOpcode() map[mtjit.Opcode]float64 {
+	out := map[mtjit.Opcode]float64{}
+	seen := map[mtjit.Opcode]bool{}
+	for _, t := range l.Traces {
+		for i := range t.Ops {
+			opc := t.Ops[i].Opc
+			if !seen[opc] && opc != mtjit.OpLabel {
+				seen[opc] = true
+				out[opc] = float64(opc.AsmLen())
+			}
+		}
+	}
+	return out
+}
+
+// Dump renders traces in PyPy-log style for debugging.
+func (l *Log) Dump() string {
+	var sb strings.Builder
+	for _, t := range l.Traces {
+		kind := "loop"
+		if t.Bridge {
+			kind = "bridge"
+		}
+		fmt.Fprintf(&sb, "# %s %d (code %d pc %d) executed %d times, %d ops, %d asm bytes\n",
+			kind, t.ID, t.Key.CodeID, t.Key.PC, t.ExecCount, len(t.Ops), t.AsmLen*4)
+		for i := range t.Ops {
+			fmt.Fprintf(&sb, "  [%6d] %s\n", t.OpExecs[i], t.Ops[i].String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package jitlog
+
+import (
+	"strings"
+	"testing"
+
+	"metajit/internal/cpu"
+	"metajit/internal/mtjit"
+	"metajit/internal/pylang"
+)
+
+// Build a real log by running a guest loop through the engine.
+func buildLog(t *testing.T) *Log {
+	t.Helper()
+	vm := pylang.New(cpu.NewDefault(), pylang.Config{JIT: true, Threshold: 13})
+	l := Attach(vm.Eng)
+	err := vm.LoadModule("log", `
+def main():
+    s = 0
+    for i in range(20000):
+        s += i * 3
+    return s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.RunFunction("main")
+	if len(l.Traces) == 0 {
+		t.Fatal("no traces compiled")
+	}
+	return l
+}
+
+func TestLogStatistics(t *testing.T) {
+	l := buildLog(t)
+	if l.TotalIRNodes() <= 0 {
+		t.Errorf("TotalIRNodes = %d", l.TotalIRNodes())
+	}
+	if l.TotalAsmInstrs() < l.TotalIRNodes() {
+		t.Errorf("asm (%d) should be >= IR nodes (%d)", l.TotalAsmInstrs(), l.TotalIRNodes())
+	}
+	if l.DynamicIRNodes() == 0 {
+		t.Errorf("no dynamic executions recorded")
+	}
+
+	hist := l.DynamicOpcodeHistogram()
+	if len(hist) == 0 {
+		t.Fatalf("empty histogram")
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Count > hist[i-1].Count {
+			t.Errorf("histogram not sorted")
+		}
+	}
+
+	br := l.CategoryBreakdown()
+	var sum float64
+	for _, f := range br {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("category fractions sum to %f", sum)
+	}
+
+	frac := l.HotNodeFraction(0.95)
+	if frac <= 0 || frac > 1 {
+		t.Errorf("HotNodeFraction = %f", frac)
+	}
+	if l.HotNodeFraction(0.5) > frac {
+		t.Errorf("smaller share must need fewer nodes")
+	}
+
+	asm := l.AsmPerOpcode()
+	if asm[mtjit.OpIntAddOvf] != 1 {
+		t.Errorf("int_add_ovf asm = %f", asm[mtjit.OpIntAddOvf])
+	}
+	if asm[mtjit.OpJump] != float64(mtjit.OpJump.AsmLen()) {
+		t.Errorf("jump asm = %f", asm[mtjit.OpJump])
+	}
+
+	dump := l.Dump()
+	if !strings.Contains(dump, "loop") || !strings.Contains(dump, "int_add_ovf") {
+		t.Errorf("dump missing content:\n%s", dump)
+	}
+}
+
+func TestEmptyLogSafe(t *testing.T) {
+	l := &Log{}
+	if l.TotalIRNodes() != 0 || l.DynamicIRNodes() != 0 {
+		t.Errorf("empty log nonzero")
+	}
+	if f := l.HotNodeFraction(0.95); f != 0 {
+		t.Errorf("empty HotNodeFraction = %f", f)
+	}
+	if br := l.CategoryBreakdown(); len(br) != 0 {
+		t.Errorf("empty breakdown = %v", br)
+	}
+}

@@ -1,0 +1,400 @@
+package mtjit
+
+import (
+	"metajit/internal/aot"
+	"metajit/internal/core"
+	"metajit/internal/heap"
+	"metajit/internal/isa"
+)
+
+// EngineStats accumulates JIT bookkeeping for reporting.
+type EngineStats struct {
+	LoopsCompiled   int
+	BridgesCompiled int
+	Aborts          int
+	AbortsTooLong   int
+	AbortsLeftFrame int
+	OpsRecorded     int
+	OpsRemoved      int // by the optimizer
+	GuardFailures   uint64
+}
+
+// Engine is the meta-tracing JIT: it owns hot-loop counters, recordings in
+// progress, the trace cache, guard-failure bookkeeping, and bridges.
+type Engine struct {
+	RT *aot.Runtime
+	H  *heap.Heap
+	S  isa.Stream
+
+	// Profile is the cost profile of the plain interpreter the engine
+	// falls back to.
+	Profile *CostProfile
+	// Opts selects optimizer passes (ablations toggle these).
+	Opts OptConfig
+	// Threshold is the loop-header count that triggers tracing (PyPy's
+	// --jit threshold, scaled to the simulator's workload sizes).
+	Threshold int
+	// BridgeThreshold is the guard-failure count that triggers bridge
+	// compilation.
+	BridgeThreshold int
+	// TraceLimit aborts recordings that grow too long.
+	TraceLimit int
+	// MaxAborts blacklists a loop after this many failed recordings.
+	MaxAborts int
+
+	// OnCompile, if set, is invoked for every installed trace or bridge
+	// (the PyPy-log hook).
+	OnCompile func(*Trace)
+
+	counters  map[GreenKey]int
+	blacklist map[GreenKey]int
+	traces    map[GreenKey]*Trace
+	all       []*Trace
+	bridges   map[uint32]*Trace
+
+	guardFails          map[uint32]int
+	pendingBridgeResume map[uint32]*ResumeState
+
+	guardSeq uint32
+	traceSeq uint32
+	tracing  *TracingMachine
+
+	jitPC   *isa.PCAlloc
+	bhSite  isa.Site
+	cmpSite isa.Site
+	lastOvf bool
+
+	activeRegs []*[]heap.Value
+	stats      EngineStats
+}
+
+// NewEngine returns an engine over the runtime with default thresholds.
+// It registers itself as a GC root provider (live trace registers and
+// trace constants are roots).
+func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
+	e := &Engine{
+		RT:                  rt,
+		H:                   rt.H,
+		S:                   rt.H.Stream(),
+		Profile:             profile,
+		Opts:                AllOpts(),
+		Threshold:           57,
+		BridgeThreshold:     17,
+		TraceLimit:          6000,
+		MaxAborts:           4,
+		counters:            map[GreenKey]int{},
+		blacklist:           map[GreenKey]int{},
+		traces:              map[GreenKey]*Trace{},
+		bridges:             map[uint32]*Trace{},
+		guardFails:          map[uint32]int{},
+		pendingBridgeResume: map[uint32]*ResumeState{},
+		jitPC:               isa.NewPCAlloc(isa.RegionJITCode),
+		bhSite:              isa.NewSite(),
+		cmpSite:             isa.NewSite(),
+	}
+	rt.H.AddRoots(e)
+	return e
+}
+
+// Roots implements heap.RootProvider: live JIT register files and trace
+// constants keep objects alive.
+func (e *Engine) Roots(visit func(*heap.Obj)) {
+	for _, regs := range e.activeRegs {
+		for _, v := range *regs {
+			if v.Kind == heap.KindRef && v.O != nil {
+				visit(v.O)
+			}
+		}
+	}
+	for _, t := range e.all {
+		for _, c := range t.Consts {
+			if c.Kind == heap.KindRef && c.O != nil {
+				visit(c.O)
+			}
+		}
+	}
+	if e.tracing != nil {
+		for _, c := range e.tracing.consts {
+			if c.Kind == heap.KindRef && c.O != nil {
+				visit(c.O)
+			}
+		}
+	}
+}
+
+// Stats returns a copy of the engine statistics.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Traces returns every installed trace and bridge in compile order.
+func (e *Engine) Traces() []*Trace { return e.all }
+
+// Tracing returns the recording in progress, or nil.
+func (e *Engine) Tracing() *TracingMachine { return e.tracing }
+
+// LookupTrace returns the compiled loop trace for a green key, or nil.
+func (e *Engine) LookupTrace(key GreenKey) *Trace { return e.traces[key] }
+
+// PendingBridgeResume returns (and consumes) the resume state of a guard
+// whose failure count just crossed the bridge threshold.
+func (e *Engine) PendingBridgeResume(guardID uint32) *ResumeState {
+	r := e.pendingBridgeResume[guardID]
+	delete(e.pendingBridgeResume, guardID)
+	return r
+}
+
+func (e *Engine) nextGuardID() uint32 {
+	e.guardSeq++
+	return e.guardSeq
+}
+
+// CountAndMaybeTrace bumps the loop-header counter for key and reports
+// whether the driver should begin tracing it now. The counter check itself
+// costs a couple of instructions per crossing, as in RPython.
+func (e *Engine) CountAndMaybeTrace(key GreenKey) bool {
+	e.S.Ops(isa.ALU, 2)
+	e.S.Ops(isa.Load, 1)
+	if e.tracing != nil {
+		return false
+	}
+	if e.blacklist[key] >= e.MaxAborts {
+		return false
+	}
+	e.counters[key]++
+	if e.counters[key] >= e.Threshold && e.traces[key] == nil {
+		e.counters[key] = 0
+		return true
+	}
+	return false
+}
+
+// BeginTracing starts recording the loop at key. The frame's slots are
+// seeded with input refs; snap captures resume metadata at guards. The
+// returned TracingMachine replaces the driver's Machine until the loop
+// closes or aborts.
+func (e *Engine) BeginTracing(key GreenKey, fr FrameAdapter, snap SnapshotFn) *TracingMachine {
+	e.S.Annot(core.TagTraceStart, uint64(key.CodeID)<<16|uint64(key.PC))
+	tm := newTracingMachine(NewDirectMachine(e.RT, e.Profile), e)
+	tm.snapshot = snap
+	tm.rootKey = key
+	n := fr.NumSlots()
+	slots := make([]Ref, n)
+	for i := 0; i < n; i++ {
+		r := Ref(i + 1)
+		fr.SetSlotRef(i, r)
+		slots[i] = r
+	}
+	tm.nextReg = Ref(n + 1)
+	tm.entry = &ResumeState{Frames: []FrameSnap{{
+		CodeID:    fr.CodeID(),
+		PC:        fr.GuestPC(),
+		NumLocals: fr.NumLocals(),
+		Slots:     slots,
+		Ctor:      fr.IsCtor(),
+	}}}
+	e.tracing = tm
+	e.S.Ops(isa.ALU, 60)
+	e.S.Ops(isa.Store, 20)
+	return tm
+}
+
+// BeginBridge starts recording a bridge for guardID from the reconstructed
+// frame chain (trace-root frame first).
+func (e *Engine) BeginBridge(guardID uint32, resume *ResumeState, frames []FrameAdapter, snap SnapshotFn) *TracingMachine {
+	e.S.Annot(core.TagTraceStart, uint64(guardID))
+	tm := newTracingMachine(NewDirectMachine(e.RT, e.Profile), e)
+	tm.snapshot = snap
+	tm.bridge = true
+	tm.fromGrd = guardID
+	next := Ref(1)
+	snaps := make([]FrameSnap, len(frames))
+	for fi, fr := range frames {
+		n := fr.NumSlots()
+		slots := make([]Ref, n)
+		for i := 0; i < n; i++ {
+			fr.SetSlotRef(i, next)
+			slots[i] = next
+			next++
+		}
+		snaps[fi] = FrameSnap{
+			CodeID:    fr.CodeID(),
+			PC:        fr.GuestPC(),
+			NumLocals: fr.NumLocals(),
+			Slots:     slots,
+			Ctor:      fr.IsCtor(),
+		}
+	}
+	tm.nextReg = next
+	tm.entry = &ResumeState{Frames: snaps}
+	if resume != nil && len(resume.Frames) != len(frames) {
+		panic("mtjit: bridge frame chain does not match guard resume")
+	}
+	e.tracing = tm
+	e.S.Ops(isa.ALU, 60)
+	e.S.Ops(isa.Store, 20)
+	return tm
+}
+
+// MPAction is the driver instruction returned from a merge point reached
+// while tracing.
+type MPAction uint8
+
+// Merge-point actions.
+const (
+	// MPContinue: keep recording through this merge point (inlining).
+	MPContinue MPAction = iota
+	// MPLoopClosed: the recording was finished and installed (or ended
+	// in call_assembler); the driver resumes plain interpretation.
+	MPLoopClosed
+	// MPAborted: the recording was abandoned; resume plain
+	// interpretation.
+	MPAborted
+)
+
+// AtMergePoint is called by the driver at every loop header crossed while
+// recording. depth is the guest frame depth relative to the trace root
+// (1 = the root frame).
+func (e *Engine) AtMergePoint(tm *TracingMachine, key GreenKey, depth int, fr FrameAdapter) MPAction {
+	if tm.aborted {
+		e.AbortTrace(tm)
+		return MPAborted
+	}
+	if depth == 1 && !tm.bridge && key == tm.rootKey {
+		e.finishLoop(tm, key, fr)
+		return MPLoopClosed
+	}
+	if target := e.traces[key]; target != nil {
+		if tm.bridge && depth == 1 {
+			e.finishBridgeJump(tm, target, fr)
+		} else {
+			e.finishCallAssembler(tm, target)
+		}
+		return MPLoopClosed
+	}
+	return MPContinue
+}
+
+// AbortTrace abandons the active recording.
+func (e *Engine) AbortTrace(tm *TracingMachine, reason ...AbortReason) {
+	r := tm.reason
+	if len(reason) > 0 {
+		r = reason[0]
+	}
+	e.S.Annot(core.TagTraceAbort, uint64(r))
+	e.stats.Aborts++
+	switch r {
+	case AbortTooLong:
+		e.stats.AbortsTooLong++
+	case AbortLeftFrame:
+		e.stats.AbortsLeftFrame++
+	}
+	if !tm.bridge {
+		e.blacklist[tm.rootKey]++
+	}
+	e.tracing = nil
+}
+
+// finishLoop closes a loop recording with a jump back to its own header.
+func (e *Engine) finishLoop(tm *TracingMachine, key GreenKey, fr FrameAdapter) {
+	args := make([]Ref, fr.NumSlots())
+	for i := range args {
+		args[i] = fr.SlotRef(i)
+	}
+	tm.rec(Op{Opc: OpJump, Args: args}, false)
+	t := e.install(tm, key, false)
+	e.traces[key] = t
+}
+
+// finishBridgeJump closes a bridge with a jump into an existing loop.
+func (e *Engine) finishBridgeJump(tm *TracingMachine, target *Trace, fr FrameAdapter) {
+	args := make([]Ref, fr.NumSlots())
+	for i := range args {
+		args[i] = fr.SlotRef(i)
+	}
+	if len(args) != len(target.Entry.Frames[0].Slots) {
+		// Shapes disagree (stack depth changed): exit via finish
+		// instead; the interpreter will enter the loop itself.
+		tm.rec(Op{Opc: OpFinish, Resume: tm.captureResume()}, false)
+		t := e.install(tm, target.Key, true)
+		e.bridges[tm.fromGrd] = t
+		return
+	}
+	tm.rec(Op{Opc: OpJump, Args: args, Target: target}, false)
+	t := e.install(tm, target.Key, true)
+	e.bridges[tm.fromGrd] = t
+}
+
+// finishCallAssembler ends a recording that reached another compiled loop:
+// the trace transfers into that loop's assembly.
+func (e *Engine) finishCallAssembler(tm *TracingMachine, target *Trace) {
+	tm.rec(Op{
+		Opc:    OpCallAssembler,
+		Target: target,
+		Resume: tm.captureResume(),
+	}, false)
+	if tm.bridge {
+		t := e.install(tm, target.Key, true)
+		e.bridges[tm.fromGrd] = t
+	} else {
+		t := e.install(tm, tm.rootKey, false)
+		e.traces[tm.rootKey] = t
+	}
+}
+
+// install optimizes, assembles, and publishes a recording.
+func (e *Engine) install(tm *TracingMachine, key GreenKey, bridge bool) *Trace {
+	e.traceSeq++
+	t := &Trace{
+		ID:       e.traceSeq,
+		Key:      key,
+		Bridge:   bridge,
+		Entry:    tm.entry,
+		Ops:      tm.ops,
+		Consts:   tm.consts,
+		NumRegs:  int(tm.nextReg),
+		BCLength: tm.bcCount,
+	}
+	recorded := len(t.Ops)
+	removed := Optimize(t, e.Opts)
+	e.assemble(t)
+	t.OpExecs = make([]uint64, len(t.Ops))
+
+	// Optimizer + assembler cost, proportional to the recorded ops
+	// (attributed to the tracing phase, as in the paper).
+	e.S.Ops(isa.ALU, 150*recorded)
+	e.S.Ops(isa.Load, 55*recorded)
+	e.S.Ops(isa.Store, 30*recorded)
+	for i := 0; i < recorded/4+1; i++ {
+		e.S.Branch(e.cmpSite.PC(), i&3 != 0)
+	}
+
+	e.stats.OpsRecorded += recorded
+	e.stats.OpsRemoved += removed
+	if bridge {
+		e.stats.BridgesCompiled++
+	} else {
+		e.stats.LoopsCompiled++
+	}
+	e.all = append(e.all, t)
+	e.tracing = nil
+	e.S.Annot(core.TagTraceEnd, uint64(t.ID))
+	e.S.Annot(core.TagTraceCompiled, uint64(t.ID))
+	if e.OnCompile != nil {
+		e.OnCompile(t)
+	}
+	return t
+}
+
+// assemble assigns the trace's simulated code region and per-op PCs.
+func (e *Engine) assemble(t *Trace) {
+	t.OpPCs = make([]uint64, len(t.Ops))
+	off := uint64(0)
+	for i := range t.Ops {
+		t.OpPCs[i] = off
+		off += uint64(t.Ops[i].Opc.AsmLen()) * 4
+	}
+	t.AsmLen = int(off / 4)
+	t.AsmBase = e.jitPC.Take(off + 64)
+}
+
+// GuardFailCount returns how often a guard has failed.
+func (e *Engine) GuardFailCount(id uint32) int { return e.guardFails[id] }

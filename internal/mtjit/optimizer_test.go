@@ -1,0 +1,277 @@
+package mtjit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"metajit/internal/heap"
+)
+
+// buildTrace assembles a raw trace for optimizer unit tests: entry slots
+// feed registers 1..n, consts are provided, ops are pre-numbered.
+func buildTrace(nInputs int, consts []heap.Value, ops []Op) *Trace {
+	slots := make([]Ref, nInputs)
+	for i := range slots {
+		slots[i] = Ref(i + 1)
+	}
+	maxReg := Ref(nInputs + 1)
+	for i := range ops {
+		if ops[i].Res == 0 {
+			ops[i].Res = RefNone
+		}
+		if ops[i].Res != RefNone && ops[i].Res >= maxReg {
+			maxReg = ops[i].Res + 1
+		}
+	}
+	return &Trace{
+		Entry:   &ResumeState{Frames: []FrameSnap{{Slots: slots, NumLocals: nInputs}}},
+		Ops:     ops,
+		Consts:  consts,
+		NumRegs: int(maxReg),
+	}
+}
+
+func opcodes(t *Trace) []Opcode {
+	out := make([]Opcode, len(t.Ops))
+	for i := range t.Ops {
+		out[i] = t.Ops[i].Opc
+	}
+	return out
+}
+
+func TestFoldConstantArithmetic(t *testing.T) {
+	// r2 = 2 + 3; jump(r2)
+	tr := buildTrace(1, []heap.Value{heap.IntVal(2), heap.IntVal(3)}, []Op{
+		{Opc: OpIntAdd, A: ConstRef(0), B: ConstRef(1), Res: 2},
+		{Opc: OpJump, Args: []Ref{2}},
+	})
+	Optimize(tr, OptConfig{Fold: true, DCE: true})
+	if len(tr.Ops) != 1 || tr.Ops[0].Opc != OpJump {
+		t.Fatalf("fold failed: %v", opcodes(tr))
+	}
+	arg := tr.Ops[0].Args[0]
+	if !arg.IsConst() || tr.Consts[arg.ConstIndex()].I != 5 {
+		t.Fatalf("jump arg not folded to 5: %v", arg)
+	}
+}
+
+func TestRedundantGuardClassRemoved(t *testing.T) {
+	sh := &heap.Shape{Name: "T", ID: 9}
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpGuardClass, A: 1, Shape: sh, Resume: emptyResume()},
+		{Opc: OpGuardClass, A: 1, Shape: sh, Resume: emptyResume()},
+		{Opc: OpGuardNonnull, A: 1, Resume: emptyResume()},
+		{Opc: OpJump, Args: []Ref{1}},
+	})
+	Optimize(tr, OptConfig{Guards: true})
+	n := 0
+	for _, op := range tr.Ops {
+		if op.Opc.IsGuard() {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("want 1 surviving guard, got %d: %v", n, opcodes(tr))
+	}
+}
+
+func TestResultTypeInferenceKillsGuards(t *testing.T) {
+	// r2 = r1 + r1 (int); guard_class(r2, Int) is redundant.
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpIntAdd, A: 1, B: 1, Res: 2},
+		{Opc: OpGuardClass, A: 2, Shape: ShapeIntKind, Resume: emptyResume()},
+		{Opc: OpJump, Args: []Ref{2}},
+	})
+	Optimize(tr, OptConfig{Guards: true})
+	for _, op := range tr.Ops {
+		if op.Opc == OpGuardClass {
+			t.Fatalf("guard on inferred int result survived")
+		}
+	}
+}
+
+func TestCSEForwardsGetfield(t *testing.T) {
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpGetfieldGC, A: 1, Aux: 0, Res: 2},
+		{Opc: OpGetfieldGC, A: 1, Aux: 0, Res: 3}, // duplicate
+		{Opc: OpIntAdd, A: 2, B: 3, Res: 4},
+		{Opc: OpJump, Args: []Ref{4}},
+	})
+	Optimize(tr, OptConfig{CSE: true, DCE: true})
+	loads := 0
+	for _, op := range tr.Ops {
+		if op.Opc == OpGetfieldGC {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("CSE left %d getfields: %v", loads, opcodes(tr))
+	}
+	// The add must now use r2 twice.
+	for _, op := range tr.Ops {
+		if op.Opc == OpIntAdd && (op.A != 2 || op.B != 2) {
+			t.Fatalf("add args not forwarded: %+v", op)
+		}
+	}
+}
+
+func TestCSEInvalidatedBySetfield(t *testing.T) {
+	tr := buildTrace(2, nil, []Op{
+		{Opc: OpGetfieldGC, A: 1, Aux: 0, Res: 3},
+		{Opc: OpSetfieldGC, A: 2, B: 3, Aux: 0}, // may alias r1
+		{Opc: OpGetfieldGC, A: 1, Aux: 0, Res: 4},
+		{Opc: OpJump, Args: []Ref{3, 4}},
+	})
+	Optimize(tr, OptConfig{CSE: true, DCE: true})
+	loads := 0
+	for _, op := range tr.Ops {
+		if op.Opc == OpGetfieldGC {
+			loads++
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("aliasing store must invalidate CSE; %d loads survive", loads)
+	}
+}
+
+func TestEscapeToCallPreventsVirtual(t *testing.T) {
+	sh := &heap.Shape{Name: "T", ID: 3}
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpNewWithVtable, Shape: sh, Aux: 1, Res: 2},
+		{Opc: OpSetfieldGC, A: 2, B: 1, Aux: 0},
+		{Opc: OpCall, Args: []Ref{2}, Res: 3,
+			Thunk: func(a []heap.Value) heap.Value { return heap.Nil }},
+		{Opc: OpJump, Args: []Ref{1}},
+	})
+	Optimize(tr, AllOpts())
+	found := false
+	for _, op := range tr.Ops {
+		if op.Opc == OpNewWithVtable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("allocation passed to a call must not be removed")
+	}
+}
+
+func TestNonEscapingAllocationRemoved(t *testing.T) {
+	sh := &heap.Shape{Name: "T", ID: 4}
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpNewWithVtable, Shape: sh, Aux: 1, Res: 2},
+		{Opc: OpSetfieldGC, A: 2, B: 1, Aux: 0},
+		{Opc: OpGetfieldGC, A: 2, Aux: 0, Res: 3},
+		{Opc: OpJump, Args: []Ref{3}},
+	})
+	Optimize(tr, AllOpts())
+	for _, op := range tr.Ops {
+		if op.Opc == OpNewWithVtable || op.Opc == OpSetfieldGC || op.Opc == OpGetfieldGC {
+			t.Fatalf("virtual not fully removed: %v", opcodes(tr))
+		}
+	}
+	if tr.Ops[0].Opc != OpJump || tr.Ops[0].Args[0] != 1 {
+		t.Fatalf("field read not forwarded to input: %+v", tr.Ops[0])
+	}
+}
+
+func TestNestedVirtualEscapesThroughRead(t *testing.T) {
+	// outer.f = inner; x = outer.f; ptr_eq(x, const) -> inner must NOT be
+	// virtual (the regression behind the binarytrees miscompile).
+	sh := &heap.Shape{Name: "T", ID: 5}
+	tr := buildTrace(1, []heap.Value{heap.Nil}, []Op{
+		{Opc: OpNewWithVtable, Shape: sh, Aux: 1, Res: 2}, // inner
+		{Opc: OpNewWithVtable, Shape: sh, Aux: 1, Res: 3}, // outer
+		{Opc: OpSetfieldGC, A: 3, B: 2, Aux: 0},
+		{Opc: OpGetfieldGC, A: 3, Aux: 0, Res: 4},
+		{Opc: OpPtrEq, A: 4, B: ConstRef(0), Res: 5},
+		{Opc: OpJump, Args: []Ref{5}},
+	})
+	Optimize(tr, AllOpts())
+	news := 0
+	for _, op := range tr.Ops {
+		if op.Opc == OpNewWithVtable {
+			news++
+		}
+	}
+	if news == 0 {
+		t.Fatalf("inner allocation compared by identity was removed: %v", opcodes(tr))
+	}
+}
+
+func TestVirtualInResumeGetsDescriptor(t *testing.T) {
+	sh := &heap.Shape{Name: "T", ID: 6}
+	resume := &ResumeState{Frames: []FrameSnap{{Slots: []Ref{2}, NumLocals: 1}}}
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpNewWithVtable, Shape: sh, Aux: 1, Res: 2},
+		{Opc: OpSetfieldGC, A: 2, B: 1, Aux: 0},
+		{Opc: OpGuardTrue, A: 1, Resume: resume, GuardID: 1},
+		{Opc: OpJump, Args: []Ref{1}},
+	})
+	Optimize(tr, AllOpts())
+	var g *Op
+	for i := range tr.Ops {
+		if tr.Ops[i].Opc == OpGuardTrue {
+			g = &tr.Ops[i]
+		}
+	}
+	if g == nil {
+		t.Fatalf("guard disappeared")
+	}
+	if len(g.Resume.Virtuals) != 1 {
+		t.Fatalf("resume lacks virtual descriptor: %+v", g.Resume)
+	}
+	vd := g.Resume.Virtuals[0]
+	if vd.Shape != sh || len(vd.FieldRefs) != 1 || vd.FieldRefs[0] != 1 {
+		t.Fatalf("descriptor wrong: %+v", vd)
+	}
+}
+
+func TestDCEDropsUnusedPureOps(t *testing.T) {
+	tr := buildTrace(1, nil, []Op{
+		{Opc: OpIntAdd, A: 1, B: 1, Res: 2}, // unused
+		{Opc: OpIntMul, A: 1, B: 1, Res: 3},
+		{Opc: OpJump, Args: []Ref{3}},
+	})
+	Optimize(tr, OptConfig{DCE: true})
+	for _, op := range tr.Ops {
+		if op.Opc == OpIntAdd {
+			t.Fatalf("dead add survived")
+		}
+	}
+}
+
+func emptyResume() *ResumeState {
+	return &ResumeState{Frames: []FrameSnap{{Slots: []Ref{1}, NumLocals: 1}}}
+}
+
+// Property: optimization never changes the number of non-pure,
+// non-removable effects (calls, stores to escaping objects, jumps).
+func TestOptimizePreservesCalls(t *testing.T) {
+	f := func(nAdds uint8) bool {
+		ops := []Op{}
+		reg := Ref(2)
+		for i := 0; i < int(nAdds%20); i++ {
+			ops = append(ops, Op{Opc: OpIntAdd, A: 1, B: 1, Res: reg})
+			reg++
+		}
+		ops = append(ops,
+			Op{Opc: OpCall, Args: []Ref{1}, Res: reg,
+				Thunk: func(a []heap.Value) heap.Value { return heap.Nil }},
+			Op{Opc: OpJump, Args: []Ref{1}})
+		tr := buildTrace(1, nil, ops)
+		Optimize(tr, AllOpts())
+		calls, jumps := 0, 0
+		for _, op := range tr.Ops {
+			switch op.Opc {
+			case OpCall:
+				calls++
+			case OpJump:
+				jumps++
+			}
+		}
+		return calls == 1 && jumps == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package pintool
+
+import (
+	"testing"
+
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+	"metajit/internal/isa"
+)
+
+func TestPhaseTrackerNesting(t *testing.T) {
+	m := cpu.NewDefault()
+	tr := NewPhaseTracker(m)
+
+	emit := func(tag core.Tag, n int) {
+		m.Annot(tag, 0)
+		m.Ops(isa.ALU, n)
+	}
+	m.Ops(isa.ALU, 100) // interp
+	emit(core.TagJITEnter, 50)
+	if tr.Current() != core.PhaseJIT {
+		t.Fatalf("phase = %v after JITEnter", tr.Current())
+	}
+	// GC interrupts JIT; after it ends we must be back in JIT.
+	emit(core.TagGCMinorStart, 30)
+	if tr.Current() != core.PhaseGC {
+		t.Fatalf("phase = %v during GC", tr.Current())
+	}
+	emit(core.TagGCMinorEnd, 0)
+	if tr.Current() != core.PhaseJIT {
+		t.Fatalf("phase = %v after GC end (stack broken)", tr.Current())
+	}
+	emit(core.TagAOTCallEnter, 40)
+	emit(core.TagAOTCallLeave, 20)
+	emit(core.TagJITLeave, 0)
+	if tr.Current() != core.PhaseInterp {
+		t.Fatalf("phase = %v after JITLeave", tr.Current())
+	}
+
+	if got := m.PhaseCounters(core.PhaseGC).Instrs; got < 30 {
+		t.Errorf("GC instrs = %d", got)
+	}
+	if got := m.PhaseCounters(core.PhaseJITCall).Instrs; got < 40 {
+		t.Errorf("JITCall instrs = %d", got)
+	}
+	if tr.Transitions == 0 {
+		t.Errorf("no transitions recorded")
+	}
+}
+
+func TestPhaseTrackerUnderflowSafe(t *testing.T) {
+	m := cpu.NewDefault()
+	tr := NewPhaseTracker(m)
+	// A stray leave must not panic and must land in interp.
+	m.Annot(core.TagJITLeave, 0)
+	if tr.Current() != core.PhaseInterp {
+		t.Fatalf("phase = %v after stray pop", tr.Current())
+	}
+}
+
+func TestWorkMeterCountsAndSamples(t *testing.T) {
+	m := cpu.NewDefault()
+	w := NewWorkMeter(m, 1000)
+	for i := 0; i < 100; i++ {
+		m.Ops(isa.ALU, 50)
+		m.Annot(core.TagDispatch, 3)
+	}
+	if w.Bytecodes != 300 {
+		t.Fatalf("bytecodes = %d, want 300", w.Bytecodes)
+	}
+	if len(w.Samples) < 3 {
+		t.Fatalf("samples = %d; sampling broken", len(w.Samples))
+	}
+	for i := 1; i < len(w.Samples); i++ {
+		if w.Samples[i].Instrs <= w.Samples[i-1].Instrs {
+			t.Errorf("samples not monotonic")
+		}
+		if w.Samples[i].Bytecodes < w.Samples[i-1].Bytecodes {
+			t.Errorf("bytecode counts not monotonic")
+		}
+	}
+}
+
+func TestWorkMeterNoSampling(t *testing.T) {
+	m := cpu.NewDefault()
+	w := NewWorkMeter(m, 0)
+	m.Annot(core.TagDispatch, 1)
+	if len(w.Samples) != 0 {
+		t.Errorf("interval 0 must not sample")
+	}
+	if w.Bytecodes != 1 {
+		t.Errorf("bytecodes = %d", w.Bytecodes)
+	}
+}
+
+func TestAOTAttributorNestedCalls(t *testing.T) {
+	m := cpu.NewDefault()
+	a := NewAOTAttributor(m)
+	m.Annot(core.TagAOTCallEnter, 7)
+	m.Ops(isa.ALU, 1000)
+	// Nested call: time attributes to the OUTER entry point (fn 7), as
+	// in the paper's Table III methodology.
+	m.Annot(core.TagAOTCallEnter, 9)
+	m.Ops(isa.ALU, 2000)
+	m.Annot(core.TagAOTCallLeave, 9)
+	m.Annot(core.TagAOTCallLeave, 7)
+
+	if a.CallsByFunc[7] != 1 {
+		t.Errorf("outer calls = %d", a.CallsByFunc[7])
+	}
+	if a.CallsByFunc[9] != 0 {
+		t.Errorf("nested call counted separately: %d", a.CallsByFunc[9])
+	}
+	if a.CyclesByFunc[7] <= 0 {
+		t.Errorf("no cycles attributed to outer")
+	}
+	if a.CyclesByFunc[9] != 0 {
+		t.Errorf("cycles attributed to nested entry")
+	}
+}
+
+func TestTraceEventCounter(t *testing.T) {
+	m := cpu.NewDefault()
+	c := NewTraceEventCounter(m)
+	m.Annot(core.TagTraceCompiled, 1)
+	m.Annot(core.TagGuardFail, 5)
+	m.Annot(core.TagGuardFail, 5)
+	m.Annot(core.TagBridgeEnter, 2)
+	m.Annot(core.TagBlackholeEnter, 5)
+	m.Annot(core.TagGCMinorStart, 0)
+	m.Annot(core.TagGCMajorStart, 0)
+	m.Annot(core.TagTraceAbort, 1)
+	if c.Compiled != 1 || c.GuardFails != 2 || c.BridgeEnters != 1 ||
+		c.Deopts != 1 || c.MinorGCs != 1 || c.MajorGCs != 1 || c.Aborts != 1 {
+		t.Errorf("counter state wrong: %+v", c)
+	}
+}

@@ -1,0 +1,166 @@
+package pylang
+
+// AST node definitions. The parser produces these; the compiler lowers them
+// to stack bytecode.
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Expressions.
+type (
+	// NumInt is an integer literal.
+	NumInt struct{ V int64 }
+	// NumFloat is a float literal.
+	NumFloat struct{ V float64 }
+	// NumBig is an integer literal too large for a machine word.
+	NumBig struct{ V string }
+	// StrLit is a string literal.
+	StrLit struct{ V string }
+	// BoolLit is True/False.
+	BoolLit struct{ V bool }
+	// NoneLit is None.
+	NoneLit struct{}
+	// Ident is a name reference.
+	Ident struct{ Name string }
+	// BinOp is a binary operation ("+", "-", "*", "/", "//", "%", "**",
+	// "<<", ">>", "&", "|", "^").
+	BinOp struct {
+		Op   string
+		L, R Expr
+	}
+	// CmpOp is a comparison ("<", "<=", ">", ">=", "==", "!=", "is",
+	// "in", "not in").
+	CmpOp struct {
+		Op   string
+		L, R Expr
+	}
+	// BoolOp is "and"/"or" with Python value semantics.
+	BoolOp struct {
+		Op   string
+		L, R Expr
+	}
+	// UnaryOp is "-" or "not".
+	UnaryOp struct {
+		Op string
+		E  Expr
+	}
+	// Call is a function/method call.
+	Call struct {
+		Fn   Expr
+		Args []Expr
+	}
+	// Attr is attribute access e.a.
+	Attr struct {
+		E    Expr
+		Name string
+	}
+	// Index is e[i].
+	Index struct {
+		E, I Expr
+	}
+	// SliceExpr is e[lo:hi]; nil bounds mean start/end.
+	SliceExpr struct {
+		E      Expr
+		Lo, Hi Expr
+	}
+	// ListLit is [a, b, ...].
+	ListLit struct{ Elems []Expr }
+	// TupleLit is (a, b) or a, b.
+	TupleLit struct{ Elems []Expr }
+	// DictLit is {k: v, ...}.
+	DictLit struct{ Keys, Vals []Expr }
+	// CondExpr is "a if c else b".
+	CondExpr struct{ Cond, Then, Else Expr }
+)
+
+func (*NumInt) exprNode()    {}
+func (*NumFloat) exprNode()  {}
+func (*NumBig) exprNode()    {}
+func (*StrLit) exprNode()    {}
+func (*BoolLit) exprNode()   {}
+func (*NoneLit) exprNode()   {}
+func (*Ident) exprNode()     {}
+func (*BinOp) exprNode()     {}
+func (*CmpOp) exprNode()     {}
+func (*BoolOp) exprNode()    {}
+func (*UnaryOp) exprNode()   {}
+func (*Call) exprNode()      {}
+func (*Attr) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*SliceExpr) exprNode() {}
+func (*ListLit) exprNode()   {}
+func (*TupleLit) exprNode()  {}
+func (*DictLit) exprNode()   {}
+func (*CondExpr) exprNode()  {}
+
+// Statements.
+type (
+	// ExprStmt evaluates and discards.
+	ExprStmt struct{ E Expr }
+	// Assign is target = value (target: Ident, Attr, Index, SliceExpr,
+	// or TupleLit of two Idents).
+	Assign struct {
+		Target Expr
+		Value  Expr
+	}
+	// AugAssign is target op= value.
+	AugAssign struct {
+		Op     string // "+", "-", ...
+		Target Expr
+		Value  Expr
+	}
+	// If is if/elif/else.
+	If struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// While is a while loop.
+	While struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// For is "for targets in iter".
+	For struct {
+		Target Expr // Ident or TupleLit
+		Iter   Expr
+		Body   []Stmt
+	}
+	// Break/Continue/Pass.
+	Break    struct{}
+	Continue struct{}
+	Pass     struct{}
+	// Return returns a value (nil = None).
+	Return struct{ Value Expr }
+	// FuncDef defines a function or method.
+	FuncDef struct {
+		Name   string
+		Params []string
+		Body   []Stmt
+	}
+	// ClassDef defines a class.
+	ClassDef struct {
+		Name    string
+		Base    string // "" for none
+		Methods []*FuncDef
+	}
+	// Global declares names as module-global inside a function.
+	Global struct{ Names []string }
+)
+
+func (*ExprStmt) stmtNode()  {}
+func (*Assign) stmtNode()    {}
+func (*AugAssign) stmtNode() {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*For) stmtNode()       {}
+func (*Break) stmtNode()     {}
+func (*Continue) stmtNode()  {}
+func (*Pass) stmtNode()      {}
+func (*Return) stmtNode()    {}
+func (*FuncDef) stmtNode()   {}
+func (*ClassDef) stmtNode()  {}
+func (*Global) stmtNode()    {}

@@ -1,0 +1,137 @@
+package pylang
+
+import (
+	"metajit/internal/heap"
+	"metajit/internal/isa"
+)
+
+// BC is a guest bytecode opcode.
+type BC uint8
+
+// Bytecodes (a CPython-like stack machine).
+const (
+	BCLoadConst BC = iota // Arg: const index
+	BCLoadLocal           // Arg: local index
+	BCStoreLocal
+	BCLoadGlobal // Arg: name index
+	BCStoreGlobal
+	BCLoadAttr // Arg: name index
+	BCStoreAttr
+	BCBinary  // Arg: BinKind
+	BCCompare // Arg: CmpKind
+	BCUnaryNeg
+	BCUnaryNot
+	BCJump           // Arg: target pc
+	BCPopJumpIfFalse // Arg: target pc
+	BCPopJumpIfTrue
+	BCJumpIfFalseOrPop
+	BCJumpIfTrueOrPop
+	BCCall // Arg: #args
+	BCReturn
+	BCPop
+	BCDup
+	BCDup2
+	BCBuildList  // Arg: #elems
+	BCBuildTuple // Arg: #elems
+	BCBuildDict  // Arg: #pairs
+	BCIndex
+	BCStoreIndex
+	BCSlice      // stack: obj lo hi -> slice
+	BCStoreSlice // stack: obj lo hi value
+	BCUnpack2
+	BCLen      // len(TOS)
+	BCIterPrep // normalize an iterable into an indexable sequence
+	NumBC
+)
+
+var bcNames = [NumBC]string{
+	"LOAD_CONST", "LOAD_LOCAL", "STORE_LOCAL", "LOAD_GLOBAL", "STORE_GLOBAL",
+	"LOAD_ATTR", "STORE_ATTR", "BINARY", "COMPARE", "UNARY_NEG", "UNARY_NOT",
+	"JUMP", "POP_JUMP_IF_FALSE", "POP_JUMP_IF_TRUE", "JUMP_IF_FALSE_OR_POP",
+	"JUMP_IF_TRUE_OR_POP", "CALL", "RETURN", "POP", "DUP", "DUP2",
+	"BUILD_LIST", "BUILD_TUPLE", "BUILD_DICT", "INDEX", "STORE_INDEX",
+	"SLICE", "STORE_SLICE", "UNPACK2", "LEN", "ITER_PREP",
+}
+
+// String returns the opcode mnemonic.
+func (b BC) String() string {
+	if int(b) < len(bcNames) {
+		return bcNames[b]
+	}
+	return "BC?"
+}
+
+// BinKind encodes BCBinary's operator.
+type BinKind int32
+
+// Binary operators.
+const (
+	BinAdd BinKind = iota
+	BinSub
+	BinMul
+	BinTrueDiv
+	BinFloorDiv
+	BinMod
+	BinPow
+	BinLsh
+	BinRsh
+	BinAnd
+	BinOr
+	BinXor
+)
+
+var binKinds = map[string]BinKind{
+	"+": BinAdd, "-": BinSub, "*": BinMul, "/": BinTrueDiv, "//": BinFloorDiv,
+	"%": BinMod, "**": BinPow, "<<": BinLsh, ">>": BinRsh,
+	"&": BinAnd, "|": BinOr, "^": BinXor,
+}
+
+// CmpKind encodes BCCompare's operator.
+type CmpKind int32
+
+// Comparison operators.
+const (
+	CmpLt CmpKind = iota
+	CmpLe
+	CmpGt
+	CmpGe
+	CmpEq
+	CmpNe
+	CmpIs
+	CmpIn
+	CmpNotIn
+)
+
+var cmpKinds = map[string]CmpKind{
+	"<": CmpLt, "<=": CmpLe, ">": CmpGt, ">=": CmpGe, "==": CmpEq,
+	"!=": CmpNe, "is": CmpIs, "in": CmpIn, "not in": CmpNotIn,
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op  BC
+	Arg int32
+}
+
+// Code is a compiled function body (or module body).
+type Code struct {
+	ID        uint32
+	Name      string
+	NumParams int
+	NumLocals int
+	Instrs    []Instr
+	Consts    []heap.Value
+	Names     []string
+	// Headers marks loop-header pcs (jit_merge_point positions).
+	Headers []bool
+	// PCBase gives each bytecode position a stable synthetic site PC
+	// for branch-prediction modeling.
+	PCBase uint64
+}
+
+// Site returns the synthetic PC of bytecode position pc.
+func (c *Code) Site(pc int) uint64 { return c.PCBase + uint64(pc)*16 }
+
+// HandlerPC returns the synthetic handler address the dispatch loop's
+// indirect jump targets for an opcode.
+func HandlerPC(op BC) uint64 { return isa.RegionVMText + 0x10_0000 + uint64(op)*256 }

@@ -1,0 +1,742 @@
+package pylang
+
+import (
+	"fmt"
+
+	"metajit/internal/aot"
+	"metajit/internal/heap"
+	"metajit/internal/isa"
+)
+
+// compiler lowers one function (or the module body) to bytecode.
+type compiler struct {
+	vm   *VM
+	code *Code
+
+	locals     map[string]int
+	globalDecl map[string]bool
+	isModule   bool
+
+	breakPatch    [][]int
+	continueHdr   []int
+	hiddenCounter int
+	headerSet     map[int]bool
+}
+
+// CompileModule parses and compiles src: the module body plus every
+// function and class. Functions and classes become objects stored into the
+// module globals when the module body executes.
+func (vm *VM) CompileModule(name, src string) (*Code, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := vm.newCompiler(name+".<module>", true)
+	for _, s := range stmts {
+		if err := c.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	c.emit(BCLoadConst, c.constIdx(heap.Nil))
+	c.emit(BCReturn, 0)
+	return c.finish(), nil
+}
+
+func (vm *VM) newCompiler(name string, isModule bool) *compiler {
+	vm.codeSeq++
+	return &compiler{
+		vm: vm,
+		code: &Code{
+			ID:     vm.codeSeq,
+			Name:   name,
+			PCBase: isa.VMText.Take(1 << 14),
+		},
+		locals:     map[string]int{},
+		globalDecl: map[string]bool{},
+		isModule:   isModule,
+	}
+}
+
+func (c *compiler) finish() *Code {
+	c.code.NumLocals = len(c.locals)
+	c.code.Headers = make([]bool, len(c.code.Instrs))
+	for pc := range c.headerSet {
+		c.code.Headers[pc] = true
+	}
+	c.vm.codes = append(c.vm.codes, c.code)
+	return c.code
+}
+
+func (c *compiler) emit(op BC, arg int32) int {
+	c.code.Instrs = append(c.code.Instrs, Instr{Op: op, Arg: arg})
+	return len(c.code.Instrs) - 1
+}
+
+func (c *compiler) patch(at int, target int) {
+	c.code.Instrs[at].Arg = int32(target)
+}
+
+func (c *compiler) here() int { return len(c.code.Instrs) }
+
+func (c *compiler) constIdx(v heap.Value) int32 {
+	for i, cv := range c.code.Consts {
+		if cv.Eq(v) {
+			return int32(i)
+		}
+	}
+	c.code.Consts = append(c.code.Consts, v)
+	return int32(len(c.code.Consts) - 1)
+}
+
+func (c *compiler) nameIdx(n string) int32 {
+	for i, s := range c.code.Names {
+		if s == n {
+			return int32(i)
+		}
+	}
+	c.code.Names = append(c.code.Names, n)
+	return int32(len(c.code.Names) - 1)
+}
+
+func (c *compiler) localIdx(n string) int {
+	if i, ok := c.locals[n]; ok {
+		return i
+	}
+	i := len(c.locals)
+	c.locals[n] = i
+	return i
+}
+
+func (c *compiler) hiddenLocal(prefix string) int {
+	c.hiddenCounter++
+	return c.localIdx(fmt.Sprintf("$%s%d", prefix, c.hiddenCounter))
+}
+
+// isLocalName reports whether a name is function-local.
+func (c *compiler) isLocalName(n string) bool {
+	if c.isModule || c.globalDecl[n] {
+		return false
+	}
+	_, ok := c.locals[n]
+	return ok
+}
+
+func (c *compiler) markHeader(pc int) {
+	if c.headerSet == nil {
+		c.headerSet = map[int]bool{}
+	}
+	c.headerSet[pc] = true
+}
+
+func (c *compiler) loadName(n string) {
+	if c.isLocalName(n) {
+		c.emit(BCLoadLocal, int32(c.locals[n]))
+	} else {
+		c.emit(BCLoadGlobal, c.nameIdx(n))
+	}
+}
+
+func (c *compiler) storeName(n string) {
+	if !c.isModule && !c.globalDecl[n] {
+		c.emit(BCStoreLocal, int32(c.localIdx(n)))
+	} else {
+		c.emit(BCStoreGlobal, c.nameIdx(n))
+	}
+}
+
+// declareLocals pre-registers params and every assigned name so that reads
+// before the first textual assignment in loops still resolve locally.
+func (c *compiler) declareLocals(params []string, body []Stmt) {
+	for _, p := range params {
+		c.localIdx(p)
+	}
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *Global:
+				for _, n := range st.Names {
+					c.globalDecl[n] = true
+				}
+			case *Assign:
+				c.declTarget(st.Target)
+			case *AugAssign:
+				c.declTarget(st.Target)
+			case *If:
+				walk(st.Then)
+				walk(st.Else)
+			case *While:
+				walk(st.Body)
+			case *For:
+				c.declTarget(st.Target)
+				walk(st.Body)
+			}
+		}
+	}
+	walk(body)
+}
+
+func (c *compiler) declTarget(t Expr) {
+	switch tt := t.(type) {
+	case *Ident:
+		if !c.globalDecl[tt.Name] {
+			c.localIdx(tt.Name)
+		}
+	case *TupleLit:
+		for _, e := range tt.Elems {
+			c.declTarget(e)
+		}
+	}
+}
+
+func (c *compiler) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *ExprStmt:
+		if err := c.expr(st.E); err != nil {
+			return err
+		}
+		c.emit(BCPop, 0)
+	case *Pass:
+	case *Global:
+		for _, n := range st.Names {
+			c.globalDecl[n] = true
+		}
+	case *Return:
+		if st.Value != nil {
+			if err := c.expr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			c.emit(BCLoadConst, c.constIdx(heap.Nil))
+		}
+		c.emit(BCReturn, 0)
+	case *Assign:
+		return c.assign(st.Target, st.Value)
+	case *AugAssign:
+		return c.augAssign(st)
+	case *If:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jElse := c.emit(BCPopJumpIfFalse, 0)
+		for _, t := range st.Then {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		if len(st.Else) > 0 {
+			jEnd := c.emit(BCJump, 0)
+			c.patch(jElse, c.here())
+			for _, t := range st.Else {
+				if err := c.stmt(t); err != nil {
+					return err
+				}
+			}
+			c.patch(jEnd, c.here())
+		} else {
+			c.patch(jElse, c.here())
+		}
+	case *While:
+		header := c.here()
+		c.markHeader(header)
+		c.pushLoop(header)
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		jExit := c.emit(BCPopJumpIfFalse, 0)
+		for _, t := range st.Body {
+			if err := c.stmt(t); err != nil {
+				return err
+			}
+		}
+		c.emit(BCJump, int32(header))
+		c.patch(jExit, c.here())
+		c.popLoop(c.here())
+	case *For:
+		return c.forLoop(st)
+	case *Break:
+		if len(c.breakPatch) == 0 {
+			return fmt.Errorf("pylang: break outside loop")
+		}
+		at := c.emit(BCJump, 0)
+		c.breakPatch[len(c.breakPatch)-1] = append(c.breakPatch[len(c.breakPatch)-1], at)
+	case *Continue:
+		if len(c.continueHdr) == 0 {
+			return fmt.Errorf("pylang: continue outside loop")
+		}
+		c.emit(BCJump, int32(c.continueHdr[len(c.continueHdr)-1]))
+	case *FuncDef:
+		if !c.isModule {
+			return fmt.Errorf("pylang: nested functions are not supported")
+		}
+		fn, err := c.vm.compileFunction(st)
+		if err != nil {
+			return err
+		}
+		c.emit(BCLoadConst, c.constIdx(heap.RefVal(fn)))
+		c.emit(BCStoreGlobal, c.nameIdx(st.Name))
+	case *ClassDef:
+		if !c.isModule {
+			return fmt.Errorf("pylang: nested classes are not supported")
+		}
+		cls, err := c.vm.makeClass(st)
+		if err != nil {
+			return err
+		}
+		c.emit(BCLoadConst, c.constIdx(heap.RefVal(cls)))
+		c.emit(BCStoreGlobal, c.nameIdx(st.Name))
+	default:
+		return fmt.Errorf("pylang: unsupported statement %T", s)
+	}
+	return nil
+}
+
+func (c *compiler) pushLoop(header int) {
+	c.breakPatch = append(c.breakPatch, nil)
+	c.continueHdr = append(c.continueHdr, header)
+}
+
+// pushLoopCont registers a distinct continue target (for-loop increment).
+func (c *compiler) pushLoopCont(cont int) {
+	c.breakPatch = append(c.breakPatch, nil)
+	c.continueHdr = append(c.continueHdr, cont)
+}
+
+func (c *compiler) popLoop(exit int) {
+	for _, at := range c.breakPatch[len(c.breakPatch)-1] {
+		c.patch(at, exit)
+	}
+	c.breakPatch = c.breakPatch[:len(c.breakPatch)-1]
+	c.continueHdr = c.continueHdr[:len(c.continueHdr)-1]
+}
+
+func (c *compiler) assign(target Expr, value Expr) error {
+	switch t := target.(type) {
+	case *Ident:
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.storeName(t.Name)
+	case *Attr:
+		if err := c.expr(t.E); err != nil {
+			return err
+		}
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(BCStoreAttr, c.nameIdx(t.Name))
+	case *Index:
+		if err := c.expr(t.E); err != nil {
+			return err
+		}
+		if err := c.expr(t.I); err != nil {
+			return err
+		}
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(BCStoreIndex, 0)
+	case *SliceExpr:
+		if err := c.expr(t.E); err != nil {
+			return err
+		}
+		if err := c.sliceBound(t.Lo, 0); err != nil {
+			return err
+		}
+		if err := c.sliceBound(t.Hi, -1); err != nil {
+			return err
+		}
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(BCStoreSlice, 0)
+	case *TupleLit:
+		if len(t.Elems) != 2 {
+			return fmt.Errorf("pylang: only 2-element unpacking is supported")
+		}
+		if err := c.expr(value); err != nil {
+			return err
+		}
+		c.emit(BCUnpack2, 0)
+		for _, e := range t.Elems {
+			id, ok := e.(*Ident)
+			if !ok {
+				return fmt.Errorf("pylang: unpack targets must be names")
+			}
+			c.storeName(id.Name)
+		}
+	default:
+		return fmt.Errorf("pylang: cannot assign to %T", target)
+	}
+	return nil
+}
+
+func (c *compiler) sliceBound(e Expr, def int64) error {
+	if e == nil {
+		return c.expr(&NumInt{V: def})
+	}
+	return c.expr(e)
+}
+
+func (c *compiler) augAssign(st *AugAssign) error {
+	bk, ok := binKinds[st.Op]
+	if !ok {
+		return fmt.Errorf("pylang: bad augmented op %q", st.Op)
+	}
+	switch t := st.Target.(type) {
+	case *Ident:
+		c.loadName(t.Name)
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(BCBinary, int32(bk))
+		c.storeName(t.Name)
+	case *Attr:
+		if err := c.expr(t.E); err != nil {
+			return err
+		}
+		c.emit(BCDup, 0)
+		c.emit(BCLoadAttr, c.nameIdx(t.Name))
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(BCBinary, int32(bk))
+		c.emit(BCStoreAttr, c.nameIdx(t.Name))
+	case *Index:
+		if err := c.expr(t.E); err != nil {
+			return err
+		}
+		if err := c.expr(t.I); err != nil {
+			return err
+		}
+		c.emit(BCDup2, 0)
+		c.emit(BCIndex, 0)
+		if err := c.expr(st.Value); err != nil {
+			return err
+		}
+		c.emit(BCBinary, int32(bk))
+		c.emit(BCStoreIndex, 0)
+	default:
+		return fmt.Errorf("pylang: cannot augment-assign to %T", st.Target)
+	}
+	return nil
+}
+
+// forLoop desugars for loops into indexed while loops with hidden locals,
+// keeping the operand stack empty at the merge point.
+func (c *compiler) forLoop(st *For) error {
+	// Special case: for x in range(...)
+	if call, ok := st.Iter.(*Call); ok {
+		if id, ok2 := call.Fn.(*Ident); ok2 && id.Name == "range" && !c.isLocalName("range") {
+			return c.forRange(st, call.Args)
+		}
+	}
+	itL := c.hiddenLocal("it")
+	nL := c.hiddenLocal("n")
+	iL := c.hiddenLocal("i")
+	// $it = iter_prep(iter); $n = len($it); $i = 0
+	if err := c.expr(st.Iter); err != nil {
+		return err
+	}
+	c.emit(BCIterPrep, 0)
+	c.emit(BCDup, 0)
+	c.emit(BCStoreLocal, int32(itL))
+	c.emit(BCLen, 0)
+	c.emit(BCStoreLocal, int32(nL))
+	c.emit(BCLoadConst, c.constIdx(heap.IntVal(0)))
+	c.emit(BCStoreLocal, int32(iL))
+
+	header := c.here()
+	c.markHeader(header)
+	c.emit(BCLoadLocal, int32(iL))
+	c.emit(BCLoadLocal, int32(nL))
+	c.emit(BCCompare, int32(CmpLt))
+	jExit := c.emit(BCPopJumpIfFalse, 0)
+	// target = $it[$i]
+	c.emit(BCLoadLocal, int32(itL))
+	c.emit(BCLoadLocal, int32(iL))
+	c.emit(BCIndex, 0)
+	if err := c.storeForTarget(st.Target); err != nil {
+		return err
+	}
+
+	// Body; continue jumps (emitted with the -1 sentinel) are patched to
+	// the increment below.
+	c.pushLoopCont(-1)
+	bodyStart := c.here()
+	for _, t := range st.Body {
+		if err := c.stmt(t); err != nil {
+			return err
+		}
+	}
+	inc := c.here()
+	// $i += 1
+	c.emit(BCLoadLocal, int32(iL))
+	c.emit(BCLoadConst, c.constIdx(heap.IntVal(1)))
+	c.emit(BCBinary, int32(BinAdd))
+	c.emit(BCStoreLocal, int32(iL))
+	c.emit(BCJump, int32(header))
+	exit := c.here()
+	c.patch(jExit, exit)
+	c.fixContinues(bodyStart, inc)
+	c.popLoop(exit)
+	return nil
+}
+
+// forRange compiles "for x in range(a[, b[, step]])" with a constant step.
+func (c *compiler) forRange(st *For, args []Expr) error {
+	id, ok := st.Target.(*Ident)
+	if !ok {
+		return fmt.Errorf("pylang: range loop target must be a name")
+	}
+	step := int64(1)
+	switch len(args) {
+	case 1, 2:
+	case 3:
+		n, ok := args[2].(*NumInt)
+		if !ok {
+			return fmt.Errorf("pylang: range step must be an integer literal")
+		}
+		step = n.V
+		if step == 0 {
+			return fmt.Errorf("pylang: range step must not be zero")
+		}
+	default:
+		return fmt.Errorf("pylang: range takes 1-3 arguments")
+	}
+	stopL := c.hiddenLocal("stop")
+	// x = start; $stop = stop
+	if len(args) == 1 {
+		if err := c.expr(args[0]); err != nil {
+			return err
+		}
+		c.emit(BCStoreLocal, int32(stopL))
+		c.emit(BCLoadConst, c.constIdx(heap.IntVal(0)))
+		c.storeName(id.Name)
+	} else {
+		if err := c.expr(args[0]); err != nil {
+			return err
+		}
+		c.storeName(id.Name)
+		if err := c.expr(args[1]); err != nil {
+			return err
+		}
+		c.emit(BCStoreLocal, int32(stopL))
+	}
+	header := c.here()
+	c.markHeader(header)
+	c.loadName(id.Name)
+	c.emit(BCLoadLocal, int32(stopL))
+	if step > 0 {
+		c.emit(BCCompare, int32(CmpLt))
+	} else {
+		c.emit(BCCompare, int32(CmpGt))
+	}
+	jExit := c.emit(BCPopJumpIfFalse, 0)
+	c.pushLoopCont(-1)
+	bodyStart := c.here()
+	for _, t := range st.Body {
+		if err := c.stmt(t); err != nil {
+			return err
+		}
+	}
+	inc := c.here()
+	c.loadName(id.Name)
+	c.emit(BCLoadConst, c.constIdx(heap.IntVal(step)))
+	c.emit(BCBinary, int32(BinAdd))
+	c.storeName(id.Name)
+	c.emit(BCJump, int32(header))
+	exit := c.here()
+	c.patch(jExit, exit)
+	c.fixContinues(bodyStart, inc)
+	c.popLoop(exit)
+	return nil
+}
+
+// fixContinues retargets continue jumps (emitted with the sentinel -1)
+// within [bodyStart, here) to the increment pc.
+func (c *compiler) fixContinues(bodyStart, inc int) {
+	for pc := bodyStart; pc < len(c.code.Instrs); pc++ {
+		in := &c.code.Instrs[pc]
+		if in.Op == BCJump && in.Arg == -1 {
+			in.Arg = int32(inc)
+		}
+	}
+}
+
+func (c *compiler) storeForTarget(t Expr) error {
+	switch tt := t.(type) {
+	case *Ident:
+		c.storeName(tt.Name)
+		return nil
+	case *TupleLit:
+		if len(tt.Elems) != 2 {
+			return fmt.Errorf("pylang: only 2-element loop unpacking supported")
+		}
+		c.emit(BCUnpack2, 0)
+		for _, e := range tt.Elems {
+			id, ok := e.(*Ident)
+			if !ok {
+				return fmt.Errorf("pylang: loop unpack targets must be names")
+			}
+			c.storeName(id.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("pylang: bad loop target %T", t)
+}
+
+func (c *compiler) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumInt:
+		c.emit(BCLoadConst, c.constIdx(heap.IntVal(ex.V)))
+	case *NumFloat:
+		c.emit(BCLoadConst, c.constIdx(heap.FloatVal(ex.V)))
+	case *NumBig:
+		b, ok := aot.BigFromString(ex.V)
+		if !ok {
+			return fmt.Errorf("pylang: bad integer literal %q", ex.V)
+		}
+		o := c.vm.H.AllocObj(c.vm.BigShape, 0)
+		o.Native = b
+		c.emit(BCLoadConst, c.constIdx(heap.RefVal(o)))
+	case *StrLit:
+		c.emit(BCLoadConst, c.constIdx(heap.RefVal(c.vm.Intern(ex.V))))
+	case *BoolLit:
+		c.emit(BCLoadConst, c.constIdx(heap.BoolVal(ex.V)))
+	case *NoneLit:
+		c.emit(BCLoadConst, c.constIdx(heap.Nil))
+	case *Ident:
+		c.loadName(ex.Name)
+	case *BinOp:
+		bk, ok := binKinds[ex.Op]
+		if !ok {
+			return fmt.Errorf("pylang: bad binary op %q", ex.Op)
+		}
+		if err := c.expr(ex.L); err != nil {
+			return err
+		}
+		if err := c.expr(ex.R); err != nil {
+			return err
+		}
+		c.emit(BCBinary, int32(bk))
+	case *CmpOp:
+		ck, ok := cmpKinds[ex.Op]
+		if !ok {
+			return fmt.Errorf("pylang: bad comparison %q", ex.Op)
+		}
+		if err := c.expr(ex.L); err != nil {
+			return err
+		}
+		if err := c.expr(ex.R); err != nil {
+			return err
+		}
+		c.emit(BCCompare, int32(ck))
+	case *BoolOp:
+		if err := c.expr(ex.L); err != nil {
+			return err
+		}
+		var j int
+		if ex.Op == "and" {
+			j = c.emit(BCJumpIfFalseOrPop, 0)
+		} else {
+			j = c.emit(BCJumpIfTrueOrPop, 0)
+		}
+		if err := c.expr(ex.R); err != nil {
+			return err
+		}
+		c.patch(j, c.here())
+	case *UnaryOp:
+		if err := c.expr(ex.E); err != nil {
+			return err
+		}
+		if ex.Op == "-" {
+			c.emit(BCUnaryNeg, 0)
+		} else {
+			c.emit(BCUnaryNot, 0)
+		}
+	case *CondExpr:
+		if err := c.expr(ex.Cond); err != nil {
+			return err
+		}
+		jElse := c.emit(BCPopJumpIfFalse, 0)
+		if err := c.expr(ex.Then); err != nil {
+			return err
+		}
+		jEnd := c.emit(BCJump, 0)
+		c.patch(jElse, c.here())
+		if err := c.expr(ex.Else); err != nil {
+			return err
+		}
+		c.patch(jEnd, c.here())
+	case *Call:
+		// len(x) compiles to a dedicated opcode.
+		if id, ok := ex.Fn.(*Ident); ok && id.Name == "len" && len(ex.Args) == 1 && !c.isLocalName("len") {
+			if err := c.expr(ex.Args[0]); err != nil {
+				return err
+			}
+			c.emit(BCLen, 0)
+			return nil
+		}
+		if err := c.expr(ex.Fn); err != nil {
+			return err
+		}
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.emit(BCCall, int32(len(ex.Args)))
+	case *Attr:
+		if err := c.expr(ex.E); err != nil {
+			return err
+		}
+		c.emit(BCLoadAttr, c.nameIdx(ex.Name))
+	case *Index:
+		if err := c.expr(ex.E); err != nil {
+			return err
+		}
+		if err := c.expr(ex.I); err != nil {
+			return err
+		}
+		c.emit(BCIndex, 0)
+	case *SliceExpr:
+		if err := c.expr(ex.E); err != nil {
+			return err
+		}
+		if err := c.sliceBound(ex.Lo, 0); err != nil {
+			return err
+		}
+		if err := c.sliceBound(ex.Hi, -1); err != nil {
+			return err
+		}
+		c.emit(BCSlice, 0)
+	case *ListLit:
+		for _, el := range ex.Elems {
+			if err := c.expr(el); err != nil {
+				return err
+			}
+		}
+		c.emit(BCBuildList, int32(len(ex.Elems)))
+	case *TupleLit:
+		for _, el := range ex.Elems {
+			if err := c.expr(el); err != nil {
+				return err
+			}
+		}
+		c.emit(BCBuildTuple, int32(len(ex.Elems)))
+	case *DictLit:
+		for i := range ex.Keys {
+			if err := c.expr(ex.Keys[i]); err != nil {
+				return err
+			}
+			if err := c.expr(ex.Vals[i]); err != nil {
+				return err
+			}
+		}
+		c.emit(BCBuildDict, int32(len(ex.Keys)))
+	default:
+		return fmt.Errorf("pylang: unsupported expression %T", e)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package pylang implements the Python-like guest language: an
+// indentation-sensitive dynamic language compiled to a stack bytecode and
+// executed on the meta-tracing framework (the PyPy analog of the paper) or
+// on the reference VM (the CPython analog).
+package pylang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokInt
+	TokBigInt
+	TokFloat
+	TokStr
+	TokKeyword
+	TokOp
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokNewline:
+		return "<newline>"
+	case TokIndent:
+		return "<indent>"
+	case TokDedent:
+		return "<dedent>"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"while": true, "for": true, "in": true, "break": true, "continue": true,
+	"pass": true, "class": true, "and": true, "or": true, "not": true,
+	"True": true, "False": true, "None": true, "is": true, "global": true,
+}
+
+// Lex tokenizes src, producing INDENT/DEDENT tokens from leading
+// whitespace like Python's tokenizer.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	indents := []int{0}
+	lines := strings.Split(src, "\n")
+	parenDepth := 0
+
+	for ln := 0; ln < len(lines); ln++ {
+		line := lines[ln]
+		// Strip comments (naive: '#' outside strings).
+		clean := stripComment(line)
+		trimmed := strings.TrimSpace(clean)
+		if parenDepth == 0 {
+			if trimmed == "" {
+				continue // blank or comment-only line
+			}
+			indent := leadingIndent(clean)
+			if indent > indents[len(indents)-1] {
+				indents = append(indents, indent)
+				toks = append(toks, Token{Kind: TokIndent, Line: ln + 1})
+			}
+			for indent < indents[len(indents)-1] {
+				indents = indents[:len(indents)-1]
+				toks = append(toks, Token{Kind: TokDedent, Line: ln + 1})
+			}
+			if indent != indents[len(indents)-1] {
+				return nil, fmt.Errorf("pylang: line %d: inconsistent indentation", ln+1)
+			}
+		}
+		lineToks, depthDelta, err := lexLine(clean, ln+1)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		parenDepth += depthDelta
+		if parenDepth < 0 {
+			return nil, fmt.Errorf("pylang: line %d: unbalanced brackets", ln+1)
+		}
+		if parenDepth == 0 && len(lineToks) > 0 {
+			toks = append(toks, Token{Kind: TokNewline, Line: ln + 1})
+		}
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, Token{Kind: TokDedent, Line: len(lines)})
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: len(lines)})
+	return toks, nil
+}
+
+func stripComment(line string) string {
+	inStr := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inStr = c
+		case '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func leadingIndent(line string) int {
+	n := 0
+	for _, c := range line {
+		switch c {
+		case ' ':
+			n++
+		case '\t':
+			n += 8 - n%8
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "//": true, "**": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true, "<<": true,
+	">>": true, "&=": true, "|=": true, "^=": true,
+}
+
+func lexLine(line string, ln int) ([]Token, int, error) {
+	var toks []Token
+	depth := 0
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(line) && line[i+1] >= '0' && line[i+1] <= '9'):
+			j := i
+			isFloat := false
+			for j < len(line) && (line[j] >= '0' && line[j] <= '9' || line[j] == '.' ||
+				line[j] == 'e' || line[j] == 'E' ||
+				((line[j] == '+' || line[j] == '-') && j > i && (line[j-1] == 'e' || line[j-1] == 'E'))) {
+				if line[j] == '.' || line[j] == 'e' || line[j] == 'E' {
+					// Guard against method calls on ints: 1.bit_length etc.
+					// are not supported anyway, so dot after digits means float.
+					isFloat = true
+				}
+				j++
+			}
+			text := line[i:j]
+			if isFloat {
+				var f float64
+				if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+					return nil, 0, fmt.Errorf("pylang: line %d: bad float %q", ln, text)
+				}
+				toks = append(toks, Token{Kind: TokFloat, Text: text, Flt: f, Line: ln})
+			} else {
+				var v int64
+				if _, err := fmt.Sscanf(text, "%d", &v); err != nil || fmt.Sprintf("%d", v) != text {
+					// Doesn't fit a machine word: bigint literal.
+					toks = append(toks, Token{Kind: TokBigInt, Text: text, Line: ln})
+				} else {
+					toks = append(toks, Token{Kind: TokInt, Text: text, Int: v, Line: ln})
+				}
+			}
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(line) && (line[j] == '_' || line[j] >= 'a' && line[j] <= 'z' ||
+				line[j] >= 'A' && line[j] <= 'Z' || line[j] >= '0' && line[j] <= '9') {
+				j++
+			}
+			text := line[i:j]
+			kind := TokName
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: ln})
+			i = j
+		case c == '\'' || c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(line) && line[j] != c {
+				if line[j] == '\\' && j+1 < len(line) {
+					switch line[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '\'':
+						sb.WriteByte('\'')
+					case '"':
+						sb.WriteByte('"')
+					case '0':
+						sb.WriteByte(0)
+					default:
+						sb.WriteByte(line[j+1])
+					}
+					j += 2
+					continue
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return nil, 0, fmt.Errorf("pylang: line %d: unterminated string", ln)
+			}
+			toks = append(toks, Token{Kind: TokStr, Text: sb.String(), Line: ln})
+			i = j + 1
+		default:
+			if i+1 < len(line) && twoCharOps[line[i:i+2]] {
+				toks = append(toks, Token{Kind: TokOp, Text: line[i : i+2], Line: ln})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', '[', '{':
+				depth++
+			case ')', ']', '}':
+				depth--
+			}
+			if strings.ContainsRune("+-*/%<>=()[]{},.:&|^~", rune(c)) {
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: ln})
+				i++
+			} else {
+				return nil, 0, fmt.Errorf("pylang: line %d: unexpected character %q", ln, c)
+			}
+		}
+	}
+	return toks, depth, nil
+}

@@ -1,0 +1,690 @@
+package pylang
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a module's statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(TokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	return stmts, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atOp(text string) bool {
+	return p.cur().Kind == TokOp && p.cur().Text == text
+}
+
+func (p *parser) atKw(text string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == text
+}
+
+func (p *parser) eatOp(text string) bool {
+	if p.atOp(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKw(text string) bool {
+	if p.atKw(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(text string) error {
+	if !p.eatOp(text) {
+		return p.errf("expected %q, got %q", text, p.cur().String())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("pylang: line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eatNewlines() {
+	for p.at(TokNewline) {
+		p.pos++
+	}
+}
+
+// block parses ":" NEWLINE INDENT stmts DEDENT.
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	// Inline suite: "if x: return y" on one line.
+	if !p.at(TokNewline) {
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TokNewline) {
+			p.pos++
+		}
+		return []Stmt{s}, nil
+	}
+	p.pos++ // newline
+	if !p.at(TokIndent) {
+		return nil, p.errf("expected indented block")
+	}
+	p.pos++
+	var stmts []Stmt
+	for !p.at(TokDedent) && !p.at(TokEOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	if p.at(TokDedent) {
+		p.pos++
+	}
+	return stmts, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	p.eatNewlines()
+	if p.at(TokEOF) || p.at(TokDedent) {
+		return nil, nil
+	}
+	switch {
+	case p.atKw("def"):
+		return p.funcDef()
+	case p.atKw("class"):
+		return p.classDef()
+	case p.atKw("if"):
+		return p.ifStmt()
+	case p.atKw("while"):
+		p.pos++
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.atKw("for"):
+		return p.forStmt()
+	}
+	s, err := p.simpleStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokNewline) {
+		p.pos++
+	}
+	return s, nil
+}
+
+func (p *parser) simpleStatement() (Stmt, error) {
+	switch {
+	case p.eatKw("return"):
+		if p.at(TokNewline) || p.at(TokEOF) {
+			return &Return{}, nil
+		}
+		e, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		return &Return{Value: e}, nil
+	case p.eatKw("break"):
+		return &Break{}, nil
+	case p.eatKw("continue"):
+		return &Continue{}, nil
+	case p.eatKw("pass"):
+		return &Pass{}, nil
+	case p.eatKw("global"):
+		var names []string
+		for {
+			if !p.at(TokName) {
+				return nil, p.errf("expected name after global")
+			}
+			names = append(names, p.next().Text)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		return &Global{Names: names}, nil
+	}
+	// Expression, assignment, or augmented assignment.
+	e, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("=") {
+		p.pos++
+		v, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: e, Value: v}, nil
+	}
+	for _, aug := range []string{"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="} {
+		if p.atOp(aug) {
+			p.pos++
+			v, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			return &AugAssign{Op: aug[:1], Target: e, Value: v}, nil
+		}
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+func (p *parser) funcDef() (Stmt, error) {
+	p.pos++ // def
+	if !p.at(TokName) {
+		return nil, p.errf("expected function name")
+	}
+	name := p.next().Text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atOp(")") {
+		if !p.at(TokName) {
+			return nil, p.errf("expected parameter name")
+		}
+		params = append(params, p.next().Text)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{Name: name, Params: params, Body: body}, nil
+}
+
+func (p *parser) classDef() (Stmt, error) {
+	p.pos++ // class
+	if !p.at(TokName) {
+		return nil, p.errf("expected class name")
+	}
+	name := p.next().Text
+	base := ""
+	if p.eatOp("(") {
+		if p.at(TokName) {
+			base = p.next().Text
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDef{Name: name, Base: base}
+	for _, s := range body {
+		switch m := s.(type) {
+		case *FuncDef:
+			cd.Methods = append(cd.Methods, m)
+		case *Pass:
+		default:
+			return nil, fmt.Errorf("pylang: class %s: only methods and pass allowed in class body", name)
+		}
+	}
+	return cd, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.pos++ // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then}
+	p.eatNewlines()
+	switch {
+	case p.atKw("elif"):
+		e, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{e}
+	case p.atKw("else"):
+		p.pos++
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.pos++ // for
+	var target Expr
+	if !p.at(TokName) {
+		return nil, p.errf("expected loop variable")
+	}
+	first := &Ident{Name: p.next().Text}
+	if p.eatOp(",") {
+		if !p.at(TokName) {
+			return nil, p.errf("expected second loop variable")
+		}
+		second := &Ident{Name: p.next().Text}
+		target = &TupleLit{Elems: []Expr{first, second}}
+	} else {
+		target = first
+	}
+	if !p.eatKw("in") {
+		return nil, p.errf("expected 'in'")
+	}
+	iter, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Target: target, Iter: iter, Body: body}, nil
+}
+
+// exprOrTuple parses "a, b, c" into a TupleLit, or a single expression.
+func (p *parser) exprOrTuple() (Expr, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp(",") {
+		return e, nil
+	}
+	elems := []Expr{e}
+	for p.eatOp(",") {
+		if p.at(TokNewline) || p.at(TokEOF) || p.atOp("=") {
+			break
+		}
+		e2, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e2)
+	}
+	return &TupleLit{Elems: elems}, nil
+}
+
+// Precedence climbing: or < and < not < comparison < | < ^ < & < shifts <
+// additive < multiplicative < unary < power < postfix.
+
+func (p *parser) expr() (Expr, error) {
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Conditional expression: a if c else b
+	if p.atKw("if") {
+		p.pos++
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKw("else") {
+			return nil, p.errf("expected 'else' in conditional expression")
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{Cond: cond, Then: e, Else: els}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	e, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("or") {
+		p.pos++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &BoolOp{Op: "or", L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	e, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("and") {
+		p.pos++
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &BoolOp{Op: "and", L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.eatKw("not") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "not", E: e}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	e, err := p.bitOr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.atOp("<"), p.atOp("<="), p.atOp(">"), p.atOp(">="), p.atOp("=="), p.atOp("!="):
+			op = p.next().Text
+		case p.atKw("is"):
+			p.pos++
+			op = "is"
+		case p.atKw("in"):
+			p.pos++
+			op = "in"
+		case p.atKw("not"):
+			p.pos++
+			if !p.eatKw("in") {
+				return nil, p.errf("expected 'in' after 'not'")
+			}
+			op = "not in"
+		default:
+			return e, nil
+		}
+		r, err := p.bitOr()
+		if err != nil {
+			return nil, err
+		}
+		e = &CmpOp{Op: op, L: e, R: r}
+	}
+}
+
+func (p *parser) binLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	e, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.atOp(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return e, nil
+		}
+		p.pos++
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		e = &BinOp{Op: matched, L: e, R: r}
+	}
+}
+
+func (p *parser) bitOr() (Expr, error)  { return p.binLevel([]string{"|"}, p.bitXor) }
+func (p *parser) bitXor() (Expr, error) { return p.binLevel([]string{"^"}, p.bitAnd) }
+func (p *parser) bitAnd() (Expr, error) { return p.binLevel([]string{"&"}, p.shift) }
+func (p *parser) shift() (Expr, error)  { return p.binLevel([]string{"<<", ">>"}, p.additive) }
+func (p *parser) additive() (Expr, error) {
+	return p.binLevel([]string{"+", "-"}, p.multiplicative)
+}
+func (p *parser) multiplicative() (Expr, error) {
+	return p.binLevel([]string{"*", "//", "/", "%"}, p.unary)
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.eatOp("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(*NumInt); ok {
+			return &NumInt{V: -n.V}, nil
+		}
+		if n, ok := e.(*NumFloat); ok {
+			return &NumFloat{V: -n.V}, nil
+		}
+		return &UnaryOp{Op: "-", E: e}, nil
+	}
+	if p.eatOp("+") {
+		return p.unary()
+	}
+	return p.power()
+}
+
+func (p *parser) power() (Expr, error) {
+	e, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("**") {
+		p.pos++
+		r, err := p.unary() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "**", L: e, R: r}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatOp("("):
+			var args []Expr
+			for !p.atOp(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			e = &Call{Fn: e, Args: args}
+		case p.eatOp("["):
+			var lo, hi Expr
+			isSlice := false
+			if !p.atOp(":") {
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lo = x
+			}
+			if p.eatOp(":") {
+				isSlice = true
+				if !p.atOp("]") {
+					x, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					hi = x
+				}
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			if isSlice {
+				e = &SliceExpr{E: e, Lo: lo, Hi: hi}
+			} else {
+				e = &Index{E: e, I: lo}
+			}
+		case p.eatOp("."):
+			if !p.at(TokName) {
+				return nil, p.errf("expected attribute name")
+			}
+			e = &Attr{E: e, Name: p.next().Text}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		return &NumInt{V: t.Int}, nil
+	case t.Kind == TokBigInt:
+		p.pos++
+		return &NumBig{V: t.Text}, nil
+	case t.Kind == TokFloat:
+		p.pos++
+		return &NumFloat{V: t.Flt}, nil
+	case t.Kind == TokStr:
+		p.pos++
+		// Adjacent string literals concatenate.
+		s := t.Text
+		for p.at(TokStr) {
+			s += p.next().Text
+		}
+		return &StrLit{V: s}, nil
+	case t.Kind == TokName:
+		p.pos++
+		return &Ident{Name: t.Text}, nil
+	case p.atKw("True"):
+		p.pos++
+		return &BoolLit{V: true}, nil
+	case p.atKw("False"):
+		p.pos++
+		return &BoolLit{V: false}, nil
+	case p.atKw("None"):
+		p.pos++
+		return &NoneLit{}, nil
+	case p.eatOp("("):
+		if p.eatOp(")") {
+			return &TupleLit{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atOp(",") {
+			elems := []Expr{e}
+			for p.eatOp(",") {
+				if p.atOp(")") {
+					break
+				}
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, x)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &TupleLit{Elems: elems}, nil
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.eatOp("["):
+		var elems []Expr
+		for !p.atOp("]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return &ListLit{Elems: elems}, nil
+	case p.eatOp("{"):
+		var keys, vals []Expr
+		for !p.atOp("}") {
+			k, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp("}"); err != nil {
+			return nil, err
+		}
+		return &DictLit{Keys: keys, Vals: vals}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.String())
+}

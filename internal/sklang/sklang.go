@@ -1,0 +1,163 @@
+// Package sklang implements the Scheme/Racket-like guest language: an
+// s-expression front end compiled onto the shared guest bytecode VM. It
+// plays the role of Racket/Pycket in the paper's two-language study.
+//
+// Loops are written as self tail calls; the compiler turns tail
+// self-recursion into a jump back to the function entry, which is marked
+// as a jit_merge_point — exactly how Pycket exposes application loops to
+// the RPython meta-tracer.
+package sklang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SExpr is an s-expression node: either an atom or a list.
+type SExpr struct {
+	Atom  string  // non-empty for atoms
+	Num   bool    // atom parses as a number
+	Int   int64   // integer value if IsInt
+	Flt   float64 // float value if !IsInt and Num
+	IsInt bool
+	Str   bool // atom is a string literal (Atom holds the content)
+	List  []*SExpr
+}
+
+// IsList reports whether the node is a list.
+func (s *SExpr) IsList() bool { return s.Atom == "" && !s.Str }
+
+// Head returns the first atom of a list, or "".
+func (s *SExpr) Head() string {
+	if s.IsList() && len(s.List) > 0 && !s.List[0].IsList() {
+		return s.List[0].Atom
+	}
+	return ""
+}
+
+func (s *SExpr) String() string {
+	if s.Str {
+		return strconv.Quote(s.Atom)
+	}
+	if s.Atom != "" {
+		return s.Atom
+	}
+	parts := make([]string, len(s.List))
+	for i, e := range s.List {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Read parses a sequence of top-level s-expressions.
+func Read(src string) ([]*SExpr, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []*SExpr
+	pos := 0
+	for pos < len(toks) {
+		e, n, err := parseSExpr(toks, pos)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		pos = n
+	}
+	return out, nil
+}
+
+type sTok struct {
+	text string
+	str  bool
+}
+
+func tokenize(src string) ([]sTok, error) {
+	var toks []sTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, sTok{text: string(c)})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					switch src[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					default:
+						sb.WriteByte(src[j+1])
+					}
+					j += 2
+					continue
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sklang: unterminated string")
+			}
+			toks = append(toks, sTok{text: sb.String(), str: true})
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r();\"", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, sTok{text: src[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseSExpr(toks []sTok, pos int) (*SExpr, int, error) {
+	if pos >= len(toks) {
+		return nil, pos, fmt.Errorf("sklang: unexpected end of input")
+	}
+	t := toks[pos]
+	if t.str {
+		return &SExpr{Atom: t.text, Str: true}, pos + 1, nil
+	}
+	switch t.text {
+	case "(":
+		pos++
+		node := &SExpr{}
+		for {
+			if pos >= len(toks) {
+				return nil, pos, fmt.Errorf("sklang: missing )")
+			}
+			if toks[pos].text == ")" && !toks[pos].str {
+				return node, pos + 1, nil
+			}
+			child, n, err := parseSExpr(toks, pos)
+			if err != nil {
+				return nil, n, err
+			}
+			node.List = append(node.List, child)
+			pos = n
+		}
+	case ")":
+		return nil, pos, fmt.Errorf("sklang: unexpected )")
+	default:
+		node := &SExpr{Atom: t.text}
+		if v, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			node.Num, node.IsInt, node.Int = true, true, v
+		} else if f, err := strconv.ParseFloat(t.text, 64); err == nil {
+			node.Num, node.Flt = true, f
+		}
+		return node, pos + 1, nil
+	}
+}

@@ -1,0 +1,69 @@
+package static
+
+import (
+	"testing"
+
+	"metajit/internal/cpu"
+	"metajit/internal/isa"
+)
+
+func TestKernelsRunAndEmit(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			continue
+		}
+		seen[k.Name] = true
+		t.Run(k.Name, func(t *testing.T) {
+			m := cpu.NewDefault()
+			chk := k.Run(m)
+			if m.TotalInstrs() == 0 {
+				t.Fatalf("kernel emitted no instructions")
+			}
+			// Deterministic: a second run must match.
+			m2 := cpu.NewDefault()
+			chk2 := k.Run(m2)
+			if chk != chk2 || m.TotalInstrs() != m2.TotalInstrs() {
+				t.Fatalf("kernel nondeterministic: %d/%d vs %d/%d",
+					chk, m.TotalInstrs(), chk2, m2.TotalInstrs())
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("nbody") == nil {
+		t.Errorf("nbody kernel missing")
+	}
+	if ByName("no-such-kernel") != nil {
+		t.Errorf("phantom kernel")
+	}
+}
+
+func TestStaticCodeHasNativeCharacter(t *testing.T) {
+	// Statically compiled code: no annotation nops, no indirect dispatch,
+	// decent IPC.
+	m := cpu.NewDefault()
+	ByName("mandelbrot").Run(m)
+	tot := m.Total()
+	if tot.ClassCounts[isa.Nop] != 0 {
+		t.Errorf("static kernel emitted %d annotation nops", tot.ClassCounts[isa.Nop])
+	}
+	if tot.ClassCounts[isa.IndirectJump] != 0 {
+		t.Errorf("static kernel emitted indirect dispatch")
+	}
+	if ipc := tot.IPC(); ipc < 1.0 {
+		t.Errorf("static mandelbrot IPC = %.2f; expected native-like", ipc)
+	}
+}
+
+func TestKernelChecksumsMatchGuests(t *testing.T) {
+	// Spot-check: the static mandelbrot computes the same checksum as the
+	// guest implementation does (the algorithm is identical).
+	m := cpu.NewDefault()
+	got := ByName("mandelbrot").Run(m)
+	const want = 145991949 // guest-verified value (see harness tests)
+	if got != want {
+		t.Errorf("mandelbrot checksum = %d, want %d", got, want)
+	}
+}
