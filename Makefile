@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis, formatting, and the
+# race-enabled tests for the packages with real concurrency (the
+# parallel experiment runner and the pintool observers).
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Race instrumentation slows the simulator ~10x; give slow single-core
+# machines headroom beyond go test's default 10m panic.
+race:
+	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

@@ -22,6 +22,17 @@ func reportResult(b *testing.B, r *harness.Result) {
 	b.ReportMetric(r.Total.MPKI(), "MPKI")
 }
 
+// run executes one cell, failing the bench on configuration errors (the
+// harness returns errors instead of panicking).
+func run(b *testing.B, p *bench.Program, kind harness.VMKind, opt harness.Options) *harness.Result {
+	b.Helper()
+	r, err := harness.Run(p, kind, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
 func benchOne(b *testing.B, name string, kind harness.VMKind, opt harness.Options) {
 	p := bench.ByName(name)
 	if p == nil {
@@ -30,10 +41,38 @@ func benchOne(b *testing.B, name string, kind harness.VMKind, opt harness.Option
 	var last *harness.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last = harness.MustRun(p, kind, opt)
+		last = run(b, p, kind, opt)
 	}
 	b.StopTimer()
 	reportResult(b, last)
+}
+
+// BenchmarkExperimentsAll measures one full memoized regeneration of the
+// evaluation's PyPy-suite tables and figures on the parallel Runner — a
+// fresh Runner per iteration, so each iteration simulates every distinct
+// cell exactly once on a NumCPU-wide pool.
+func BenchmarkExperimentsAll(b *testing.B) {
+	pypy := bench.PyPySuite()
+	clbg := bench.CLBG()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(0)
+		harness.Table1(r, pypy)
+		harness.Table2(r, clbg)
+		harness.Fig2(r, pypy)
+		harness.Fig3(r, "crypto_pyaes", "meteor_contest")
+		harness.Fig4(r, clbg)
+		harness.Table3(r, pypy)
+		harness.Fig5(r, pypy)
+		harness.Fig6(r, pypy)
+		harness.Fig7(r, pypy)
+		harness.Fig8(r, pypy)
+		harness.Fig9(r, pypy)
+		harness.Table4(r, pypy)
+		if errs := r.Errs(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		b.ReportMetric(float64(r.Simulations()), "cells")
+	}
 }
 
 // BenchmarkTable1 regenerates Table I's three columns on the PyPy suite.
@@ -73,7 +112,7 @@ func BenchmarkFig2Phases(b *testing.B) {
 			p := bench.ByName(name)
 			var last *harness.Result
 			for i := 0; i < b.N; i++ {
-				last = harness.MustRun(p, harness.VMPyPyJIT, harness.Options{})
+				last = run(b, p, harness.VMPyPyJIT, harness.Options{})
 			}
 			reportResult(b, last)
 			b.ReportMetric(100*last.PhaseFraction(2), "jit%")
@@ -83,10 +122,15 @@ func BenchmarkFig2Phases(b *testing.B) {
 	}
 }
 
-// BenchmarkFig5Warmup measures the warmup study's sampled run.
+// BenchmarkFig5Warmup measures the warmup study's sampled run. A fresh
+// Runner per iteration keeps the three underlying cells unmemoized so the
+// simulator, not the cache, is what's timed.
 func BenchmarkFig5Warmup(b *testing.B) {
+	p := bench.ByName("crypto_pyaes")
 	for i := 0; i < b.N; i++ {
-		harness.Fig5Data(bench.ByName("crypto_pyaes"), 200_000)
+		if _, err := harness.Fig5Data(harness.NewRunner(0), p, harness.DefaultSampleInterval); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -94,7 +138,7 @@ func BenchmarkFig5Warmup(b *testing.B) {
 func BenchmarkFig6IRStats(b *testing.B) {
 	p := bench.ByName("richards")
 	for i := 0; i < b.N; i++ {
-		r := harness.MustRun(p, harness.VMPyPyJIT, harness.Options{})
+		r := run(b, p, harness.VMPyPyJIT, harness.Options{})
 		if r.Log == nil || r.Log.TotalIRNodes() == 0 {
 			b.Fatal("no IR stats")
 		}
@@ -108,7 +152,7 @@ func BenchmarkFig6IRStats(b *testing.B) {
 func BenchmarkTable3AOT(b *testing.B) {
 	p := bench.ByName("pidigits")
 	for i := 0; i < b.N; i++ {
-		r := harness.MustRun(p, harness.VMPyPyJIT, harness.Options{})
+		r := run(b, p, harness.VMPyPyJIT, harness.Options{})
 		if len(r.AOT.CyclesByFunc) == 0 {
 			b.Fatal("no AOT attribution")
 		}
@@ -119,7 +163,7 @@ func BenchmarkTable3AOT(b *testing.B) {
 func BenchmarkTable4PerPhase(b *testing.B) {
 	p := bench.ByName("richards")
 	for i := 0; i < b.N; i++ {
-		r := harness.MustRun(p, harness.VMPyPyJIT, harness.Options{})
+		r := run(b, p, harness.VMPyPyJIT, harness.Options{})
 		_ = r.Phases
 	}
 }
@@ -140,7 +184,7 @@ func BenchmarkAblationEscapeAnalysis(b *testing.B) {
 			o := c.opts
 			var last *harness.Result
 			for i := 0; i < b.N; i++ {
-				last = harness.MustRun(bench.ByName("float"), harness.VMPyPyJIT,
+				last = run(b, bench.ByName("float"), harness.VMPyPyJIT,
 					harness.Options{Opts: &o})
 			}
 			reportResult(b, last)
@@ -165,7 +209,7 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 			o := c.opts
 			var last *harness.Result
 			for i := 0; i < b.N; i++ {
-				last = harness.MustRun(bench.ByName("richards"), harness.VMPyPyJIT,
+				last = run(b, bench.ByName("richards"), harness.VMPyPyJIT,
 					harness.Options{Opts: &o})
 			}
 			reportResult(b, last)
@@ -186,7 +230,7 @@ func BenchmarkAblationBridges(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			var last *harness.Result
 			for i := 0; i < b.N; i++ {
-				last = harness.MustRun(bench.ByName("richards"), harness.VMPyPyJIT,
+				last = run(b, bench.ByName("richards"), harness.VMPyPyJIT,
 					harness.Options{BridgeThreshold: c.threshold})
 			}
 			reportResult(b, last)
@@ -203,7 +247,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 		b.Run(thName(th), func(b *testing.B) {
 			var last *harness.Result
 			for i := 0; i < b.N; i++ {
-				last = harness.MustRun(bench.ByName("crypto_pyaes"), harness.VMPyPyJIT,
+				last = run(b, bench.ByName("crypto_pyaes"), harness.VMPyPyJIT,
 					harness.Options{Threshold: th})
 			}
 			reportResult(b, last)
@@ -238,7 +282,7 @@ func BenchmarkAblationBranchPredictor(b *testing.B) {
 				p := c.params
 				var last *harness.Result
 				for i := 0; i < b.N; i++ {
-					last = harness.MustRun(bench.ByName("richards"), vm,
+					last = run(b, bench.ByName("richards"), vm,
 						harness.Options{Params: &p})
 				}
 				reportResult(b, last)
@@ -252,6 +296,6 @@ func BenchmarkAblationBranchPredictor(b *testing.B) {
 func BenchmarkVMSubstrate(b *testing.B) {
 	p := bench.ByName("telco")
 	for i := 0; i < b.N; i++ {
-		harness.MustRun(p, harness.VMCPython, harness.Options{})
+		run(b, p, harness.VMCPython, harness.Options{})
 	}
 }

@@ -1,15 +1,20 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section on the simulated stack.
 //
+// Cells — distinct (benchmark, VM, options) simulations — are memoized
+// and run on a bounded worker pool, so -exp all simulates each cell once
+// no matter how many tables share it, and output is identical for any -j.
+//
 // Usage:
 //
-//	experiments -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all
+//	experiments -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all [-j N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"metajit/internal/bench"
 	"metajit/internal/harness"
@@ -17,36 +22,73 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..9, all)")
+	jobs := flag.Int("j", 0, "max concurrent cell simulations (0 = NumCPU)")
 	flag.Parse()
 
 	pypy := bench.PyPySuite()
 	clbg := bench.CLBG()
+	runner := harness.NewRunner(*jobs)
 
-	run := func(name string, f func() string) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		fmt.Println(f())
+	experiments := []struct {
+		name string
+		f    func() string
+	}{
+		{"table1", func() string { return harness.Table1(runner, pypy) }},
+		{"table2", func() string { return harness.Table2(runner, clbg) }},
+		{"fig2", func() string { return harness.Fig2(runner, pypy) }},
+		{"fig3", func() string { return harness.Fig3(runner, "crypto_pyaes", "meteor_contest") }},
+		{"fig4", func() string { return harness.Fig4(runner, clbg) }},
+		{"table3", func() string { return harness.Table3(runner, pypy) }},
+		{"fig5", func() string { return harness.Fig5(runner, pypy) }},
+		{"fig6", func() string { return harness.Fig6(runner, pypy) }},
+		{"fig7", func() string { return harness.Fig7(runner, pypy) }},
+		{"fig8", func() string { return harness.Fig8(runner, pypy) }},
+		{"fig9", func() string { return harness.Fig9(runner, pypy) }},
+		{"table4", func() string { return harness.Table4(runner, pypy) }},
 	}
 
-	run("table1", func() string { return harness.Table1(pypy) })
-	run("table2", func() string { return harness.Table2(clbg) })
-	run("fig2", func() string { return harness.Fig2(pypy) })
-	run("fig3", func() string { return harness.Fig3("crypto_pyaes", "meteor_contest") })
-	run("fig4", func() string { return harness.Fig4(clbg) })
-	run("table3", func() string { return harness.Table3(pypy) })
-	run("fig5", func() string { return harness.Fig5(pypy) })
-	run("fig6", func() string { return harness.Fig6(pypy) })
-	run("fig7", func() string { return harness.Fig7(pypy) })
-	run("fig8", func() string { return harness.Fig8(pypy) })
-	run("fig9", func() string { return harness.Fig9(pypy) })
-	run("table4", func() string { return harness.Table4(pypy) })
-
-	switch *exp {
-	case "all", "table1", "table2", "table3", "table4",
-		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9":
-	default:
+	known := *exp == "all"
+	for _, e := range experiments {
+		if *exp == e.name {
+			known = true
+		}
+	}
+	if !known {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	// Assemble every selected experiment concurrently: each prefetches
+	// its cells onto the shared pool before blocking, so cells unique to
+	// late experiments overlap with early ones. Output order is fixed by
+	// the experiment list, not by completion order.
+	outputs := make([]chan string, len(experiments))
+	for i, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ch := make(chan string, 1)
+		outputs[i] = ch
+		go func(f func() string) { ch <- f() }(e.f)
+	}
+	for _, ch := range outputs {
+		if ch != nil {
+			fmt.Println(<-ch)
+		}
+	}
+
+	if errs := runner.Errs(); len(errs) > 0 {
+		// Sorted so the summary is stable no matter which goroutine
+		// registered a cell first.
+		msgs := make([]string, len(errs))
+		for i, err := range errs {
+			msgs[i] = err.Error()
+		}
+		sort.Strings(msgs)
+		fmt.Fprintf(os.Stderr, "%d failure(s):\n", len(msgs))
+		for _, m := range msgs {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+		os.Exit(1)
 	}
 }

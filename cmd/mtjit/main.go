@@ -69,7 +69,7 @@ func report(r *harness.Result, dumpLog bool) {
 	fmt.Printf("benchmark: %s on %s\n", r.Bench, r.VM)
 	fmt.Printf("checksum:  %d\n", r.Checksum)
 	fmt.Printf("instrs:    %d\n", r.Instrs)
-	fmt.Printf("cycles:    %.0f  (%.3f simulated ms @3GHz)\n", r.Cycles, r.Seconds()*1000)
+	fmt.Printf("cycles:    %.0f  (%.3f simulated ms @%.1fGHz)\n", r.Cycles, r.Seconds()*1000, r.ClockHz()/1e9)
 	fmt.Printf("IPC:       %.2f   branch MPKI: %.2f\n", r.Total.IPC(), r.Total.MPKI())
 	fmt.Printf("bytecodes: %d\n", r.Bytecodes)
 	fmt.Println("phases (instructions):")

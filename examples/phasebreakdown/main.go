@@ -14,14 +14,19 @@ import (
 
 func main() {
 	names := []string{"spectral_norm", "pidigits", "binarytrees", "richards"}
+	// The Runner simulates the four cells concurrently (bounded at
+	// NumCPU) while the rows below print in listed order.
+	runner := harness.NewRunner(0)
+	for _, name := range names {
+		runner.Prefetch(bench.ByName(name), harness.VMPyPyJIT, harness.Options{})
+	}
 	fmt.Printf("%-16s", "benchmark")
 	for _, ph := range core.AllPhases() {
 		fmt.Printf(" %9s", ph)
 	}
 	fmt.Println()
 	for _, name := range names {
-		p := bench.ByName(name)
-		r, err := harness.Run(p, harness.VMPyPyJIT, harness.Options{})
+		r, err := runner.Get(bench.ByName(name), harness.VMPyPyJIT, harness.Options{})
 		if err != nil {
 			panic(err)
 		}

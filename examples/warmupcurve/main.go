@@ -13,7 +13,10 @@ import (
 
 func main() {
 	p := bench.ByName("crypto_pyaes")
-	w := harness.Fig5Data(p, 150_000)
+	w, err := harness.Fig5Data(harness.NewRunner(0), p, 150_000)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("warmup of %s (rate vs reference interpreter; 1.0 = parity)\n\n", w.Bench)
 	peak := 0.0

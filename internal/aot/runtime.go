@@ -61,6 +61,11 @@ type Runtime struct {
 	DictShape *heap.Shape
 	ListShape *heap.Shape
 
+	// PC hands out this run's dynamic VM-text addresses (AOT entry
+	// points, guest code objects, engine sites). Per-run so PC layout
+	// does not depend on what other runs allocated first.
+	PC *isa.PCAlloc
+
 	funcs  []*Func
 	byName map[string]*Func
 }
@@ -70,6 +75,7 @@ func NewRuntime(h *heap.Heap) *Runtime {
 	return &Runtime{
 		H:      h,
 		S:      h.Stream(),
+		PC:     isa.NewRunAlloc(),
 		byName: make(map[string]*Func),
 	}
 }
@@ -84,8 +90,8 @@ func (rt *Runtime) Register(name string, src Source) *Func {
 		ID:      uint32(len(rt.funcs) + 1),
 		Name:    name,
 		Src:     src,
-		EntryPC: isa.VMText.Take(256),
-		retSite: isa.NewSite(),
+		EntryPC: rt.PC.Take(256),
+		retSite: rt.PC.Site(),
 	}
 	rt.funcs = append(rt.funcs, f)
 	rt.byName[name] = f

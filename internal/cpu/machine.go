@@ -119,6 +119,9 @@ func New(p Params) *Machine {
 // NewDefault returns a Machine with DefaultParams.
 func NewDefault() *Machine { return New(DefaultParams()) }
 
+// Params returns the machine's microarchitectural parameters.
+func (m *Machine) Params() Params { return m.p }
+
 // Registry returns the machine's cross-layer tag registry.
 func (m *Machine) Registry() *core.Registry { return m.registry }
 

@@ -13,6 +13,10 @@ import "metajit/internal/isa"
 // defaults approximate the paper's Haswell-class test machine: a 4-wide
 // out-of-order core with a ~14-cycle misprediction penalty.
 type Params struct {
+	// ClockHz is the core clock used to convert simulated cycles to
+	// seconds (the paper's testbed runs at 3 GHz).
+	ClockHz float64
+
 	// IssueCost is the average issue/retire cost in cycles per
 	// instruction of each class, assuming no hazards. For a 4-wide core
 	// the baseline is 0.25; long-latency classes cost more because their
@@ -49,6 +53,7 @@ type Params struct {
 // experiments.
 func DefaultParams() Params {
 	p := Params{
+		ClockHz:           3e9,
 		MispredictPenalty: 14,
 		LoadUseStall:      0.35,
 		L1MissPenalty:     8,

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"metajit/internal/bench"
+	"metajit/internal/cpu"
+	"metajit/internal/heap"
+	"metajit/internal/mtjit"
+)
+
+// CellKey is the canonical fingerprint of one experiment cell: a
+// (benchmark, VM configuration, options) triple. Options are flattened by
+// value — two Options that point at equal configs fingerprint identically
+// — so the Runner simulates each distinct cell exactly once per process
+// no matter which table or figure asks for it. Every field is comparable,
+// letting the key index a map directly.
+type CellKey struct {
+	Bench string
+	VM    VMKind
+
+	HasHeap bool
+	Heap    heap.Config
+
+	SampleInterval  uint64
+	Threshold       int
+	BridgeThreshold int
+
+	HasOpts bool
+	Opts    mtjit.OptConfig
+
+	HasParams bool
+	Params    cpu.Params
+
+	MaxInstrs uint64
+}
+
+// Key fingerprints a cell.
+func Key(p *bench.Program, kind VMKind, opt Options) CellKey {
+	k := CellKey{
+		VM:              kind,
+		SampleInterval:  opt.SampleInterval,
+		Threshold:       opt.Threshold,
+		BridgeThreshold: opt.BridgeThreshold,
+		MaxInstrs:       opt.MaxInstrs,
+	}
+	if p != nil {
+		k.Bench = p.Name
+	}
+	if opt.HeapConfig != nil {
+		k.HasHeap = true
+		k.Heap = *opt.HeapConfig
+	}
+	if opt.Opts != nil {
+		k.HasOpts = true
+		k.Opts = *opt.Opts
+	}
+	if opt.Params != nil {
+		k.HasParams = true
+		k.Params = *opt.Params
+	}
+	return k
+}
+
+// String renders the key compactly for error messages: the benchmark and
+// VM, plus a marker for each non-default option group.
+func (k CellKey) String() string {
+	s := fmt.Sprintf("%s/%s", k.Bench, k.VM)
+	if k.SampleInterval != 0 {
+		s += fmt.Sprintf("+sample=%d", k.SampleInterval)
+	}
+	if k.Threshold != 0 {
+		s += fmt.Sprintf("+threshold=%d", k.Threshold)
+	}
+	if k.BridgeThreshold != 0 {
+		s += fmt.Sprintf("+bridge=%d", k.BridgeThreshold)
+	}
+	if k.HasHeap {
+		s += "+heap"
+	}
+	if k.HasOpts {
+		s += "+opts"
+	}
+	if k.HasParams {
+		s += "+params"
+	}
+	if k.MaxInstrs != 0 {
+		s += fmt.Sprintf("+max=%d", k.MaxInstrs)
+	}
+	return s
+}

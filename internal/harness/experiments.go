@@ -11,10 +11,24 @@ import (
 	"metajit/internal/mtjit"
 )
 
+// DefaultSampleInterval is the WorkMeter sampling period (instructions)
+// used by the sampled experiments (Figures 3 and 5).
+const DefaultSampleInterval = 200_000
+
+// errCell is the table cell rendered for a failed run; the error itself
+// is recorded on the Runner and summarized at exit.
+const errCell = "ERR"
+
 // Table1 reproduces Table I: PyPy-suite performance of the reference
 // interpreter, the framework interpreter without JIT, and with JIT —
 // time, speedup vs the reference, IPC, and branch MPKI.
-func Table1(progs []bench.Program) string {
+func Table1(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		p := &progs[i]
+		r.Prefetch(p, VMCPython, Options{})
+		r.Prefetch(p, VMPyPyNoJIT, Options{})
+		r.Prefetch(p, VMPyPyJIT, Options{})
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table I: PyPy Benchmark Suite Performance (simulated; t in Mcycles)\n")
 	fmt.Fprintf(&sb, "%-20s %10s %6s %6s | %10s %6s %6s %6s | %10s %6s %6s %6s\n",
@@ -27,11 +41,16 @@ func Table1(progs []bench.Program) string {
 	var rows []row
 	for i := range progs {
 		p := &progs[i]
-		rc := MustRun(p, VMCPython, Options{})
-		rn := MustRun(p, VMPyPyNoJIT, Options{})
-		rj := MustRun(p, VMPyPyJIT, Options{})
+		rc, errC := r.Get(p, VMCPython, Options{})
+		rn, errN := r.Get(p, VMPyPyNoJIT, Options{})
+		rj, errJ := r.Get(p, VMPyPyJIT, Options{})
+		if errC != nil || errN != nil || errJ != nil {
+			rows = append(rows, row{name: p.Name, speedup: -1,
+				text: fmt.Sprintf("%-20s %s", p.Name, errCell)})
+			continue
+		}
 		if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum {
-			panic(fmt.Sprintf("checksum mismatch on %s: %d/%d/%d",
+			r.Fail(fmt.Errorf("table1: checksum mismatch on %s: %d/%d/%d",
 				p.Name, rc.Checksum, rn.Checksum, rj.Checksum))
 		}
 		sp := rc.Cycles / rj.Cycles
@@ -42,17 +61,34 @@ func Table1(progs []bench.Program) string {
 			rj.Cycles/1e6, sp, rj.Total.IPC(), rj.Total.MPKI())
 		rows = append(rows, row{name: p.Name, text: text, speedup: sp})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
-	for _, r := range rows {
-		sb.WriteString(r.text)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
+	for _, row := range rows {
+		sb.WriteString(row.text)
 		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
+// table2Kinds returns the VM columns applicable to a CLBG program.
+func table2Kinds(p *bench.Program) []VMKind {
+	kinds := []VMKind{VMCPython, VMPyPyJIT}
+	if p.Static {
+		kinds = append(kinds, VMC)
+	}
+	if p.SkSource != "" {
+		kinds = append(kinds, VMRacket, VMPycket)
+	}
+	return kinds
+}
+
 // Table2 reproduces Table II: CLBG times across CPython, PyPy, Racket,
 // Pycket, and statically compiled C analogs.
-func Table2(progs []bench.Program) string {
+func Table2(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		for _, kind := range table2Kinds(&progs[i]) {
+			r.Prefetch(&progs[i], kind, Options{})
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table II: CLBG Performance (simulated Mcycles; '-' = not supported, as with Pycket in the paper)\n")
 	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s\n",
@@ -66,8 +102,11 @@ func Table2(progs []bench.Program) string {
 			if (kind == VMRacket || kind == VMPycket) && p.SkSource == "" {
 				return "-"
 			}
-			r := MustRun(p, kind, Options{})
-			return fmt.Sprintf("%.2f", r.Cycles/1e6)
+			res, err := r.Get(p, kind, Options{})
+			if err != nil {
+				return errCell
+			}
+			return fmt.Sprintf("%.2f", res.Cycles/1e6)
 		}
 		fmt.Fprintf(&sb, "%-16s %10s %10s %10s %10s %10s\n",
 			p.Name, cell(VMC), cell(VMCPython), cell(VMPyPyJIT), cell(VMRacket), cell(VMPycket))
@@ -77,34 +116,113 @@ func Table2(progs []bench.Program) string {
 
 // Fig2 reproduces Figure 2: execution-time breakdown by framework phase
 // for the PyPy suite under the meta-tracing JIT.
-func Fig2(progs []bench.Program) string {
+func Fig2(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 2: Phase breakdown (%% of instructions, PyPy with JIT)\n")
 	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s\n",
 		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole")
 	for i := range progs {
 		p := &progs[i]
-		r := MustRun(p, VMPyPyJIT, Options{})
+		res, err := r.Get(p, VMPyPyJIT, Options{})
+		if err != nil {
+			fmt.Fprintf(&sb, "%-20s %s\n", p.Name, errCell)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-20s", p.Name)
 		for _, ph := range core.AllPhases() {
-			fmt.Fprintf(&sb, " %7.1f%%", 100*r.PhaseFraction(ph))
+			fmt.Fprintf(&sb, " %7.1f%%", 100*res.PhaseFraction(ph))
 		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
+// phaseBar renders one Figure 3 interval as a bar of exactly width chars,
+// one letter per phase, sized by largest-remainder rounding so small but
+// nonzero phases always keep at least one character.
+func phaseBar(deltas [core.NumPhases]uint64, total uint64, letters []byte, width int) string {
+	type seat struct {
+		ph   int
+		n    int
+		frac float64
+	}
+	var seats []seat
+	assigned := 0
+	for ph, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		exact := float64(width) * float64(d) / float64(total)
+		n := int(exact)
+		if n == 0 {
+			n = 1 // nonzero phases must stay visible
+		}
+		seats = append(seats, seat{ph: ph, n: n, frac: exact - float64(int(exact))})
+		assigned += n
+	}
+	// Distribute leftovers to the largest remainders; on overflow (from
+	// the minimum-1 bumps) shave the widest bars. Ties break on phase
+	// order, keeping the bar deterministic.
+	for assigned < width {
+		best := -1
+		for i := range seats {
+			if best < 0 || seats[i].frac > seats[best].frac {
+				best = i
+			}
+		}
+		seats[best].n++
+		seats[best].frac = 0
+		assigned++
+	}
+	for assigned > width {
+		widest := -1
+		for i := range seats {
+			if seats[i].n > 1 && (widest < 0 || seats[i].n > seats[widest].n) {
+				widest = i
+			}
+		}
+		if widest < 0 {
+			break // more nonzero phases than columns; give up gracefully
+		}
+		seats[widest].n--
+		assigned--
+	}
+	var bar strings.Builder
+	for _, s := range seats {
+		bar.Write(bytesRepeat(letters[s.ph], s.n))
+	}
+	return bar.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
 // Fig3 reproduces Figure 3: phase timeline over execution for a
 // fast-warming and a slow-warming benchmark.
-func Fig3(fast, slow string) string {
+func Fig3(r *Runner, fast, slow string) string {
+	for _, name := range []string{fast, slow} {
+		r.Prefetch(bench.ByName(name), VMPyPyJIT, Options{SampleInterval: DefaultSampleInterval})
+	}
 	var sb strings.Builder
 	for _, name := range []string{fast, slow} {
-		p := bench.ByName(name)
-		r := MustRun(p, VMPyPyJIT, Options{SampleInterval: 2_000_00})
+		res, err := r.Get(bench.ByName(name), VMPyPyJIT, Options{SampleInterval: DefaultSampleInterval})
 		fmt.Fprintf(&sb, "Figure 3 (%s): per-interval dominant phase\n", name)
+		if err != nil {
+			fmt.Fprintf(&sb, "%s\n", errCell)
+			continue
+		}
 		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole)")
+		letters := []byte{'I', 'T', 'J', 'C', 'G', 'B'}
 		var prev [core.NumPhases]uint64
-		for _, s := range r.Samples {
+		for _, s := range res.Samples {
 			var deltas [core.NumPhases]uint64
 			var total uint64
 			for ph := range s.PhaseInstrs {
@@ -115,20 +233,20 @@ func Fig3(fast, slow string) string {
 			if total == 0 {
 				continue
 			}
-			bar := ""
-			letters := []byte{'I', 'T', 'J', 'C', 'G', 'B'}
-			for ph, d := range deltas {
-				n := int(40 * d / total)
-				bar += strings.Repeat(string(letters[ph]), n)
-			}
-			fmt.Fprintf(&sb, "%12d  %s\n", s.Instrs, bar)
+			fmt.Fprintf(&sb, "%12d  %s\n", s.Instrs, phaseBar(deltas, total, letters, 40))
 		}
 	}
 	return sb.String()
 }
 
 // Fig4 reproduces Figure 4: phase breakdown of PyPy vs Pycket on CLBG.
-func Fig4(progs []bench.Program) string {
+func Fig4(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+		if progs[i].SkSource != "" {
+			r.Prefetch(&progs[i], VMPycket, Options{})
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 4: Phase breakdown, PyPy vs Pycket (CLBG)\n")
 	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s\n",
@@ -139,10 +257,14 @@ func Fig4(progs []bench.Program) string {
 			if kind == VMPycket && p.SkSource == "" {
 				continue
 			}
-			r := MustRun(p, kind, Options{})
+			res, err := r.Get(p, kind, Options{})
+			if err != nil {
+				fmt.Fprintf(&sb, "%-16s %-7s %s\n", p.Name, kind, errCell)
+				continue
+			}
 			fmt.Fprintf(&sb, "%-16s %-7s", p.Name, kind)
 			for _, ph := range core.AllPhases() {
-				fmt.Fprintf(&sb, " %7.1f%%", 100*r.PhaseFraction(ph))
+				fmt.Fprintf(&sb, " %7.1f%%", 100*res.PhaseFraction(ph))
 			}
 			sb.WriteByte('\n')
 		}
@@ -159,16 +281,23 @@ type AOTEntry struct {
 }
 
 // Table3Data computes the significant AOT-compiled functions called from
-// meta-traces (>= minPercent of total execution).
-func Table3Data(progs []bench.Program, minPercent float64) []AOTEntry {
+// meta-traces (>= minPercent of total execution). Failed cells are
+// skipped; their errors live on the Runner.
+func Table3Data(r *Runner, progs []bench.Program, minPercent float64) []AOTEntry {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	var out []AOTEntry
 	for i := range progs {
 		p := &progs[i]
-		r := MustRun(p, VMPyPyJIT, Options{})
-		for id, cyc := range r.AOT.CyclesByFunc {
-			pct := 100 * cyc / r.Cycles
+		res, err := r.Get(p, VMPyPyJIT, Options{})
+		if err != nil {
+			continue
+		}
+		for id, cyc := range res.AOT.CyclesByFunc {
+			pct := 100 * cyc / res.Cycles
 			if pct >= minPercent {
-				info := r.AOTNames[id]
+				info := res.AOTNames[id]
 				out = append(out, AOTEntry{Bench: p.Name, Percent: pct, Src: info.Src, Name: info.Name})
 			}
 		}
@@ -177,17 +306,20 @@ func Table3Data(progs []bench.Program, minPercent float64) []AOTEntry {
 		if out[i].Bench != out[j].Bench {
 			return out[i].Bench < out[j].Bench
 		}
-		return out[i].Percent > out[j].Percent
+		if out[i].Percent != out[j].Percent {
+			return out[i].Percent > out[j].Percent
+		}
+		return out[i].Name < out[j].Name
 	})
 	return out
 }
 
 // Table3 renders Table III.
-func Table3(progs []bench.Program) string {
+func Table3(r *Runner, progs []bench.Program) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table III: Significant AOT-compiled functions called from meta-traces (>=5%% of execution)\n")
 	fmt.Fprintf(&sb, "%-20s %6s %4s %s\n", "Benchmark", "%", "Src", "Function")
-	for _, e := range Table3Data(progs, 5) {
+	for _, e := range Table3Data(r, progs, 5) {
 		fmt.Fprintf(&sb, "%-20s %6.1f %4s %s\n", e.Bench, e.Percent, e.Src, e.Name)
 	}
 	return sb.String()
@@ -211,10 +343,18 @@ type WarmupData struct {
 // Fig5Data computes warmup curves: bytecode execution rate of PyPy (with
 // JIT) normalized to the reference interpreter's steady rate, plus
 // break-even points (Section V-D).
-func Fig5Data(p *bench.Program, interval uint64) WarmupData {
-	rj := MustRun(p, VMPyPyJIT, Options{SampleInterval: interval})
-	rc := MustRun(p, VMCPython, Options{})
-	rn := MustRun(p, VMPyPyNoJIT, Options{})
+func Fig5Data(r *Runner, p *bench.Program, interval uint64) (WarmupData, error) {
+	r.Prefetch(p, VMPyPyJIT, Options{SampleInterval: interval})
+	r.Prefetch(p, VMCPython, Options{})
+	r.Prefetch(p, VMPyPyNoJIT, Options{})
+	rj, errJ := r.Get(p, VMPyPyJIT, Options{SampleInterval: interval})
+	rc, errC := r.Get(p, VMCPython, Options{})
+	rn, errN := r.Get(p, VMPyPyNoJIT, Options{})
+	for _, err := range []error{errJ, errC, errN} {
+		if err != nil {
+			return WarmupData{}, err
+		}
+	}
 
 	cpyRate := float64(rc.Bytecodes) / float64(rc.Instrs)
 	nojitRate := float64(rn.Bytecodes) / float64(rn.Instrs)
@@ -238,20 +378,30 @@ func Fig5Data(p *bench.Program, interval uint64) WarmupData {
 		}
 		prevI, prevB = s.Instrs, s.Bytecodes
 	}
-	return w
+	return w, nil
 }
 
 // Fig5 renders warmup curves as text sparklines.
-func Fig5(progs []bench.Program) string {
+func Fig5(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		p := &progs[i]
+		r.Prefetch(p, VMPyPyJIT, Options{SampleInterval: DefaultSampleInterval})
+		r.Prefetch(p, VMCPython, Options{})
+		r.Prefetch(p, VMPyPyNoJIT, Options{})
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 5: PyPy warmup - bytecode rate normalized to CPython\n")
 	for i := range progs {
-		w := Fig5Data(&progs[i], 200_000)
+		w, err := Fig5Data(r, &progs[i], DefaultSampleInterval)
+		if err != nil {
+			fmt.Fprintf(&sb, "%-20s %s\n", progs[i].Name, errCell)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-20s speedup %5.1fx  break-even: vs CPython @%s, vs noJIT @%s\n",
 			w.Bench, w.FinalSpeedup, fmtInstr(w.BreakEvenCPy), fmtInstr(w.BreakEvenNoJIT))
 		fmt.Fprintf(&sb, "%-20s |", "")
-		for _, r := range w.Rate {
-			sb.WriteByte(sparkChar(r))
+		for _, rate := range w.Rate {
+			sb.WriteByte(sparkChar(rate))
 		}
 		sb.WriteString("|\n")
 	}
@@ -279,28 +429,38 @@ func sparkChar(rate float64) byte {
 
 // Fig6 reproduces Figure 6: IR nodes compiled, hot-node concentration,
 // and dynamic IR nodes per million instructions.
-func Fig6(progs []bench.Program) string {
+func Fig6(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 6: JIT IR node compilation and execution statistics\n")
 	fmt.Fprintf(&sb, "%-20s %12s %16s %16s\n",
 		"Benchmark", "(a) compiled", "(b) hot95%% frac", "(c) nodes/1M instr")
 	for i := range progs {
 		p := &progs[i]
-		r := MustRun(p, VMPyPyJIT, Options{})
-		if r.Log == nil {
+		res, err := r.Get(p, VMPyPyJIT, Options{})
+		if err != nil {
+			fmt.Fprintf(&sb, "%-20s %s\n", p.Name, errCell)
+			continue
+		}
+		if res.Log == nil {
 			continue
 		}
 		fmt.Fprintf(&sb, "%-20s %12d %15.1f%% %16.0f\n",
 			p.Name,
-			r.Log.TotalIRNodes(),
-			100*r.Log.HotNodeFraction(0.95),
-			float64(r.Log.DynamicIRNodes())/(float64(r.Instrs)/1e6))
+			res.Log.TotalIRNodes(),
+			100*res.Log.HotNodeFraction(0.95),
+			float64(res.Log.DynamicIRNodes())/(float64(res.Instrs)/1e6))
 	}
 	return sb.String()
 }
 
 // Fig7 reproduces Figure 7: IR node category breakdown per benchmark.
-func Fig7(progs []bench.Program) string {
+func Fig7(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	var sb strings.Builder
 	cats := mtjit.AllCategories()
 	fmt.Fprintf(&sb, "Figure 7: dynamic IR node categories (%% of executed nodes)\n")
@@ -313,11 +473,15 @@ func Fig7(progs []bench.Program) string {
 	n := 0
 	for i := range progs {
 		p := &progs[i]
-		r := MustRun(p, VMPyPyJIT, Options{})
-		if r.Log == nil {
+		res, err := r.Get(p, VMPyPyJIT, Options{})
+		if err != nil {
+			fmt.Fprintf(&sb, "%-20s %s\n", p.Name, errCell)
 			continue
 		}
-		br := r.Log.CategoryBreakdown()
+		if res.Log == nil {
+			continue
+		}
+		br := res.Log.CategoryBreakdown()
 		fmt.Fprintf(&sb, "%-20s", p.Name)
 		for _, c := range cats {
 			fmt.Fprintf(&sb, " %6.1f%%", 100*br[c])
@@ -338,15 +502,18 @@ func Fig7(progs []bench.Program) string {
 
 // Fig8 reproduces Figure 8: the dynamic frequency histogram of IR node
 // types across the suite.
-func Fig8(progs []bench.Program) string {
+func Fig8(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	counts := map[mtjit.Opcode]uint64{}
 	var total uint64
 	for i := range progs {
-		r := MustRun(&progs[i], VMPyPyJIT, Options{})
-		if r.Log == nil {
+		res, err := r.Get(&progs[i], VMPyPyJIT, Options{})
+		if err != nil || res.Log == nil {
 			continue
 		}
-		for _, f := range r.Log.DynamicOpcodeHistogram() {
+		for _, f := range res.Log.DynamicOpcodeHistogram() {
 			counts[f.Opc] += f.Count
 			total += f.Count
 		}
@@ -359,7 +526,12 @@ func Fig8(progs []bench.Program) string {
 	for o, n := range counts {
 		list = append(list, kv{o, n})
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].opc < list[j].opc
+	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 8: dynamic frequency of IR node types (suite aggregate)\n")
 	for _, e := range list {
@@ -371,14 +543,17 @@ func Fig8(progs []bench.Program) string {
 }
 
 // Fig9 reproduces Figure 9: mean assembly instructions per IR node type.
-func Fig9(progs []bench.Program) string {
+func Fig9(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	seen := map[mtjit.Opcode]float64{}
 	for i := range progs {
-		r := MustRun(&progs[i], VMPyPyJIT, Options{})
-		if r.Log == nil {
+		res, err := r.Get(&progs[i], VMPyPyJIT, Options{})
+		if err != nil || res.Log == nil {
 			continue
 		}
-		for opc, asm := range r.Log.AsmPerOpcode() {
+		for opc, asm := range res.Log.AsmPerOpcode() {
 			seen[opc] = asm
 		}
 	}
@@ -390,7 +565,12 @@ func Fig9(progs []bench.Program) string {
 	for o, a := range seen {
 		list = append(list, kv{o, a})
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].asm > list[j].asm })
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].asm != list[j].asm {
+			return list[i].asm > list[j].asm
+		}
+		return list[i].opc < list[j].opc
+	})
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 9: assembly instructions per IR node type\n")
 	for _, e := range list {
@@ -402,7 +582,10 @@ func Fig9(progs []bench.Program) string {
 
 // Table4 reproduces Table IV: per-phase microarchitectural statistics
 // (mean and standard deviation over the suite).
-func Table4(progs []bench.Program) string {
+func Table4(r *Runner, progs []bench.Program) string {
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, Options{})
+	}
 	type acc struct {
 		ipc, br, miss []float64
 	}
@@ -411,13 +594,16 @@ func Table4(progs []bench.Program) string {
 		accs[ph] = &acc{}
 	}
 	for i := range progs {
-		r := MustRun(&progs[i], VMPyPyJIT, Options{})
+		res, err := r.Get(&progs[i], VMPyPyJIT, Options{})
+		if err != nil {
+			continue
+		}
 		for _, ph := range core.AllPhases() {
-			c := r.Phases[ph]
+			c := res.Phases[ph]
 			// The paper folds JIT calls into the JIT phase for this
 			// table.
 			if ph == core.PhaseJIT {
-				c.Add(r.Phases[core.PhaseJITCall])
+				c.Add(res.Phases[core.PhaseJITCall])
 			}
 			if ph == core.PhaseJITCall {
 				continue

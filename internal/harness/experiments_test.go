@@ -15,8 +15,13 @@ func smallSuite() []bench.Program {
 	}
 }
 
+// testRunner is a fresh sequential Runner for tests that count
+// simulations; pure formatter tests read through sharedRunner instead
+// so repeated cells simulate once for the whole package.
+func testRunner() *Runner { return NewRunner(1) }
+
 func TestTable1Format(t *testing.T) {
-	out := Table1(smallSuite())
+	out := Table1(sharedRunner, smallSuite())
 	if !strings.Contains(out, "telco") || !strings.Contains(out, "float") {
 		t.Fatalf("missing benchmarks:\n%s", out)
 	}
@@ -31,7 +36,7 @@ func TestTable1Format(t *testing.T) {
 
 func TestTable2Format(t *testing.T) {
 	progs := []bench.Program{*bench.ByName("nbody"), *bench.ByName("knucleotide")}
-	out := Table2(progs)
+	out := Table2(sharedRunner, progs)
 	if !strings.Contains(out, "Pycket") || !strings.Contains(out, "Racket") {
 		t.Fatalf("missing VM columns:\n%s", out)
 	}
@@ -44,27 +49,29 @@ func TestTable2Format(t *testing.T) {
 }
 
 func TestFig2AndFig7Format(t *testing.T) {
-	out := Fig2(smallSuite())
+	r := sharedRunner
+	out := Fig2(r, smallSuite())
 	for _, col := range []string{"interp", "tracing", "jit", "gc", "blkhole"} {
 		if !strings.Contains(out, col) {
 			t.Errorf("fig2 missing column %s", col)
 		}
 	}
-	out7 := Fig7(smallSuite())
+	out7 := Fig7(r, smallSuite())
 	if !strings.Contains(out7, "MEAN") || !strings.Contains(out7, "guard") {
 		t.Errorf("fig7 malformed:\n%s", out7)
 	}
 }
 
 func TestFig6Fig8Fig9Format(t *testing.T) {
+	r := testRunner()
 	suite := smallSuite()
-	if out := Fig6(suite); !strings.Contains(out, "hot95") {
+	if out := Fig6(r, suite); !strings.Contains(out, "hot95") {
 		t.Errorf("fig6 malformed:\n%s", out)
 	}
-	if out := Fig8(suite); !strings.Contains(out, "guard_class") {
+	if out := Fig8(r, suite); !strings.Contains(out, "guard_class") {
 		t.Errorf("fig8 missing guard_class:\n%s", out)
 	}
-	out9 := Fig9(suite)
+	out9 := Fig9(r, suite)
 	if !strings.Contains(out9, "jump") {
 		t.Errorf("fig9 missing jump:\n%s", out9)
 	}
@@ -74,10 +81,14 @@ func TestFig6Fig8Fig9Format(t *testing.T) {
 	if len(lines) < 3 {
 		t.Fatalf("fig9 too short")
 	}
+	// Fig6..Fig9 share the same cells: two benchmarks, one VM config.
+	if got := r.Simulations(); got != 2 {
+		t.Errorf("fig6-fig9 simulated %d cells; want 2 (memoized)", got)
+	}
 }
 
 func TestTable4Format(t *testing.T) {
-	out := Table4(smallSuite())
+	out := Table4(sharedRunner, smallSuite())
 	if !strings.Contains(out, "jit") || !strings.Contains(out, "+/-") {
 		t.Errorf("table4 malformed:\n%s", out)
 	}
@@ -87,7 +98,7 @@ func TestTable4Format(t *testing.T) {
 }
 
 func TestTable3DataThreshold(t *testing.T) {
-	entries := Table3Data([]bench.Program{*bench.ByName("pidigits")}, 5)
+	entries := Table3Data(sharedRunner, []bench.Program{*bench.ByName("pidigits")}, 5)
 	if len(entries) == 0 {
 		t.Fatalf("pidigits must show significant AOT functions")
 	}
@@ -106,9 +117,29 @@ func TestTable3DataThreshold(t *testing.T) {
 }
 
 func TestFig3Format(t *testing.T) {
-	out := Fig3("telco", "telco")
+	out := Fig3(sharedRunner, "telco", "telco")
 	if !strings.Contains(out, "interval phase mix") {
 		t.Fatalf("fig3 malformed:\n%s", out)
+	}
+	// Every bar is exactly 40 characters: largest-remainder rounding
+	// pads and trims the truncation error of the old int(40*d/total)
+	// bars, so small nonzero phases stay visible and widths align.
+	bars := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.ContainsAny(fields[1], "ITJCGB") {
+			continue
+		}
+		if strings.Trim(fields[1], "ITJCGB") != "" {
+			continue
+		}
+		bars++
+		if len(fields[1]) != 40 {
+			t.Errorf("bar width %d, want 40: %q", len(fields[1]), fields[1])
+		}
+	}
+	if bars == 0 {
+		t.Fatalf("no bars found:\n%s", out)
 	}
 }
 
@@ -126,7 +157,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestSecondsAndFractions(t *testing.T) {
-	r := MustRun(bench.ByName("telco"), VMCPython, Options{})
+	r := mustRun(t, bench.ByName("telco"), VMCPython, Options{})
 	if r.Seconds() <= 0 {
 		t.Errorf("Seconds = %f", r.Seconds())
 	}

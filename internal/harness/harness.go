@@ -59,6 +59,10 @@ type Result struct {
 	Bench string
 	VM    VMKind
 
+	// Params is the CPU model the run actually used (the default or the
+	// Options.Params override).
+	Params cpu.Params
+
 	Checksum int64
 	Instrs   uint64
 	Cycles   float64
@@ -81,8 +85,18 @@ type aotInfo struct {
 	Src  string
 }
 
-// Seconds converts cycles to simulated seconds at a 3 GHz clock.
-func (r *Result) Seconds() float64 { return r.Cycles / 3e9 }
+// Seconds converts cycles to simulated seconds at the clock of the CPU
+// model the run used (Params.ClockHz; 3 GHz when the override left it
+// zero).
+func (r *Result) Seconds() float64 { return r.Cycles / r.ClockHz() }
+
+// ClockHz returns the run's clock rate.
+func (r *Result) ClockHz() float64 {
+	if r.Params.ClockHz > 0 {
+		return r.Params.ClockHz
+	}
+	return 3e9
+}
 
 // PhaseFraction returns the fraction of instructions in a phase.
 func (r *Result) PhaseFraction(p core.Phase) float64 {
@@ -192,19 +206,11 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 }
 
 func (r *Result) finish(mach *cpu.Machine) {
+	r.Params = mach.Params()
 	r.Total = mach.Total()
 	r.Instrs = r.Total.Instrs
 	r.Cycles = r.Total.Cycles
 	for p := core.Phase(0); p < core.NumPhases; p++ {
 		r.Phases[p] = mach.PhaseCounters(p)
 	}
-}
-
-// MustRun is Run, panicking on configuration errors (used by benches).
-func MustRun(p *bench.Program, kind VMKind, opt Options) *Result {
-	r, err := Run(p, kind, opt)
-	if err != nil {
-		panic(err)
-	}
-	return r
 }

@@ -7,6 +7,24 @@ import (
 	"metajit/internal/core"
 )
 
+// sharedRunner memoizes cells across the package's whole-suite tests —
+// the same dedup cmd/experiments relies on. Several tests read the same
+// (bench, VM, default-options) cells; simulating each once keeps the
+// suite tractable under -race. TestCellDeterminism guards the invariant
+// that makes this sharing sound (a cached result equals a fresh one).
+var sharedRunner = NewRunner(0)
+
+// mustRun reads one cell through the shared cache, failing the test on
+// error; the test-side replacement for the removed MustRun panic helper.
+func mustRun(t testing.TB, p *bench.Program, kind VMKind, opt Options) *Result {
+	t.Helper()
+	r, err := sharedRunner.Get(p, kind, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 // TestAllBenchmarksAgreeAcrossVMs is the master differential test: every
 // benchmark must produce the same checksum on the reference interpreter,
 // the framework interpreter, and the meta-tracing JIT; Scheme variants
@@ -15,18 +33,9 @@ func TestAllBenchmarksAgreeAcrossVMs(t *testing.T) {
 	for _, p := range bench.All() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			rc, err := Run(&p, VMCPython, Options{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			rn, err := Run(&p, VMPyPyNoJIT, Options{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			rj, err := Run(&p, VMPyPyJIT, Options{})
-			if err != nil {
-				t.Fatal(err)
-			}
+			rc := mustRun(t, &p, VMCPython, Options{})
+			rn := mustRun(t, &p, VMPyPyNoJIT, Options{})
+			rj := mustRun(t, &p, VMPyPyJIT, Options{})
 			if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum {
 				t.Fatalf("checksums differ: cpython=%d nojit=%d jit=%d",
 					rc.Checksum, rn.Checksum, rj.Checksum)
@@ -35,14 +44,8 @@ func TestAllBenchmarksAgreeAcrossVMs(t *testing.T) {
 				t.Errorf("JIT compiled no loops")
 			}
 			if p.SkSource != "" {
-				rr, err := Run(&p, VMRacket, Options{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				rp, err := Run(&p, VMPycket, Options{})
-				if err != nil {
-					t.Fatal(err)
-				}
+				rr := mustRun(t, &p, VMRacket, Options{})
+				rp := mustRun(t, &p, VMPycket, Options{})
 				if rr.Checksum != rp.Checksum {
 					t.Fatalf("scheme checksums differ: racket=%d pycket=%d",
 						rr.Checksum, rp.Checksum)
@@ -59,8 +62,8 @@ func TestJITSpeedupShape(t *testing.T) {
 	var best float64
 	progs := bench.PyPySuite()
 	for i := range progs {
-		rc := MustRun(&progs[i], VMCPython, Options{})
-		rj := MustRun(&progs[i], VMPyPyJIT, Options{})
+		rc := mustRun(t, &progs[i], VMCPython, Options{})
+		rj := mustRun(t, &progs[i], VMPyPyJIT, Options{})
 		sp := rc.Cycles / rj.Cycles
 		if sp > 1 {
 			wins++
@@ -84,8 +87,8 @@ func TestFrameworkInterpreterSlowerThanReference(t *testing.T) {
 	slower := 0
 	progs := bench.PyPySuite()
 	for i := range progs {
-		rc := MustRun(&progs[i], VMCPython, Options{})
-		rn := MustRun(&progs[i], VMPyPyNoJIT, Options{})
+		rc := mustRun(t, &progs[i], VMCPython, Options{})
+		rn := mustRun(t, &progs[i], VMPyPyNoJIT, Options{})
 		if rn.Cycles > rc.Cycles {
 			slower++
 		}
@@ -97,7 +100,7 @@ func TestFrameworkInterpreterSlowerThanReference(t *testing.T) {
 
 func TestPhaseBreakdownSane(t *testing.T) {
 	p := bench.ByName("richards")
-	r := MustRun(p, VMPyPyJIT, Options{})
+	r := mustRun(t, p, VMPyPyJIT, Options{})
 	var sum float64
 	for _, ph := range core.AllPhases() {
 		f := r.PhaseFraction(ph)
@@ -118,7 +121,7 @@ func TestPhaseBreakdownSane(t *testing.T) {
 }
 
 func TestGCHeavyBenchmarkShowsGCPhase(t *testing.T) {
-	r := MustRun(bench.ByName("binarytrees"), VMPyPyJIT, Options{})
+	r := mustRun(t, bench.ByName("binarytrees"), VMPyPyJIT, Options{})
 	if r.PhaseFraction(core.PhaseGC) < 0.02 {
 		t.Errorf("binarytrees GC fraction %.2f%%; expected pronounced GC",
 			100*r.PhaseFraction(core.PhaseGC))
@@ -126,7 +129,7 @@ func TestGCHeavyBenchmarkShowsGCPhase(t *testing.T) {
 }
 
 func TestAOTAttributionFindsBigintForPidigits(t *testing.T) {
-	r := MustRun(bench.ByName("pidigits"), VMPyPyJIT, Options{})
+	r := mustRun(t, bench.ByName("pidigits"), VMPyPyJIT, Options{})
 	var bigCycles, total float64
 	for id, cyc := range r.AOT.CyclesByFunc {
 		total += cyc
@@ -144,8 +147,8 @@ func TestAOTAttributionFindsBigintForPidigits(t *testing.T) {
 func TestStaticKernelsFasterThanJIT(t *testing.T) {
 	for _, name := range []string{"spectral_norm", "nbody", "mandelbrot", "fannkuch"} {
 		p := bench.ByName(name)
-		rs := MustRun(p, VMC, Options{})
-		rj := MustRun(p, VMPyPyJIT, Options{})
+		rs := mustRun(t, p, VMC, Options{})
+		rj := mustRun(t, p, VMPyPyJIT, Options{})
 		if rs.Cycles >= rj.Cycles {
 			t.Errorf("%s: static (%0.f) not faster than JIT (%.0f)", name, rs.Cycles, rj.Cycles)
 		}
@@ -153,7 +156,10 @@ func TestStaticKernelsFasterThanJIT(t *testing.T) {
 }
 
 func TestWarmupBreakEven(t *testing.T) {
-	w := Fig5Data(bench.ByName("crypto_pyaes"), 100_000)
+	w, err := Fig5Data(NewRunner(0), bench.ByName("crypto_pyaes"), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w.BreakEvenNoJIT == 0 {
 		t.Errorf("no break-even vs noJIT found")
 	}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"metajit/internal/bench"
+)
+
+// Runner memoizes and parallelizes experiment cells. Each distinct
+// (benchmark, VM, options) cell — see CellKey — is simulated exactly once
+// per Runner, on a worker pool bounded at the configured width; every
+// table and figure that needs the cell shares the one result. Cells are
+// independent simulations (each Run builds its own cpu.Machine, VM, and
+// heap), so running them on separate goroutines shares no simulator
+// state. Failures stay per-cell: a failed cell renders as ERR in the
+// table that wanted it, and the errors are collected for an end-of-run
+// summary instead of panicking mid-table.
+type Runner struct {
+	sem chan struct{}
+
+	mu     sync.Mutex
+	cells  map[CellKey]*cell
+	order  []*cell
+	failed []error
+
+	// simulate is the cell executor; tests swap it to count or fake
+	// simulations.
+	simulate func(*bench.Program, VMKind, Options) (*Result, error)
+	simCount int
+}
+
+type cell struct {
+	key  CellKey
+	p    *bench.Program
+	kind VMKind
+	opt  Options
+
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewRunner returns a Runner whose pool runs up to workers cells
+// concurrently; workers <= 0 means runtime.NumCPU().
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{
+		sem:      make(chan struct{}, workers),
+		cells:    map[CellKey]*cell{},
+		simulate: Run,
+	}
+}
+
+// Prefetch schedules a cell on the pool and returns immediately. The
+// experiment renderers prefetch every cell they will format before the
+// first blocking Get, so distinct cells simulate concurrently while
+// output stays in insertion order regardless of completion order.
+func (r *Runner) Prefetch(p *bench.Program, kind VMKind, opt Options) {
+	r.lookup(p, kind, opt)
+}
+
+// Get returns the memoized result for a cell, scheduling it first if no
+// table has asked for it yet, and blocks until it is done.
+func (r *Runner) Get(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
+	c := r.lookup(p, kind, opt)
+	<-c.done
+	return c.res, c.err
+}
+
+func (r *Runner) lookup(p *bench.Program, kind VMKind, opt Options) *cell {
+	key := Key(p, kind, opt)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cells[key]; ok {
+		return c
+	}
+	c := &cell{key: key, p: p, kind: kind, opt: opt, done: make(chan struct{})}
+	r.cells[key] = c
+	r.order = append(r.order, c)
+	go r.runCell(c)
+	return c
+}
+
+func (r *Runner) runCell(c *cell) {
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	defer close(c.done)
+	// A cell failure — including a guest-level panic deep in a simulated
+	// VM — must not take down the other cells' goroutines with it.
+	defer func() {
+		if p := recover(); p != nil {
+			c.err = fmt.Errorf("%s: panic: %v", c.key, p)
+		}
+	}()
+	if c.p == nil {
+		c.err = fmt.Errorf("%s: unknown benchmark", c.key)
+		return
+	}
+	r.mu.Lock()
+	r.simCount++
+	sim := r.simulate
+	r.mu.Unlock()
+	res, err := sim(c.p, c.kind, c.opt)
+	if err != nil {
+		err = fmt.Errorf("%s: %w", c.key, err)
+	}
+	c.res, c.err = res, err
+}
+
+// Fail records a failure found outside cell execution (e.g. a checksum
+// mismatch between cells); the run continues, and the error surfaces in
+// Errs for the end-of-run summary.
+func (r *Runner) Fail(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = append(r.failed, err)
+}
+
+// Errs returns every error seen so far: failed cells in insertion order,
+// then explicitly reported failures. Cells still in flight are skipped,
+// so call it after rendering (every Get has returned by then).
+func (r *Runner) Errs() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	for _, c := range r.order {
+		select {
+		case <-c.done:
+			if c.err != nil {
+				errs = append(errs, c.err)
+			}
+		default:
+		}
+	}
+	return append(errs, r.failed...)
+}
+
+// Simulations returns how many cells were actually simulated (cache
+// misses); requests minus simulations is the memoization win.
+func (r *Runner) Simulations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simCount
+}

@@ -49,8 +49,25 @@ type Site uint64
 // in predictor tables realistic but rare.
 var VMText = NewPCAlloc(RegionVMText)
 
+// RegionVMTextDyn is the base of per-run dynamic VM-text allocations
+// (module code objects, AOT entry points, per-engine and per-recorder
+// sites). It sits above the package-init site area of RegionVMText and
+// below RegionStatic.
+const RegionVMTextDyn = RegionVMText + 0x40_0000
+
+// NewRunAlloc returns a fresh VM-text allocator for one simulated machine.
+// Runtime PC allocations must come from a per-run allocator rather than
+// the shared VMText so that a run's PC layout is a deterministic function
+// of the run itself, never of what other runs (possibly on other
+// goroutines) allocated first; identical PCs across runs never collide
+// because each run has its own predictors and caches.
+func NewRunAlloc() *PCAlloc { return NewPCAlloc(RegionVMTextDyn) }
+
 // NewSite reserves a stable VM-text PC for one static branch site.
 func NewSite() Site { return Site(VMText.Take(16)) }
+
+// Site reserves a branch-site PC from this allocator.
+func (a *PCAlloc) Site() Site { return Site(a.Take(16)) }
 
 // PC returns the site's program counter.
 func (s Site) PC() uint64 { return uint64(s) }

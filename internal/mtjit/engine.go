@@ -89,8 +89,8 @@ func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
 		guardFails:          map[uint32]int{},
 		pendingBridgeResume: map[uint32]*ResumeState{},
 		jitPC:               isa.NewPCAlloc(isa.RegionJITCode),
-		bhSite:              isa.NewSite(),
-		cmpSite:             isa.NewSite(),
+		bhSite:              rt.PC.Site(),
+		cmpSite:             rt.PC.Site(),
 	}
 	rt.H.AddRoots(e)
 	return e

@@ -83,7 +83,7 @@ func newTracingMachine(d *DirectMachine, eng *Engine) *TracingMachine {
 		eng:      eng,
 		constMap: make(map[constKey]Ref),
 		nextReg:  1, // register 0 is the RefUnused sentinel
-		recSite:  isa.NewSite(),
+		recSite:  eng.RT.PC.Site(),
 	}
 }
 

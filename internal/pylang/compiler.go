@@ -5,7 +5,6 @@ import (
 
 	"metajit/internal/aot"
 	"metajit/internal/heap"
-	"metajit/internal/isa"
 )
 
 // compiler lowers one function (or the module body) to bytecode.
@@ -49,7 +48,7 @@ func (vm *VM) newCompiler(name string, isModule bool) *compiler {
 		code: &Code{
 			ID:     vm.codeSeq,
 			Name:   name,
-			PCBase: isa.VMText.Take(1 << 14),
+			PCBase: vm.RT.PC.Take(1 << 14),
 		},
 		locals:     map[string]int{},
 		globalDecl: map[string]bool{},

@@ -3,16 +3,24 @@ package pylang
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"metajit/internal/aot"
 	"metajit/internal/cpu"
 	"metajit/internal/heap"
-	"metajit/internal/isa"
 	"metajit/internal/mtjit"
 )
 
-// isaVMTextTake reserves dispatch-site PC space for one code object.
-func isaVMTextTake() uint64 { return isa.VMText.Take(1 << 14) }
+// sortedKeys returns m's keys in sorted order, for deterministic
+// iteration over map-backed root sets.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Function is a guest function: a compiled code object. It lives in the
 // Native slot of a FuncShape heap object.
@@ -213,16 +221,21 @@ func (vm *VM) Roots(visit func(*heap.Obj)) {
 			}
 		}
 	}
-	for _, v := range vm.globals {
-		if v.Kind == heap.KindRef && v.O != nil {
+	// Map-backed root sets are visited in sorted key order: the GC
+	// promotes survivors in visit order, so root order decides simulated
+	// addresses, and address layout must be a deterministic function of
+	// the run for results to be reproducible (and for parallel cells to
+	// match sequential ones byte for byte).
+	for _, k := range sortedKeys(vm.globals) {
+		if v := vm.globals[k]; v.Kind == heap.KindRef && v.O != nil {
 			visit(v.O)
 		}
 	}
-	for _, o := range vm.interned {
-		visit(o)
+	for _, k := range sortedKeys(vm.interned) {
+		visit(vm.interned[k])
 	}
-	for _, o := range vm.builtins {
-		visit(o)
+	for _, k := range sortedKeys(vm.builtins) {
+		visit(vm.builtins[k])
 	}
 	for _, code := range vm.codes {
 		for _, v := range code.Consts {
@@ -231,9 +244,14 @@ func (vm *VM) Roots(visit func(*heap.Obj)) {
 			}
 		}
 	}
+	classes := make([]*Class, 0, len(vm.classes))
 	for _, c := range vm.classes {
-		for _, m := range c.Methods {
-			visit(m)
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Shape.ID < classes[j].Shape.ID })
+	for _, c := range classes {
+		for _, k := range sortedKeys(c.Methods) {
+			visit(c.Methods[k])
 		}
 		if c.obj != nil {
 			visit(c.obj)
@@ -363,7 +381,7 @@ func (vm *VM) NewCodeForFrontend(name string, numParams int) *Code {
 		ID:        vm.codeSeq,
 		Name:      name,
 		NumParams: numParams,
-		PCBase:    isaVMTextTake(),
+		PCBase:    vm.RT.PC.Take(1 << 14),
 	}
 	vm.codes = append(vm.codes, c)
 	vm.codeByID[c.ID] = c

@@ -50,7 +50,10 @@ type emitter struct {
 }
 
 func newEmitter(s isa.Stream) *emitter {
-	return &emitter{s: s, site: isa.NewSite()}
+	// A fixed PC keeps kernel runs deterministic and independent of how
+	// many sites other runs allocated before this one; kernels never
+	// share a machine, so reuse cannot alias.
+	return &emitter{s: s, site: isa.Site(isa.RegionStatic + 0x100)}
 }
 
 func (e *emitter) alu(n int)       { e.s.Ops(isa.ALU, n) }
