@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench experiments
+.PHONY: all build test check vet fmt race bench experiments fuzz
 
 all: build
 
@@ -34,3 +34,13 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all
+
+# Differential fuzzing: each target generates guest programs from raw
+# bytes and cross-checks them under the full VM configuration matrix
+# (see internal/difftest). Divergences are minimized into
+# internal/difftest/testdata/fuzz and replayed by plain `go test`.
+FUZZTIME ?= 30s
+
+fuzz:
+	$(GO) test -fuzz=FuzzPylangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -fuzz=FuzzSklangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestTable1Golden renders Table I over a small fixed subset of the PyPy
+// suite in process and compares it byte-for-byte against the checked-in
+// golden file. The simulator is deterministic, so any drift in cycle
+// counts, IPC, MPKI, or formatting shows up as a diff here before it
+// silently changes the paper tables. Regenerate with:
+//
+//	go test ./cmd/experiments -run TestTable1Golden -update
+func TestTable1Golden(t *testing.T) {
+	want := map[string]bool{"telco": true, "pidigits": true}
+	var progs []bench.Program
+	for _, p := range bench.PyPySuite() {
+		if want[p.Name] {
+			progs = append(progs, p)
+		}
+	}
+	if len(progs) != len(want) {
+		t.Fatalf("subset selected %d of %d programs; suite renamed?", len(progs), len(want))
+	}
+
+	runner := harness.NewRunner(0)
+	got := harness.Table1(runner, progs)
+	if errs := runner.Errs(); len(errs) > 0 {
+		t.Fatalf("runner errors: %v", errs)
+	}
+
+	golden := filepath.Join("testdata", "table1_subset.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(wantBytes) {
+		t.Errorf("Table I output drifted from golden file:\n--- golden\n%s\n--- got\n%s", wantBytes, got)
+	}
+}

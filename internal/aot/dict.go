@@ -267,6 +267,17 @@ func (rt *Runtime) DictItems(d *Dict, f func(k, v heap.Value)) {
 	}
 }
 
+// Items calls f on each live entry in insertion order without emitting
+// simulated cost. Inspection-only (heap checksums, debugging): guest
+// iteration must go through Runtime.DictItems so the work is accounted.
+func (d *Dict) Items(f func(k, v heap.Value)) {
+	for i := range d.entries {
+		if !d.entries[i].Dead {
+			f(d.entries[i].Key, d.entries[i].Val)
+		}
+	}
+}
+
 // NthKey returns the i-th live key (iteration support).
 func (d *Dict) NthKey(i int) (heap.Value, bool) {
 	n := 0

@@ -1,0 +1,46 @@
+package difftest
+
+import (
+	"testing"
+
+	"metajit/internal/bench"
+)
+
+// benchConfigs is the configuration set used for the real benchmark
+// suite: the full 9-cell matrix over every benchmark would take
+// minutes, and the random corpus already covers the ablation cells, so
+// the suite is cross-checked under the configurations that differ most
+// structurally — no JIT, the production thresholds, and aggressive
+// thresholds (maximum tracing, bridging, and deopt traffic).
+func benchConfigs() []VMConfig {
+	return []VMConfig{
+		{Name: "interp"},
+		{Name: "jit-default", JIT: true},
+		hot("jit-hot", nil),
+	}
+}
+
+// TestBenchDifferential runs every benchmark program (both guests)
+// through the differential oracle: all configurations must agree on
+// result, heap checksum, output, and guest error, with every
+// cross-layer invariant holding along the way.
+func TestBenchDifferential(t *testing.T) {
+	for _, p := range bench.All() {
+		p := p
+		t.Run(p.Name+"/py", func(t *testing.T) {
+			t.Parallel()
+			if _, err := RunConfigs(p.Source, false, benchConfigs()); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if p.SkSource == "" {
+			continue
+		}
+		t.Run(p.Name+"/sk", func(t *testing.T) {
+			t.Parallel()
+			if _, err := RunConfigs(p.SkSource, true, benchConfigs()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

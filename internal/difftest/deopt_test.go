@@ -1,0 +1,103 @@
+package difftest
+
+import (
+	"testing"
+
+	"metajit/internal/mtjit"
+)
+
+// deoptSrc is a pylang loop whose trace carries the full guard variety:
+// class guards (type dispatch), true/false guards (the flipping branch),
+// overflow guards (int arithmetic), and guard_not_invalidated (the
+// stable global s read in the loop).
+const deoptSrc = `
+s = 3
+
+class C:
+    def __init__(self, a):
+        self.a = a
+    def step(self, d):
+        self.a = self.a + d
+        return self.a
+
+def main():
+    ob = C(1)
+    xs = [1, 2, 3]
+    acc = 0
+    i = 0
+    while i < 60:
+        if (i % 3) < 1:
+            acc = acc + ob.step(i) + s
+        else:
+            acc = acc - xs[i % 3]
+        xs[i % 3] = acc % 7
+        acc = acc + i * 3
+        i = i + 1
+    print(acc)
+    return acc
+`
+
+// TestDeoptRoundTrip forces a failure at every guard the compiled code
+// executes, one guard per run, under both exit strategies: blackhole
+// deoptimization (bridge threshold too high to ever compile one) and
+// bridge compilation (threshold 1, so the second failure runs the
+// bridge). Every run must reproduce the pure interpreter's result,
+// output, and heap — the restored interpreter state after each deopt is
+// exactly what the interpreter would have computed itself.
+func TestDeoptRoundTrip(t *testing.T) {
+	ref, err := RunSource(deoptSrc, false, VMConfig{Name: "interp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discovery run: collect every guard the compiled code executes.
+	var order []uint32
+	seen := map[uint32]bool{}
+	discover := VMConfig{
+		Name: "discover", JIT: true, Threshold: 2, BridgeThreshold: 1 << 20,
+		ForceGuardFail: func(tr *mtjit.Trace, op *mtjit.Op) bool {
+			if !seen[op.GuardID] {
+				seen[op.GuardID] = true
+				order = append(order, op.GuardID)
+			}
+			return false
+		},
+	}
+	if _, err := RunSource(deoptSrc, false, discover); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 5 {
+		t.Fatalf("only %d guards executed; the loop did not trace as intended", len(order))
+	}
+
+	for _, variant := range []struct {
+		name            string
+		bridgeThreshold int
+	}{
+		{"blackhole", 1 << 20},
+		{"bridge", 1},
+	} {
+		for _, gid := range order {
+			gid := gid
+			cfg := VMConfig{
+				Name: variant.name, JIT: true, Threshold: 2,
+				BridgeThreshold: variant.bridgeThreshold,
+				ForceGuardFail: func(tr *mtjit.Trace, op *mtjit.Op) bool {
+					return op.GuardID == gid
+				},
+			}
+			out, err := RunSource(deoptSrc, false, cfg)
+			if err != nil {
+				t.Fatalf("%s guard %d: %v", variant.name, gid, err)
+			}
+			if out.Result != ref.Result || out.Heap != ref.Heap ||
+				out.Output != ref.Output || out.Err != ref.Err {
+				t.Errorf("%s guard %d diverged:\n  interp: %s\n  forced: %s",
+					variant.name, gid, ref, out)
+			}
+			if out.Stats.GuardFailures == 0 {
+				t.Errorf("%s guard %d: no guard failure recorded", variant.name, gid)
+			}
+		}
+	}
+}

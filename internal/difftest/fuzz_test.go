@@ -1,0 +1,36 @@
+package difftest
+
+import "testing"
+
+// The fuzz targets feed arbitrary bytes through the deterministic
+// program generators and run the resulting guest program under the full
+// configuration matrix; any disagreement with the interpreter, guest VM
+// panic, or cross-layer invariant violation fails the input. The seed
+// corpus under testdata/fuzz is replayed by plain `go test`, so every
+// divergence ever found stays pinned; `make fuzz` (or
+// `go test -fuzz=FuzzPylangDifferential ./internal/difftest`) explores
+// new inputs.
+
+func FuzzPylangDifferential(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(seedBytes(i))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := GenPylang(data)
+		if _, err := RunMatrix(src, false); err != nil {
+			t.Fatalf("%v\nprogram:\n%s", err, src)
+		}
+	})
+}
+
+func FuzzSklangDifferential(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(seedBytes(i | 1<<32))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := GenSklang(data)
+		if _, err := RunMatrix(src, true); err != nil {
+			t.Fatalf("%v\nprogram:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenPylang derives a deterministic random pylang program from a fuzzer
+// byte stream. Generated programs always terminate and are shaped to
+// stress the meta-tracing JIT: hot while-loops (tracing and compiled
+// execution), conditions that flip with the loop index (guard failures
+// and bridges), conditions that flip rarely (blackhole deopts without
+// bridges), nested calls and loops (inlining, call_assembler),
+// per-iteration allocations that do not escape (virtuals), list / dict
+// / string / attribute traffic, deliberate integer overflow (bigint
+// promotion), and divisions and shifts whose operands vary at runtime
+// (divisor and shift-width guards). main publishes its state into
+// globals so the oracle's heap checksum compares final structures, not
+// just the scalar return value.
+func GenPylang(data []byte) string {
+	g := &pygen{d: newDecider(data)}
+	return g.program()
+}
+
+type pygen struct {
+	d *pygen0
+	b strings.Builder
+
+	nFuncs   int
+	hasClass bool
+	loopSeq  int
+}
+
+// pygen0 aliases decider so the struct literal above stays short.
+type pygen0 = decider
+
+var pyIntVars = []string{"v0", "v1", "v2", "v3"}
+
+func (g *pygen) line(depth int, format string, args ...any) {
+	for i := 0; i < depth; i++ {
+		g.b.WriteString("    ")
+	}
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *pygen) program() string {
+	g.nFuncs = g.d.rangeInt(1, 3)
+	for j := 0; j < g.nFuncs; j++ {
+		g.genFunc(j)
+	}
+	g.hasClass = g.d.chance(70)
+	if g.hasClass {
+		g.line(0, "class C0:")
+		g.line(1, "def __init__(self, x):")
+		g.line(2, "self.a = x")
+		g.line(2, "self.b = 0")
+		g.line(1, "def step(self, d):")
+		g.line(2, "self.b = self.b + d")
+		g.line(2, "return self.b + self.a")
+		g.line(0, "")
+	}
+
+	g.line(0, "def main():")
+	g.line(1, "global gv, gxs, gdd, gs, gfl%s", map[bool]string{true: ", gob", false: ""}[g.hasClass])
+	for i, v := range pyIntVars {
+		g.line(1, "%s = %d", v, g.d.rangeInt(0, 9)+i)
+	}
+	g.line(1, "fl = 0.5")
+	g.line(1, "xs = [1, 2, 3]")
+	g.line(1, "dd = {}")
+	g.line(1, "s = %q", "x")
+	if g.hasClass {
+		g.line(1, "ob = C0(%d)", g.d.rangeInt(1, 5))
+	}
+	nLoops := g.d.rangeInt(1, 3)
+	for l := 0; l < nLoops; l++ {
+		g.genLoop(1, true)
+	}
+	if g.d.chance(10) {
+		// Late-failure loop: the divisor hits zero on the final
+		// iteration, after aggressive thresholds have compiled the
+		// loop — every configuration must raise the same guest error
+		// with the same heap state.
+		m := g.d.rangeInt(6, 12)
+		g.line(1, "jz = 0")
+		g.line(1, "while jz < %d:", m)
+		g.line(2, "v0 = v0 + 100 // (%d - jz)", m-1)
+		g.line(2, "jz = jz + 1")
+	}
+	g.line(1, "gv = v3")
+	g.line(1, "gxs = xs")
+	g.line(1, "gdd = dd")
+	g.line(1, "gs = s")
+	g.line(1, "gfl = fl")
+	if g.hasClass {
+		g.line(1, "gob = ob")
+	}
+	ret := "v0 + v1 * 3 + v2 * 5 + len(xs) * 11 + len(s) * 13 + int(fl)"
+	if g.hasClass {
+		ret += " + ob.b * 17"
+	}
+	g.line(1, "return (%s) %% 1000003", ret)
+	return g.b.String()
+}
+
+// genFunc emits helper function fj; bodies only call lower-numbered
+// helpers, so call graphs are acyclic and every call terminates.
+func (g *pygen) genFunc(j int) {
+	g.line(0, "def f%d(a, b):", j)
+	if g.d.chance(40) {
+		// Inner-loop variant: a nested hot loop of its own.
+		g.line(1, "t = %d", g.d.rangeInt(0, 5))
+		g.line(1, "k = 0")
+		g.line(1, "while k < b %% 7 + 2:")
+		g.line(2, "t = t + a + k * %d", g.d.rangeInt(1, 4))
+		g.line(2, "k = k + 1")
+		g.line(1, "return t %% 65536")
+	} else {
+		g.line(1, "r = %s", g.exprOver(2, []string{"a", "b"}))
+		g.line(1, "if a %% 2 == 0:")
+		if j > 0 && g.d.chance(60) {
+			g.line(2, "r = r + f%d(b %% 30, a %% 30)", g.d.intn(j))
+		} else {
+			g.line(2, "r = r - %d", g.d.rangeInt(1, 20))
+		}
+		g.line(1, "return r %% 65536")
+	}
+	g.line(0, "")
+}
+
+// genLoop emits one while-loop at the given indent. Loop index
+// variables are reserved: body statements never assign them, so every
+// loop runs exactly its planned trip count (modulo guest errors).
+func (g *pygen) genLoop(depth int, allowNest bool) {
+	idx := fmt.Sprintf("i%d", g.loopSeq)
+	g.loopSeq++
+	n := g.d.rangeInt(20, 120)
+	g.line(depth, "%s = 0", idx)
+	g.line(depth, "while %s < %d:", idx, n)
+	body := g.d.rangeInt(2, 5)
+	for s := 0; s < body; s++ {
+		g.stmt(depth+1, idx, n, allowNest && s == 0)
+	}
+	g.line(depth+1, "%s = %s + 1", idx, idx)
+}
+
+// stmt emits one loop-body statement.
+func (g *pygen) stmt(depth int, idx string, n int, allowNest bool) {
+	v := pyIntVars[g.d.intn(len(pyIntVars))]
+	vars := append([]string{idx}, pyIntVars...)
+	switch k := g.d.intn(16); k {
+	case 0: // plain arithmetic
+		g.line(depth, "%s = %s", v, g.exprOver(3, vars))
+	case 1: // guard-flipping condition: fails often, breeds bridges
+		m := g.d.rangeInt(3, 9)
+		g.line(depth, "if (%s %% %d) < %d:", idx, m, g.d.rangeInt(1, m-1))
+		g.line(depth+1, "%s = %s + %d", v, v, g.d.rangeInt(1, 5))
+		if g.d.chance(40) {
+			g.line(depth, "else:")
+			g.line(depth+1, "%s = %s - %d", v, v, g.d.rangeInt(1, 3))
+		}
+	case 2: // rare condition: one-off guard failure, blackhole only
+		g.line(depth, "if %s == %d:", idx, n-g.d.rangeInt(2, 4))
+		g.line(depth+1, "%s = %s + %d", v, v, g.d.rangeInt(1, 9))
+	case 3: // type instability on fl
+		g.line(depth, "if %s > %d:", idx, 2*n/3)
+		g.line(depth+1, "fl = fl + 0.25")
+	case 4: // list traffic; xs never goes empty (pop gated on length)
+		g.line(depth, "xs.append(%s %% 256)", g.exprOver(1, vars))
+		g.line(depth, "if len(xs) > 50:")
+		g.line(depth+1, "xs.pop()")
+	case 5:
+		g.line(depth, "%s = xs[%s %% len(xs)]", v, idx)
+	case 6:
+		g.line(depth, "xs[%s %% len(xs)] = %s %% 512", idx, g.exprOver(1, vars))
+	case 7: // dict traffic
+		g.line(depth, "dd[%s %% 13] = %s %% 1000", idx, g.exprOver(1, vars))
+	case 8:
+		g.line(depth, "%s = dd.get(%s %% 17, 0)", v, idx)
+	case 9: // bounded string growth
+		g.line(depth, "if %s %% 31 == 0:", idx)
+		g.line(depth+1, "s = s + %q", "ab")
+	case 10: // attribute / method traffic
+		if g.hasClass {
+			g.line(depth, "%s = ob.step(%s %% 5)", v, idx)
+		} else {
+			g.line(depth, "%s = %s + len(s)", v, v)
+		}
+	case 11: // non-escaping allocation: virtuals candidate
+		if g.hasClass {
+			g.line(depth, "tmp = C0(%s %% 7)", idx)
+			g.line(depth, "%s = %s + tmp.step(%d)", v, v, g.d.rangeInt(1, 3))
+		} else {
+			g.line(depth, "%s = %s ^ %d", v, v, g.d.rangeInt(1, 99))
+		}
+	case 12: // helper call (inlining / call_assembler)
+		g.line(depth, "%s = f%d(%s %% 97, %s %% 23)", v, g.d.intn(g.nFuncs), v, idx)
+	case 13: // deliberate overflow: bigint promotion mid-loop
+		if g.d.chance(50) {
+			g.line(depth, "v3 = v3 * 3 + 1")
+		} else {
+			g.line(depth, "v3 = (v3 + 1) << (%s %% 40)", idx)
+		}
+	case 14: // varying divisor / shift width
+		switch g.d.intn(3) {
+		case 0:
+			g.line(depth, "%s = (%s + 7) // (%s %% 9 + 1)", v, v, idx)
+		case 1:
+			g.line(depth, "%s = %s %% ((%s %% 7) + 2)", v, v, idx)
+		case 2:
+			g.line(depth, "%s = (%s %% 1000) << (%s %% 8)", v, v, idx)
+		}
+	case 15: // nested loop
+		if allowNest && depth == 2 {
+			g.genLoop(depth, false)
+		} else {
+			g.line(depth, "%s = %s + %s %% 7", v, v, idx)
+		}
+	default:
+		_ = k
+	}
+}
+
+// exprOver builds a bounded arithmetic expression over the variables.
+// Divisions and shifts always embed safe right-hand sides; unsafe
+// operand shapes are generated deliberately by stmt, not here.
+func (g *pygen) exprOver(depth int, vars []string) string {
+	if depth <= 0 || g.d.chance(35) {
+		if g.d.chance(40) {
+			return fmt.Sprintf("%d", g.d.rangeInt(0, 999))
+		}
+		return vars[g.d.intn(len(vars))]
+	}
+	a := g.exprOver(depth-1, vars)
+	atom := vars[g.d.intn(len(vars))]
+	switch op := g.d.pick("+", "-", "*", "//", "%", "&", "|", "^", "<<", ">>"); op {
+	case "//", "%":
+		return fmt.Sprintf("(%s %s (%s %% 9 + 1))", a, op, atom)
+	case "<<":
+		return fmt.Sprintf("((%s %% 4096) << (%s %% 11))", a, atom)
+	case ">>":
+		return fmt.Sprintf("(%s >> (%s %% 11))", a, atom)
+	default:
+		return fmt.Sprintf("(%s %s %s)", a, op, g.exprOver(depth-1, vars))
+	}
+}

@@ -1,0 +1,124 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenSklang derives a deterministic random sklang program from a fuzzer
+// byte stream. The Scheme-like guest has no while statement, so hot
+// loops are tail self-calls — each one a jit_merge_point — carrying an
+// index, a trip-count limit, and a vector, with a global accumulator
+// updated via set!. Programs exercise guard-flipping conditionals,
+// vector traffic through modulo indexing, helper calls, float
+// contamination via / (truncated back to int), and quotient/modulo with
+// index-dependent divisors. Like GenPylang, results are published into
+// globals so the oracle's heap checksum sees final structures.
+func GenSklang(data []byte) string {
+	g := &skgen{d: newDecider(data)}
+	return g.program()
+}
+
+type skgen struct {
+	d *decider
+	b strings.Builder
+}
+
+func (g *skgen) program() string {
+	nHelpers := g.d.rangeInt(0, 2)
+	for j := 0; j < nHelpers; j++ {
+		g.helper(j)
+	}
+	nLoops := g.d.rangeInt(1, 3)
+	for l := 0; l < nLoops; l++ {
+		g.loop(l, nHelpers)
+	}
+
+	fmt.Fprintf(&g.b, "(define (main)\n")
+	fmt.Fprintf(&g.b, "  (let ((v (make-vector %d %d)))\n",
+		g.d.rangeInt(8, 24), g.d.rangeInt(0, 5))
+	expr := "0"
+	for l := 0; l < nLoops; l++ {
+		fmt.Fprintf(&g.b, "    (set! g%d %d)\n", l, g.d.rangeInt(0, 9))
+		n := g.d.rangeInt(30, 200)
+		expr = fmt.Sprintf("(modulo (+ %s (lp%d 0 %d v)) 1000003)",
+			expr, l, n)
+	}
+	fmt.Fprintf(&g.b, "    (set! gacc %s)\n", expr)
+	fmt.Fprintf(&g.b, "    (set! gvec v)\n")
+	if g.d.chance(40) {
+		fmt.Fprintf(&g.b, "    (display gacc)\n")
+	}
+	fmt.Fprintf(&g.b, "    gacc))\n")
+	return g.b.String()
+}
+
+// helper emits a small non-recursive arithmetic procedure hj.
+func (g *skgen) helper(j int) {
+	body := fmt.Sprintf("(+ (* a %d) (modulo b %d))",
+		g.d.rangeInt(2, 7), g.d.rangeInt(3, 11))
+	if g.d.chance(50) {
+		body = fmt.Sprintf("(if (< (modulo a %d) %d) %s (- b a))",
+			g.d.rangeInt(2, 6), g.d.rangeInt(1, 3), body)
+	}
+	fmt.Fprintf(&g.b, "(define (h%d a b) %s)\n", j, body)
+}
+
+// loop emits tail-recursive procedure (lpl i limit v): i counts up to
+// limit (passed by main), body statements fold into the global
+// accumulator gl, and the tail self-call is the loop's merge point.
+func (g *skgen) loop(l, nHelpers int) {
+	fmt.Fprintf(&g.b, "(define (lp%d i limit v)\n", l)
+	fmt.Fprintf(&g.b, "  (if (>= i limit)\n")
+	fmt.Fprintf(&g.b, "      (modulo g%d 65536)\n", l)
+	fmt.Fprintf(&g.b, "      (begin\n")
+	nStmts := g.d.rangeInt(1, 3)
+	for s := 0; s < nStmts; s++ {
+		g.stmt(l, nHelpers)
+	}
+	fmt.Fprintf(&g.b, "        (lp%d (+ i 1) limit v))))\n", l)
+}
+
+func (g *skgen) stmt(l, nHelpers int) {
+	acc := fmt.Sprintf("g%d", l)
+	switch k := g.d.intn(7); {
+	case k == 0: // plain accumulation
+		fmt.Fprintf(&g.b, "        (set! %s (+ %s %s))\n", acc, acc, g.expr(l, nHelpers))
+	case k == 1: // guard-flipping conditional
+		m := g.d.rangeInt(3, 9)
+		fmt.Fprintf(&g.b, "        (if (< (modulo i %d) %d)\n", m, g.d.rangeInt(1, m-1))
+		fmt.Fprintf(&g.b, "            (set! %s (+ %s %d))\n", acc, acc, g.d.rangeInt(1, 5))
+		fmt.Fprintf(&g.b, "            (set! %s (- %s %d)))\n", acc, acc, g.d.rangeInt(1, 3))
+	case k == 2: // vector write
+		fmt.Fprintf(&g.b, "        (vector-set! v (modulo i (vector-length v)) (modulo %s 512))\n",
+			g.expr(l, nHelpers))
+	case k == 3: // vector read
+		fmt.Fprintf(&g.b, "        (set! %s (+ %s (vector-ref v (modulo %s (vector-length v)))))\n",
+			acc, acc, g.expr(l, nHelpers))
+	case k == 4 && nHelpers > 0: // helper call
+		fmt.Fprintf(&g.b, "        (set! %s (+ %s (h%d (modulo i 97) (modulo %s 23))))\n",
+			acc, acc, g.d.intn(nHelpers), acc)
+	case k == 5: // index-dependent divisor
+		fmt.Fprintf(&g.b, "        (set! %s (quotient (+ %s 7) (+ (modulo i 9) 1)))\n", acc, acc)
+	case k == 6: // float contamination via true division, truncated back
+		fmt.Fprintf(&g.b, "        (set! %s (truncate (/ (* %s 3) 2)))\n", acc, acc)
+	default:
+		fmt.Fprintf(&g.b, "        (set! %s (+ %s (modulo i 7)))\n", acc, acc)
+	}
+}
+
+func (g *skgen) expr(l, nHelpers int) string {
+	acc := fmt.Sprintf("g%d", l)
+	switch g.d.intn(5) {
+	case 0:
+		return fmt.Sprintf("(* i %d)", g.d.rangeInt(1, 9))
+	case 1:
+		return fmt.Sprintf("(+ %s i)", acc)
+	case 2:
+		return fmt.Sprintf("(modulo (* %s %d) %d)", acc, g.d.rangeInt(2, 5), g.d.rangeInt(64, 4096))
+	case 3:
+		return fmt.Sprintf("(- i %s)", acc)
+	default:
+		return fmt.Sprintf("%d", g.d.rangeInt(0, 99))
+	}
+}

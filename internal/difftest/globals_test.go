@@ -1,0 +1,90 @@
+package difftest
+
+import "testing"
+
+// The tests in this file pin the global-promotion bug the random corpus
+// found on its first sklang seed: traced loads of module globals were
+// constant-folded with no invalidation protocol, and traced stores were
+// dropped entirely, so a compiled loop mutating a global computed with a
+// stale snapshot and never wrote back. The fix gives stable globals
+// versioned-dict constant promotion under guard_not_invalidated and
+// mutated globals residual dict calls; these programs exercise every arm
+// of that protocol.
+
+// TestGlobalMutationInLoop is the original divergence shape: a global
+// accumulator both read and written inside the hot loop. The store must
+// survive into the compiled trace as a residual call and the load must
+// not be folded.
+func TestGlobalMutationInLoop(t *testing.T) {
+	const pySrc = `
+g = 4
+
+def main():
+    global g
+    i = 0
+    while i < 120:
+        g = g + i * 3
+        i = i + 1
+    print(g % 65536)
+    return g % 65536
+`
+	if _, err := RunMatrix(pySrc, false); err != nil {
+		t.Fatal(err)
+	}
+
+	const skSrc = `
+(define (lp i limit)
+  (if (>= i limit)
+      (modulo g0 65536)
+      (begin
+        (set! g0 (+ g0 (* i 3)))
+        (lp (+ i 1) limit))))
+(define (main)
+  (set! g0 4)
+  (display (lp 0 120))
+  (lp 0 120))
+`
+	if _, err := RunMatrix(skSrc, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalInvalidation folds a stable global into a hot trace, then
+// mutates it mid-run from a helper: the recording that loads then stores
+// the name must abort (its folded constant is stale), the installed
+// trace must be invalidated so its guard_not_invalidated deoptimizes,
+// and the re-trace must use residual loads. Every configuration still
+// has to agree with the interpreter.
+func TestGlobalInvalidation(t *testing.T) {
+	const src = `
+k = 5
+
+def bump():
+    global k
+    k = k + 1
+
+def main():
+    acc = 0
+    i = 0
+    while i < 300:
+        acc = acc + k
+        if i == 150:
+            bump()
+        i = i + 1
+    print(acc)
+    return acc
+`
+	outs, err := RunMatrix(src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invalidated := false
+	for _, o := range outs {
+		if o.Stats.Invalidated > 0 {
+			invalidated = true
+		}
+	}
+	if !invalidated {
+		t.Error("no configuration invalidated a trace; the mutation protocol was not exercised")
+	}
+}

@@ -1,0 +1,93 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// seedBytes encodes a corpus index as the decider input, so the corpus
+// is deterministic and individual failures reproduce by index.
+func seedBytes(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+// TestPylangCorpus cross-checks seeded random pylang programs under the
+// full configuration matrix.
+func TestPylangCorpus(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 50
+	}
+	jitEngaged := 0
+	for i := 0; i < n; i++ {
+		src := GenPylang(seedBytes(uint64(i)))
+		outs, err := RunMatrix(src, false)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", i, err, src)
+		}
+		for _, o := range outs {
+			if o.Stats.LoopsCompiled > 0 {
+				jitEngaged++
+				break
+			}
+		}
+	}
+	// The generator exists to exercise the JIT; if programs stopped
+	// compiling traces the corpus silently stopped testing anything.
+	if jitEngaged < n*9/10 {
+		t.Errorf("only %d/%d programs compiled any trace", jitEngaged, n)
+	}
+}
+
+// TestSklangCorpus cross-checks seeded random sklang programs under the
+// full configuration matrix.
+func TestSklangCorpus(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	jitEngaged := 0
+	for i := 0; i < n; i++ {
+		src := GenSklang(seedBytes(uint64(i) | 1<<32))
+		outs, err := RunMatrix(src, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nprogram:\n%s", i, err, src)
+		}
+		for _, o := range outs {
+			if o.Stats.LoopsCompiled > 0 {
+				jitEngaged++
+				break
+			}
+		}
+	}
+	if jitEngaged < n*9/10 {
+		t.Errorf("only %d/%d programs compiled any trace", jitEngaged, n)
+	}
+}
+
+// TestMatrixShape pins the matrix: ablation cells must cover every
+// optimizer pass exactly once, and all cells must carry distinct names.
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	names := map[string]bool{}
+	for _, c := range m {
+		if names[c.Name] {
+			t.Fatalf("duplicate config name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		"interp", "jit-default", "jit-hot",
+		"jit-hot-no-fold", "jit-hot-no-guards", "jit-hot-no-cse",
+		"jit-hot-no-virtuals", "jit-hot-no-dce", "jit-tinytrace",
+	} {
+		if !names[want] {
+			t.Errorf("matrix is missing config %q", want)
+		}
+	}
+	if m[0].JIT {
+		t.Error("first matrix cell must be the plain interpreter (the reference)")
+	}
+}

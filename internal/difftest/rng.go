@@ -1,0 +1,65 @@
+// Package difftest is the differential-testing subsystem for the
+// meta-tracing JIT: seeded random guest-program generators for the
+// Python-like and Scheme-like guests, an oracle that runs each program
+// under a matrix of VM configurations (interpreter-only, default JIT,
+// per-pass optimizer ablations, aggressive thresholds, tiny trace
+// limits) and demands identical results, heap checksums, output, and
+// guest errors across all cells, and cross-layer invariant checkers
+// (phase accounting, trace IR well-formedness, engine stats) applied to
+// every execution. It follows the cross-checking methodology used to
+// validate composed interpreters: the plain interpreter is the
+// executable specification, and every JIT configuration must agree
+// with it bit for bit.
+package difftest
+
+// decider turns a fuzzer byte stream into bounded structured decisions.
+// While input bytes remain they drive every choice, so a fuzzing
+// engine's byte mutations steer program shape; once the input is
+// exhausted a splitmix64 PRNG seeded from the consumed prefix takes
+// over, keeping generation total and deterministic for any input.
+type decider struct {
+	data []byte
+	pos  int
+	seed uint64
+}
+
+func newDecider(data []byte) *decider {
+	seed := uint64(0x9E3779B97F4A7C15)
+	for _, b := range data {
+		seed = (seed ^ uint64(b)) * 0x100000001B3
+	}
+	return &decider{data: data, seed: seed}
+}
+
+func (d *decider) next() uint64 {
+	if d.pos < len(d.data) {
+		b := d.data[d.pos]
+		d.pos++
+		return uint64(b)
+	}
+	d.seed += 0x9E3779B97F4A7C15
+	z := d.seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return (z ^ (z >> 31)) & 0xFF
+}
+
+// intn returns a decision in [0, n).
+func (d *decider) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if n <= 256 {
+		return int(d.next()) % n
+	}
+	return int(d.next()<<8|d.next()) % n
+}
+
+// rangeInt returns a decision in [lo, hi].
+func (d *decider) rangeInt(lo, hi int) int { return lo + d.intn(hi-lo+1) }
+
+// chance is true pct% of the time.
+func (d *decider) chance(pct int) bool { return d.intn(100) < pct }
+
+// pick returns one of the options.
+func (d *decider) pick(opts ...string) string { return opts[d.intn(len(opts))] }

@@ -17,6 +17,7 @@ type EngineStats struct {
 	OpsRecorded     int
 	OpsRemoved      int // by the optimizer
 	GuardFailures   uint64
+	Invalidated     int // traces killed by a global mutation
 }
 
 // Engine is the meta-tracing JIT: it owns hot-loop counters, recordings in
@@ -46,6 +47,12 @@ type Engine struct {
 	// (the PyPy-log hook).
 	OnCompile func(*Trace)
 
+	// ForceGuardFail, if set, is consulted for every guard that passed
+	// its runtime check during trace execution; returning true makes the
+	// guard fail anyway. Deoptimization testing hook: it exercises the
+	// bridge/blackhole exit paths at guards whose conditions hold.
+	ForceGuardFail func(*Trace, *Op) bool
+
 	counters  map[GreenKey]int
 	blacklist map[GreenKey]int
 	traces    map[GreenKey]*Trace
@@ -54,6 +61,10 @@ type Engine struct {
 
 	guardFails          map[uint32]int
 	pendingBridgeResume map[uint32]*ResumeState
+
+	// globalDeps maps a global name to the installed traces that
+	// constant-folded its value (see TracingMachine.DependOnGlobal).
+	globalDeps map[string][]*Trace
 
 	guardSeq uint32
 	traceSeq uint32
@@ -88,6 +99,7 @@ func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
 		bridges:             map[uint32]*Trace{},
 		guardFails:          map[uint32]int{},
 		pendingBridgeResume: map[uint32]*ResumeState{},
+		globalDeps:          map[string][]*Trace{},
 		jitPC:               isa.NewPCAlloc(isa.RegionJITCode),
 		bhSite:              rt.PC.Site(),
 		cmpSite:             rt.PC.Site(),
@@ -374,6 +386,9 @@ func (e *Engine) install(tm *TracingMachine, key GreenKey, bridge bool) *Trace {
 	} else {
 		e.stats.LoopsCompiled++
 	}
+	for name := range tm.deps {
+		e.globalDeps[name] = append(e.globalDeps[name], t)
+	}
 	e.all = append(e.all, t)
 	e.tracing = nil
 	e.S.Annot(core.TagTraceEnd, uint64(t.ID))
@@ -398,3 +413,36 @@ func (e *Engine) assemble(t *Trace) {
 
 // GuardFailCount returns how often a guard has failed.
 func (e *Engine) GuardFailCount(id uint32) int { return e.guardFails[id] }
+
+// InvalidateGlobal kills every installed trace that constant-folded the
+// named global: each is marked invalidated (its guard_not_invalidated
+// ops fail from now on, deoptimizing any execution that reaches them)
+// and unlinked from the dispatch tables so it is never entered fresh.
+// The traces stay in the compile log (Traces/stats) — invalidation does
+// not rewrite history, it only stops the code from running.
+func (e *Engine) InvalidateGlobal(name string) {
+	ts := e.globalDeps[name]
+	if len(ts) == 0 {
+		return
+	}
+	delete(e.globalDeps, name)
+	// Walking the dependency list and patching the guards costs a few
+	// instructions per dependent trace, as in RPython's invalidation.
+	e.S.Ops(isa.ALU, 6*len(ts))
+	e.S.Ops(isa.Store, 2*len(ts))
+	for _, t := range ts {
+		if t.Invalidated {
+			continue
+		}
+		t.Invalidated = true
+		e.stats.Invalidated++
+		if e.traces[t.Key] == t {
+			delete(e.traces, t.Key)
+		}
+		for id, b := range e.bridges {
+			if b == t {
+				delete(e.bridges, id)
+			}
+		}
+	}
+}

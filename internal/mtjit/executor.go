@@ -129,7 +129,15 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 		case OpGuardTrue, OpGuardFalse, OpGuardValue, OpGuardClass,
 			OpGuardNonnull, OpGuardIsnull, OpGuardNoOverflow, OpGuardNotInvalidated:
 			ok := e.checkGuard(cur, op, regs)
-			s.Ops(isa.ALU, op.Opc.AsmLen()-1)
+			if ok && e.ForceGuardFail != nil && e.ForceGuardFail(cur, op) {
+				ok = false
+			}
+			// guard_not_invalidated lowers to zero instructions (the
+			// invalidation path patches the code instead), so only the
+			// branch below is accounted for it.
+			if n := op.Opc.AsmLen() - 1; n > 0 {
+				s.Ops(isa.ALU, n)
+			}
 			s.Branch(opPC, !ok)
 			if ok {
 				continue
@@ -205,7 +213,7 @@ func (e *Engine) checkGuard(t *Trace, op *Op, regs []heap.Value) bool {
 		// The paired ovf op stored its overflow flag in the engine.
 		return e.lastOvf == (op.Aux == 1)
 	case OpGuardNotInvalidated:
-		return true
+		return !t.Invalidated
 	}
 	panic("mtjit: not a guard: " + op.Opc.Name())
 }
@@ -214,6 +222,7 @@ func (e *Engine) checkGuard(t *Trace, op *Op, regs []heap.Value) bool {
 // deoptimize through the blackhole interpreter.
 func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Trace, []heap.Value) {
 	e.guardFails[op.GuardID]++
+	e.stats.GuardFailures++
 	s := e.S
 	s.Annot(core.TagGuardFail, uint64(op.GuardID))
 

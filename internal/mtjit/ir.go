@@ -369,6 +369,11 @@ type Trace struct {
 	ID     uint32
 	Key    GreenKey
 	Bridge bool
+	// Invalidated is set when a runtime assumption the trace was
+	// compiled under (a constant-folded global) is broken: every
+	// guard_not_invalidated in the trace fails from then on, and the
+	// trace is unlinked from the lookup tables.
+	Invalidated bool
 	// Entry maps interpreter state to input registers: at entry,
 	// regs[Entry.Frames[k].Slots[i]] is loaded from slot i of frame k.
 	// Loop traces enter with a single frame (the merge-point frame);

@@ -74,6 +74,11 @@ type TracingMachine struct {
 	aborted bool
 	reason  AbortReason
 
+	// deps are the names of runtime assumptions (constant-folded
+	// globals) this recording relies on; install registers them so a
+	// later mutation invalidates the trace.
+	deps map[string]bool
+
 	recSite isa.Site
 }
 
@@ -489,6 +494,34 @@ func (m *TracingMachine) GuestCall(site uint64) {
 func (m *TracingMachine) GuestReturn() {
 	m.d.S.Ops(isa.ALU, 6)
 	m.d.S.Ops(isa.Load, 3)
+}
+
+// DependOnGlobal records that the trace constant-folded the value bound
+// to name: a guard_not_invalidated op is recorded (once per name per
+// recording), and on install the trace registers as a dependent so a
+// later store to name invalidates it (RPython's quasi-immutable field
+// mechanism, applied to versioned module dicts).
+func (m *TracingMachine) DependOnGlobal(name string) {
+	if m.deps[name] {
+		return
+	}
+	if m.deps == nil {
+		m.deps = make(map[string]bool)
+	}
+	m.deps[name] = true
+	m.guard(Op{Opc: OpGuardNotInvalidated})
+}
+
+// DependsOnGlobal reports whether the recording already constant-folded
+// the named global. Guest VMs must abort the recording before storing to
+// such a name: the recorded constant is already stale.
+func (m *TracingMachine) DependsOnGlobal(name string) bool { return m.deps[name] }
+
+// Abort abandons the recording with the given reason; the driver picks
+// it up at the next merge point.
+func (m *TracingMachine) Abort(reason AbortReason) {
+	m.aborted = true
+	m.reason = reason
 }
 
 // RefOf exposes the IR ref of a TV for snapshot construction, interning

@@ -1,0 +1,307 @@
+package mtjit
+
+import "fmt"
+
+// This file implements structural well-formedness checks over installed
+// traces and over the engine's bookkeeping. The differential-testing
+// oracle (internal/difftest) runs them after every JIT execution; they
+// are cheap enough to keep on in any test that owns an Engine.
+
+// ValidateTrace checks that an installed trace is well-formed:
+//
+//   - the entry maps interpreter slots onto distinct in-range registers
+//     (loop traces have exactly one entry frame),
+//   - every op operand names a constant in range, an entry register, or
+//     the result of an earlier op (SSA: results are assigned once),
+//   - every guard carries a resume snapshot and a nonzero GuardID, and
+//     its resume data only references defined registers, constants, or
+//     virtuals described in the same snapshot,
+//   - call ops carry their callee (Fn/Thunk, or Target for
+//     call_assembler),
+//   - the trace ends in exactly one terminator (jump / finish /
+//     call_assembler) and jump argument counts match the target entry,
+//   - per-op metadata (OpPCs, OpExecs) covers every op.
+func ValidateTrace(t *Trace) error {
+	if t == nil {
+		return fmt.Errorf("nil trace")
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("trace %d (bridge=%v): %s", t.ID, t.Bridge, fmt.Sprintf(format, args...))
+	}
+	if t.Entry == nil || len(t.Entry.Frames) == 0 {
+		return fail("missing entry state")
+	}
+	if !t.Bridge && len(t.Entry.Frames) != 1 {
+		return fail("loop trace entry has %d frames, want 1", len(t.Entry.Frames))
+	}
+	if t.NumRegs < 1 {
+		return fail("NumRegs = %d", t.NumRegs)
+	}
+	if len(t.OpPCs) != len(t.Ops) {
+		return fail("OpPCs covers %d of %d ops", len(t.OpPCs), len(t.Ops))
+	}
+	if len(t.OpExecs) != len(t.Ops) {
+		return fail("OpExecs covers %d of %d ops", len(t.OpExecs), len(t.Ops))
+	}
+
+	defined := make(map[Ref]bool)
+	for fi := range t.Entry.Frames {
+		for si, r := range t.Entry.Frames[fi].Slots {
+			if r <= 0 || int(r) >= t.NumRegs {
+				return fail("entry frame %d slot %d maps to register %d (NumRegs %d)", fi, si, r, t.NumRegs)
+			}
+			if defined[r] {
+				return fail("entry register %d assigned twice", r)
+			}
+			defined[r] = true
+		}
+	}
+
+	// operandOK reports whether r may be read at this point. extra holds
+	// virtual refs defined by the resume snapshot being checked (nil
+	// outside resume data).
+	operandOK := func(r Ref, extra map[Ref]bool) error {
+		switch {
+		case r == RefNone || r == RefUnused:
+			return nil
+		case r.IsConst():
+			if i := r.ConstIndex(); i < 0 || i >= len(t.Consts) {
+				return fmt.Errorf("constant ref %d out of range (table size %d)", r, len(t.Consts))
+			}
+			return nil
+		case defined[r]:
+			return nil
+		case extra != nil && extra[r]:
+			return nil
+		default:
+			return fmt.Errorf("register %d read before definition", r)
+		}
+	}
+
+	checkResume := func(i int, op *Op) error {
+		rs := op.Resume
+		if len(rs.Frames) == 0 {
+			return fail("op %d %s: resume state has no frames", i, op)
+		}
+		virt := make(map[Ref]bool, len(rs.Virtuals))
+		for _, vd := range rs.Virtuals {
+			if vd.Shape == nil {
+				return fail("op %d %s: virtual %d has no shape", i, op, vd.Ref)
+			}
+			if vd.NumFields != len(vd.FieldRefs) {
+				return fail("op %d %s: virtual %d has %d field refs, want %d", i, op, vd.Ref, len(vd.FieldRefs), vd.NumFields)
+			}
+			if vd.ArrayLen >= 0 && vd.ArrayLen != len(vd.ElemRefs) {
+				return fail("op %d %s: virtual %d has %d elem refs, want %d", i, op, vd.Ref, len(vd.ElemRefs), vd.ArrayLen)
+			}
+			if vd.ArrayLen < 0 && len(vd.ElemRefs) != 0 {
+				return fail("op %d %s: non-array virtual %d has elem refs", i, op, vd.Ref)
+			}
+			virt[vd.Ref] = true
+		}
+		for _, vd := range rs.Virtuals {
+			for _, f := range vd.FieldRefs {
+				if err := operandOK(f, virt); err != nil {
+					return fail("op %d %s: virtual %d field: %v", i, op, vd.Ref, err)
+				}
+			}
+			for _, el := range vd.ElemRefs {
+				if err := operandOK(el, virt); err != nil {
+					return fail("op %d %s: virtual %d elem: %v", i, op, vd.Ref, err)
+				}
+			}
+		}
+		for fi := range rs.Frames {
+			for si, s := range rs.Frames[fi].Slots {
+				if err := operandOK(s, virt); err != nil {
+					return fail("op %d %s: resume frame %d slot %d: %v", i, op, fi, si, err)
+				}
+			}
+		}
+		return nil
+	}
+
+	if len(t.Ops) == 0 {
+		return fail("empty op list")
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		for _, r := range [...]Ref{op.A, op.B, op.C} {
+			if err := operandOK(r, nil); err != nil {
+				return fail("op %d %s: %v", i, op, err)
+			}
+		}
+		for ai, a := range op.Args {
+			if err := operandOK(a, nil); err != nil {
+				return fail("op %d %s: arg %d: %v", i, op, ai, err)
+			}
+		}
+
+		switch {
+		case op.Opc.IsGuard():
+			if op.Resume == nil {
+				return fail("op %d %s: guard without resume state", i, op)
+			}
+			if op.GuardID == 0 {
+				return fail("op %d %s: guard without GuardID", i, op)
+			}
+		case op.Opc == OpCall || op.Opc == OpCallMayForce || op.Opc == OpCondCall:
+			if op.Fn == nil || op.Thunk == nil {
+				return fail("op %d %s: residual call without Fn/Thunk", i, op)
+			}
+		case op.Opc == OpCallAssembler:
+			if op.Target == nil {
+				return fail("op %d call_assembler without target", i)
+			}
+			if op.Resume == nil {
+				return fail("op %d call_assembler without resume state", i)
+			}
+		}
+		if op.Resume != nil {
+			if err := checkResume(i, op); err != nil {
+				return err
+			}
+		}
+
+		terminator := op.Opc == OpJump || op.Opc == OpFinish || op.Opc == OpCallAssembler
+		if terminator && i != len(t.Ops)-1 {
+			return fail("op %d %s: terminator before end of trace", i, op)
+		}
+		if i == len(t.Ops)-1 && !terminator {
+			return fail("last op %s is not jump/finish/call_assembler", op)
+		}
+
+		if op.Opc == OpJump {
+			target := op.Target
+			if target == nil {
+				target = t
+			}
+			want := len(target.Entry.Frames[0].Slots)
+			if len(op.Args) != want {
+				return fail("jump passes %d args, target trace %d entry takes %d", len(op.Args), target.ID, want)
+			}
+		}
+
+		if op.Res != RefNone {
+			if op.Res <= 0 || int(op.Res) >= t.NumRegs {
+				return fail("op %d %s: result register %d out of range (NumRegs %d)", i, op, op.Res, t.NumRegs)
+			}
+			if defined[op.Res] {
+				return fail("op %d %s: register %d assigned twice", i, op, op.Res)
+			}
+			defined[op.Res] = true
+		}
+	}
+	return nil
+}
+
+// Validate checks the engine's bookkeeping for internal consistency and
+// validates every installed trace. It verifies that:
+//
+//   - LoopsCompiled + BridgesCompiled matches the installed trace count,
+//   - the optimizer never reports removing more ops than were recorded,
+//   - per-reason abort counters never exceed the abort total,
+//   - every counted guard failure belongs to a guard of an installed
+//     trace, and the per-guard counts sum to EngineStats.GuardFailures,
+//   - the trace and bridge lookup tables only hold installed,
+//     non-invalidated traces, and stats.Invalidated matches the number
+//     of invalidated traces in the compile log.
+func (e *Engine) Validate() error {
+	st := e.stats
+	if st.LoopsCompiled+st.BridgesCompiled != len(e.all) {
+		return fmt.Errorf("stats count %d loops + %d bridges, %d traces installed",
+			st.LoopsCompiled, st.BridgesCompiled, len(e.all))
+	}
+	if st.OpsRemoved < 0 || st.OpsRecorded < 0 || st.OpsRemoved > st.OpsRecorded {
+		return fmt.Errorf("OpsRemoved %d > OpsRecorded %d", st.OpsRemoved, st.OpsRecorded)
+	}
+	if st.AbortsTooLong+st.AbortsLeftFrame > st.Aborts {
+		return fmt.Errorf("abort reasons (%d too-long + %d left-frame) exceed %d aborts",
+			st.AbortsTooLong, st.AbortsLeftFrame, st.Aborts)
+	}
+
+	loops, bridges, invalidated := 0, 0, 0
+	for _, t := range e.all {
+		if t.Invalidated {
+			invalidated++
+		}
+	}
+	if invalidated != st.Invalidated {
+		return fmt.Errorf("%d traces marked invalidated, stats.Invalidated = %d", invalidated, st.Invalidated)
+	}
+
+	guardIDs := make(map[uint32]bool)
+	for _, t := range e.all {
+		if err := ValidateTrace(t); err != nil {
+			return err
+		}
+		if t.Bridge {
+			bridges++
+		} else {
+			loops++
+		}
+		for i := range t.Ops {
+			if t.Ops[i].Opc.IsGuard() {
+				guardIDs[t.Ops[i].GuardID] = true
+			}
+		}
+	}
+	if loops != st.LoopsCompiled || bridges != st.BridgesCompiled {
+		return fmt.Errorf("installed %d loops / %d bridges, stats say %d / %d",
+			loops, bridges, st.LoopsCompiled, st.BridgesCompiled)
+	}
+
+	var fails uint64
+	for id, n := range e.guardFails {
+		if n < 0 {
+			return fmt.Errorf("guard %d has negative failure count %d", id, n)
+		}
+		if n > 0 && !guardIDs[id] {
+			return fmt.Errorf("guard %d failed %d times but belongs to no installed trace", id, n)
+		}
+		fails += uint64(n)
+	}
+	if fails != st.GuardFailures {
+		return fmt.Errorf("per-guard failure counts sum to %d, stats.GuardFailures = %d", fails, st.GuardFailures)
+	}
+
+	for key, t := range e.traces {
+		if t.Bridge {
+			return fmt.Errorf("loop table entry %v holds bridge trace %d", key, t.ID)
+		}
+		if t.Invalidated {
+			return fmt.Errorf("loop table entry %v holds invalidated trace %d", key, t.ID)
+		}
+		if !installed(e.all, t) {
+			return fmt.Errorf("loop table entry %v holds uninstalled trace %d", key, t.ID)
+		}
+	}
+	for id, t := range e.bridges {
+		if !t.Bridge {
+			return fmt.Errorf("bridge table entry for guard %d holds loop trace %d", id, t.ID)
+		}
+		if t.Invalidated {
+			return fmt.Errorf("bridge table entry for guard %d holds invalidated trace %d", id, t.ID)
+		}
+		if !installed(e.all, t) {
+			return fmt.Errorf("bridge table entry for guard %d holds uninstalled trace %d", id, t.ID)
+		}
+	}
+	for name, ts := range e.globalDeps {
+		for _, t := range ts {
+			if !installed(e.all, t) {
+				return fmt.Errorf("global dep %q holds uninstalled trace %d", name, t.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func installed(all []*Trace, t *Trace) bool {
+	for _, x := range all {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

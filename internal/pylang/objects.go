@@ -99,6 +99,16 @@ type VM struct {
 	codeSeq  uint32
 	codeByID map[uint32]*Code
 
+	// mutatedGlobals holds names stored to after module initialization.
+	// Traced loads of such names cannot be constant-folded and become
+	// residual dict lookups; all other globals get versioned-dict
+	// constant promotion under guard_not_invalidated.
+	mutatedGlobals map[string]bool
+	// inModuleInit is true while the module body executes: definition-
+	// time stores (def, class, top-level constants) do not count as
+	// mutations.
+	inModuleInit bool
+
 	// Shapes.
 	StrShape, BigShape, ListShape, TupleShape, DictShape *heap.Shape
 	FuncShape, BuiltinShape, BoundShape, ClassShape      *heap.Shape
@@ -158,15 +168,16 @@ func New(mach *cpu.Machine, cfg Config) *VM {
 	h := heap.New(mach, hcfg)
 	rt := aot.NewRuntime(h)
 	vm := &VM{
-		Mach:     mach,
-		H:        h,
-		RT:       rt,
-		globals:  map[string]heap.Value{},
-		codeByID: map[uint32]*Code{},
-		classes:  map[*heap.Shape]*Class{},
-		builtins: map[string]*heap.Obj{},
-		interned: map[string]*heap.Obj{},
-		Profile:  cfg.Profile,
+		Mach:           mach,
+		H:              h,
+		RT:             rt,
+		globals:        map[string]heap.Value{},
+		mutatedGlobals: map[string]bool{},
+		codeByID:       map[uint32]*Code{},
+		classes:        map[*heap.Shape]*Class{},
+		builtins:       map[string]*heap.Obj{},
+		interned:       map[string]*heap.Obj{},
+		Profile:        cfg.Profile,
 
 		UnicodeStrings: true,
 	}

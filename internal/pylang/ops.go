@@ -103,31 +103,44 @@ func (vm *VM) binary(m mtjit.Machine, op BinKind, a, b mtjit.TV) mtjit.TV {
 			}
 			return res
 		case BinTrueDiv:
-			if b.V.I == 0 {
+			if vm.intDivisorZero(m, b) {
 				vm.throw("division by zero")
 			}
 			return m.FloatArith(mtjit.OpFloatTruediv, m.IntToFloat(a), m.IntToFloat(b))
 		case BinFloorDiv:
-			if b.V.I == 0 {
+			if vm.intDivisorZero(m, b) {
 				vm.throw("division by zero")
 			}
 			return m.IntFloorDiv(a, b)
 		case BinMod:
-			if b.V.I == 0 {
+			if vm.intDivisorZero(m, b) {
 				vm.throw("modulo by zero")
 			}
 			return m.IntMod(a, b)
 		case BinPow:
 			return vm.intPow(m, a, b)
 		case BinLsh:
-			// Shifts that overflow promote to bigint.
-			if b.V.I < 0 {
+			// Shifts that overflow promote to bigint. Every decision goes
+			// through the machine so traces re-test it: a trace recorded
+			// with a small, in-range shift must deoptimize — not silently
+			// truncate — when a later iteration shifts further.
+			neg := m.IntCmp(mtjit.OpIntLt, b, m.Const(heap.IntVal(0)))
+			if m.Truth(neg, siteShiftNeg.PC()) {
 				vm.throw("negative shift count")
 			}
-			if b.V.I >= 63 || hasHighBits(a.V.I, b.V.I) {
+			wide := m.IntCmp(mtjit.OpIntGe, b, m.Const(heap.IntVal(63)))
+			if m.Truth(wide, siteShiftWide.PC()) {
 				return vm.bigBinary(m, op, a, b)
 			}
-			return m.IntLshift(a, b)
+			// In-range count: shift, then shift back — a mismatch means
+			// bits were lost and the result needs bigint precision.
+			sh := m.IntLshift(a, b)
+			back := m.IntRshift(sh, b)
+			lossy := m.IntCmp(mtjit.OpIntNe, back, a)
+			if m.Truth(lossy, siteShiftOvf.PC()) {
+				return vm.bigBinary(m, op, a, b)
+			}
+			return sh
 		case BinRsh:
 			return m.IntRshift(a, b)
 		case BinAnd:
@@ -153,7 +166,8 @@ func (vm *VM) binary(m mtjit.Machine, op BinKind, a, b mtjit.TV) mtjit.TV {
 		case BinMul:
 			return m.FloatArith(mtjit.OpFloatMul, fa, fb)
 		case BinTrueDiv, BinFloorDiv:
-			if fb.V.F == 0 {
+			fz := m.FloatCmp(mtjit.OpFloatEq, fb, m.Const(heap.FloatVal(0)))
+			if m.Truth(fz, siteDivZero.PC()) {
 				vm.throw("float division by zero")
 			}
 			res := m.FloatArith(mtjit.OpFloatTruediv, fa, fb)
@@ -179,20 +193,28 @@ func (vm *VM) binary(m mtjit.Machine, op BinKind, a, b mtjit.TV) mtjit.TV {
 	return mtjit.TV{}
 }
 
-func hasHighBits(v int64, sh int64) bool {
-	if v == 0 {
-		return false
-	}
-	if v < 0 {
-		v = -v
-	}
-	return v>>(62-uint(sh)) != 0
+// intDivisorZero tests an integer divisor against zero through the
+// machine, so traces carry a compare+guard re-testing it: a trace
+// recorded with a nonzero divisor must deoptimize — not execute int_mod
+// on zero — when a later iteration divides by zero.
+func (vm *VM) intDivisorZero(m mtjit.Machine, b mtjit.TV) bool {
+	z := m.IntCmp(mtjit.OpIntEq, b, m.Const(heap.IntVal(0)))
+	return m.Truth(z, siteDivZero.PC())
 }
+
+var (
+	siteDivZero   = isa.NewSite()
+	siteShiftNeg  = isa.NewSite()
+	siteShiftWide = isa.NewSite()
+	siteShiftOvf  = isa.NewSite()
+	sitePowNeg    = isa.NewSite()
+)
 
 // intPow computes a**b: non-negative integer exponents stay exact
 // (promoting to bigint on overflow); negative exponents go float.
 func (vm *VM) intPow(m mtjit.Machine, a, b mtjit.TV) mtjit.TV {
-	if b.V.I < 0 {
+	bneg := m.IntCmp(mtjit.OpIntLt, b, m.Const(heap.IntVal(0)))
+	if m.Truth(bneg, sitePowNeg.PC()) {
 		return m.CallAOT(vm.fnPow, vm.thunkPow, m.IntToFloat(a), m.IntToFloat(b))
 	}
 	return m.CallAOT(vm.fnBigMul, vm.thunkIntPow, a, b)

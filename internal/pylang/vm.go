@@ -100,7 +100,9 @@ func (vm *VM) LoadModule(name, src string) error {
 	vm.codeByID[code.ID] = code
 	fr := &Frame{Code: code, Locals: make([]mtjit.TV, code.NumLocals)}
 	vm.frames = append(vm.frames, fr)
+	vm.inModuleInit = true
 	vm.run(len(vm.frames) - 1)
+	vm.inModuleInit = false
 	return nil
 }
 
@@ -267,23 +269,9 @@ func (vm *VM) run(base int) heap.Value {
 		case BCStoreLocal:
 			f.Locals[in.Arg] = f.pop()
 		case BCLoadGlobal:
-			name := code.Names[in.Arg]
-			v, ok := vm.globals[name]
-			if !ok {
-				bo, ok2 := vm.builtins[name]
-				if !ok2 {
-					vm.throw("name %q is not defined", name)
-				}
-				v = heap.RefVal(bo)
-			}
-			// Globals are promoted to trace constants (versioned-dict
-			// semantics); the interpreter pays a dict-lookup cost.
-			vm.globalLookupCost(m)
-			f.push(m.Const(v))
+			f.push(vm.loadGlobal(m, code.Names[in.Arg]))
 		case BCStoreGlobal:
-			v := f.pop()
-			vm.globalLookupCost(m)
-			vm.globals[code.Names[in.Arg]] = v.V
+			vm.storeGlobal(m, code.Names[in.Arg], f.pop())
 		case BCLoadAttr:
 			vm.loadAttr(m, f, code.Names[in.Arg])
 		case BCStoreAttr:
@@ -421,13 +409,77 @@ func (vm *VM) run(base int) heap.Value {
 	}
 }
 
-func (vm *VM) globalLookupCost(m mtjit.Machine) {
-	// Module-dict lookup cost in the interpreter; compiled traces
-	// constant-fold it (versioned dict + guard_not_invalidated).
-	_ = m
+// lookupGlobal resolves name against the module globals with builtin
+// fallback, charging the module-dict lookup cost.
+func (vm *VM) lookupGlobal(name string) heap.Value {
 	s := vm.H.Stream()
 	s.Ops(isa.ALU, 6)
 	s.Ops(isa.Load, 3)
+	v, ok := vm.globals[name]
+	if !ok {
+		bo, ok2 := vm.builtins[name]
+		if !ok2 {
+			vm.throw("name %q is not defined", name)
+		}
+		v = heap.RefVal(bo)
+	}
+	return v
+}
+
+// loadGlobal implements BCLoadGlobal. Globals never stored to after
+// module initialization are promoted to trace constants under
+// guard_not_invalidated — the versioned-dict fast path. Mutated
+// globals cannot be folded: the trace re-reads the module dict through
+// a residual ll_call_lookup_function call on every execution.
+func (vm *VM) loadGlobal(m mtjit.Machine, name string) mtjit.TV {
+	if vm.tm != nil && vm.mutatedGlobals[name] {
+		return m.CallAOT(vm.fnDictLookup, func([]heap.Value) heap.Value {
+			return vm.lookupGlobal(name)
+		})
+	}
+	v := vm.lookupGlobal(name)
+	if vm.tm != nil {
+		vm.tm.DependOnGlobal(name)
+	}
+	return m.Const(v)
+}
+
+// storeGlobal implements BCStoreGlobal. A store to a name the active
+// recording has constant-folded aborts the recording — the folded
+// constant is already stale. Otherwise the store is recorded as a
+// residual ll_dict_setitem call so compiled code performs it too.
+func (vm *VM) storeGlobal(m mtjit.Machine, name string, v mtjit.TV) {
+	if vm.tm != nil {
+		if vm.tm.DependsOnGlobal(name) {
+			vm.tm.Abort(mtjit.AbortForced)
+		}
+		m.CallAOT(vm.fnDictSet, func(args []heap.Value) heap.Value {
+			vm.setGlobal(name, args[0])
+			return heap.Nil
+		}, v)
+		return
+	}
+	vm.setGlobal(name, v.V)
+}
+
+// setGlobal is the store slow path shared by the interpreter and
+// residual store calls executing inside traces: it writes the module
+// dict, marks the name mutated (definition-time stores in the module
+// body don't count), and invalidates every trace that constant-folded
+// the old value.
+func (vm *VM) setGlobal(name string, v heap.Value) {
+	s := vm.H.Stream()
+	s.Ops(isa.ALU, 6)
+	s.Ops(isa.Load, 3)
+	s.Ops(isa.Store, 2)
+	vm.globals[name] = v
+	if vm.inModuleInit {
+		return
+	}
+	vm.mutatedGlobals[name] = true
+	if vm.Eng != nil {
+		vm.Eng.InvalidateGlobal(name)
+	}
 }
 
 // pushCall dispatches a call to a function, class, bound method, or
