@@ -25,9 +25,12 @@ fmt:
 	fi
 
 # Race instrumentation slows the simulator ~10x; give slow single-core
-# machines headroom beyond go test's default 10m panic.
+# machines headroom beyond go test's default 10m panic. The JIT engine
+# and differential oracle are single-threaded but ride along under
+# -short to catch races introduced by future parallelism.
 race:
 	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/...
+	$(GO) test -race -short -timeout 30m ./internal/mtjit/... ./internal/difftest/...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -44,3 +47,4 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzPylangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzSklangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -fuzz=FuzzTieredPromotion -fuzztime=$(FUZZTIME) ./internal/difftest

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	experiments -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|all [-j N]
+//	experiments -exp table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all [-j N]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..9, all)")
+	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..10, all)")
 	jobs := flag.Int("j", 0, "max concurrent cell simulations (0 = NumCPU)")
 	flag.Parse()
 
@@ -44,6 +44,7 @@ func main() {
 		{"fig7", func() string { return harness.Fig7(runner, pypy) }},
 		{"fig8", func() string { return harness.Fig8(runner, pypy) }},
 		{"fig9", func() string { return harness.Fig9(runner, pypy) }},
+		{"fig10", func() string { return harness.Fig10(runner, pypy) }},
 		{"table4", func() string { return harness.Table4(runner, pypy) }},
 	}
 

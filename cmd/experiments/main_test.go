@@ -54,3 +54,87 @@ func TestTable1Golden(t *testing.T) {
 		t.Errorf("Table I output drifted from golden file:\n--- golden\n%s\n--- got\n%s", wantBytes, got)
 	}
 }
+
+// TestFig10Golden pins the tiered-warmup figure (Figure 10) on a small
+// fixed subset the same way TestTable1Golden pins Table I. Regenerate
+// with:
+//
+//	go test ./cmd/experiments -run TestFig10Golden -update
+func TestFig10Golden(t *testing.T) {
+	want := map[string]bool{"telco": true, "pidigits": true}
+	var progs []bench.Program
+	for _, p := range bench.PyPySuite() {
+		if want[p.Name] {
+			progs = append(progs, p)
+		}
+	}
+	if len(progs) != len(want) {
+		t.Fatalf("subset selected %d of %d programs; suite renamed?", len(progs), len(want))
+	}
+
+	runner := harness.NewRunner(0)
+	got := harness.Fig10(runner, progs)
+	if errs := runner.Errs(); len(errs) > 0 {
+		t.Fatalf("runner errors: %v", errs)
+	}
+
+	golden := filepath.Join("testdata", "fig10_subset.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(wantBytes) {
+		t.Errorf("Figure 10 output drifted from golden file:\n--- golden\n%s\n--- got\n%s", wantBytes, got)
+	}
+}
+
+// TestTieredWarmupRegression is the headline acceptance check for the
+// two-tier configuration: on a majority of the sampled suite (and at
+// least 3 programs), the tiered VM must reach 25% of the run's guest
+// work in no more cycles than the single-tier JIT, with byte-identical
+// checksums. It guards against the baseline tier regressing into pure
+// overhead.
+func TestTieredWarmupRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite warmup comparison is slow")
+	}
+	runner := harness.NewRunner(0)
+	opt := harness.Options{SampleInterval: harness.DefaultSampleInterval}
+	progs := bench.PyPySuite()
+	for i := range progs {
+		runner.Prefetch(&progs[i], harness.VMPyPyJIT, opt)
+		runner.Prefetch(&progs[i], harness.VMPyPyTiered, opt)
+	}
+	faster, total := 0, 0
+	for i := range progs {
+		p := &progs[i]
+		rj, errJ := runner.Get(p, harness.VMPyPyJIT, opt)
+		rt, errT := runner.Get(p, harness.VMPyPyTiered, opt)
+		if errJ != nil || errT != nil {
+			t.Fatalf("%s: run errors: %v / %v", p.Name, errJ, errT)
+		}
+		if rj.Checksum != rt.Checksum {
+			t.Errorf("%s: tiered checksum %d != single-tier %d", p.Name, rt.Checksum, rj.Checksum)
+		}
+		j25 := harness.WarmupCycles(rj, 0.25)
+		t25 := harness.WarmupCycles(rt, 0.25)
+		total++
+		if t25 <= j25 {
+			faster++
+		} else {
+			t.Logf("%s: tiered warmup slower (%.2fM vs %.2fM cycles to 25%% work)",
+				p.Name, t25/1e6, j25/1e6)
+		}
+	}
+	if faster < 3 {
+		t.Errorf("tiered warmup faster on only %d/%d programs; want >= 3", faster, total)
+	}
+}

@@ -27,7 +27,7 @@ import (
 func main() {
 	benchName := flag.String("bench", "", "benchmark name (see -list)")
 	file := flag.String("file", "", "run a guest source file instead of a benchmark")
-	vmName := flag.String("vm", "pypy", "vm: cpython | pypy-nojit | pypy | racket | pycket | c")
+	vmName := flag.String("vm", "pypy", "vm: cpython | pypy-nojit | pypy | pypy-tiered | racket | pycket | c")
 	list := flag.Bool("list", false, "list benchmarks")
 	dumpLog := flag.Bool("jitlog", false, "dump the JIT log (traces and IR)")
 	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
@@ -83,6 +83,11 @@ func report(r *harness.Result, dumpLog bool) {
 	}
 	fmt.Printf("gc: %d minor, %d major, %d objects allocated (%d bytes)\n",
 		r.GC.Minor, r.GC.Major, r.GC.AllocObjects, r.GC.AllocBytes)
+	if r.EngStats.BaselinesCompiled > 0 {
+		fmt.Printf("tier1: %d baselines compiled (%d invalidated), %d enters, %d deopts\n",
+			r.EngStats.BaselinesCompiled, r.EngStats.BaselineInvalidated,
+			r.EngStats.BaselineEnters, r.EngStats.BaselineDeopts)
+	}
 	if r.EngStats.LoopsCompiled > 0 || r.EngStats.BridgesCompiled > 0 {
 		fmt.Printf("jit: %d loops, %d bridges, %d aborts, %d ops recorded (%d removed by optimizer)\n",
 			r.EngStats.LoopsCompiled, r.EngStats.BridgesCompiled, r.EngStats.Aborts,
@@ -113,8 +118,12 @@ func runFile(path, vmName string) {
 	case "pypy":
 		cfg.Profile = mtjit.FrameworkProfile()
 		cfg.JIT = true
+	case "pypy-tiered":
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+		cfg.Baseline = true
 	default:
-		fmt.Fprintf(os.Stderr, "-file supports cpython|pypy-nojit|pypy\n")
+		fmt.Fprintf(os.Stderr, "-file supports cpython|pypy-nojit|pypy|pypy-tiered\n")
 		os.Exit(2)
 	}
 	vm := pylang.New(mach, cfg)

@@ -46,6 +46,16 @@ const (
 	TagGuardFail     // a guard failed (Arg: global guard ID)
 	TagBridgeEnter   // execution transferred through a bridge (Arg: bridge trace ID)
 
+	// Tier-1 (baseline threaded-code) annotations. Enter/Leave and
+	// CompileStart/CompileEnd bracket phases like the tracing pairs
+	// above; Deopt is an event marker (a baseline guard fell back to the
+	// interpreter) with no phase effect, like TagGuardFail.
+	TagBaselineCompileStart // baseline compilation begins (Arg: green key hash)
+	TagBaselineCompileEnd   // baseline code installed (Arg: baseline code ID)
+	TagBaselineEnter        // execution enters baseline threaded code (Arg: baseline code ID)
+	TagBaselineLeave        // execution leaves baseline code back to interp
+	TagBaselineDeopt        // a baseline guard failed; interpreter takes over (Arg: baseline code ID)
+
 	// tagFirstDynamic is the first tag available to Registry.Define.
 	tagFirstDynamic
 )
@@ -68,6 +78,12 @@ var builtinTagNames = map[Tag]string{
 	TagTraceCompiled:  "trace_compiled",
 	TagGuardFail:      "guard_fail",
 	TagBridgeEnter:    "bridge_enter",
+
+	TagBaselineCompileStart: "baseline_compile_start",
+	TagBaselineCompileEnd:   "baseline_compile_end",
+	TagBaselineEnter:        "baseline_enter",
+	TagBaselineLeave:        "baseline_leave",
+	TagBaselineDeopt:        "baseline_deopt",
 }
 
 // Phase is the framework-level execution phase taxonomy of Section V-B:
@@ -75,19 +91,25 @@ var builtinTagNames = map[Tag]string{
 // these phases.
 type Phase uint8
 
-// The phases of meta-tracing execution (Figure 2 of the paper).
+// The phases of meta-tracing execution (Figure 2 of the paper), extended
+// with the two-tier phases: PhaseBaselineComp is tier-1 (threaded-code)
+// compilation, PhaseBaseline is execution inside tier-1 code. The
+// original six phases keep their paper indices; the tier-1 phases append
+// so single-tier runs are bit-compatible with pre-tier accounting.
 const (
-	PhaseInterp    Phase = iota // plain interpreter execution
-	PhaseTracing                // meta-interpreter recording + optimize + assemble
-	PhaseJIT                    // JIT-compiled trace execution
-	PhaseJITCall                // AOT-compiled functions called from JIT code
-	PhaseGC                     // minor + major garbage collection
-	PhaseBlackhole              // deoptimization via the blackhole interpreter
+	PhaseInterp       Phase = iota // plain interpreter execution
+	PhaseTracing                   // meta-interpreter recording + optimize + assemble
+	PhaseJIT                       // JIT-compiled trace execution
+	PhaseJITCall                   // AOT-compiled functions called from JIT code
+	PhaseGC                        // minor + major garbage collection
+	PhaseBlackhole                 // deoptimization via the blackhole interpreter
+	PhaseBaselineComp              // tier-1 baseline (threaded-code) compilation
+	PhaseBaseline                  // tier-1 baseline code execution
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"interp", "tracing", "jit", "jit_call", "gc", "blackhole",
+	"interp", "tracing", "jit", "jit_call", "gc", "blackhole", "basecomp", "baseline",
 }
 
 // String returns the phase's short name as used in figures.

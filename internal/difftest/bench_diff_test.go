@@ -7,16 +7,22 @@ import (
 )
 
 // benchConfigs is the configuration set used for the real benchmark
-// suite: the full 9-cell matrix over every benchmark would take
-// minutes, and the random corpus already covers the ablation cells, so
-// the suite is cross-checked under the configurations that differ most
-// structurally — no JIT, the production thresholds, and aggressive
-// thresholds (maximum tracing, bridging, and deopt traffic).
+// suite: the full matrix over every benchmark would take minutes, and
+// the random corpus already covers the ablation cells, so the suite is
+// cross-checked under the configurations that differ most structurally
+// — no JIT, the production thresholds, aggressive thresholds (maximum
+// tracing, bridging, and deopt traffic), and both tier-1 shapes
+// (baseline-only and the production tiered configuration every warmup
+// number in results.txt comes from).
 func benchConfigs() []VMConfig {
 	return []VMConfig{
 		{Name: "interp"},
 		{Name: "jit-default", JIT: true},
 		hot("jit-hot", nil),
+		{Name: "tier1-only", JIT: true, Baseline: true,
+			BaselineThreshold: 2, Threshold: 1 << 20},
+		{Name: "tiered-default", JIT: true, Baseline: true,
+			BaselineThreshold: 6},
 	}
 }
 

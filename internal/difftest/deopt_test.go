@@ -37,6 +37,70 @@ def main():
     return acc
 `
 
+// TestBaselineDeoptRoundTrip is the tier-1 analog of
+// TestDeoptRoundTrip: force a failure at every guard the baseline
+// threaded code executes, one guard per run, and demand the fallback
+// interpreter reproduces the pure interpreter's result, output, and
+// heap exactly. Tracing is kept out of reach so every deopt exits
+// baseline code, not a trace.
+func TestBaselineDeoptRoundTrip(t *testing.T) {
+	ref, err := RunSource(deoptSrc, false, VMConfig{Name: "interp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discovery run: collect every (code, guard) pair baseline code
+	// executes. Guard IDs are only unique within one BaselineCode, so
+	// the pair is the key.
+	type guardKey struct {
+		code uint32
+		id   uint64
+	}
+	var order []guardKey
+	seen := map[guardKey]bool{}
+	discover := VMConfig{
+		Name: "tier1-discover", JIT: true, Baseline: true,
+		BaselineThreshold: 2, Threshold: 1 << 20,
+		ForceBaselineGuardFail: func(bc *mtjit.BaselineCode, id uint64) bool {
+			k := guardKey{code: bc.ID, id: id}
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+			return false
+		},
+	}
+	if _, err := RunSource(deoptSrc, false, discover); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 5 {
+		t.Fatalf("only %d baseline guards executed; the loop did not run in tier-1 code as intended", len(order))
+	}
+
+	for _, gk := range order {
+		gk := gk
+		cfg := VMConfig{
+			Name: "tier1-forced", JIT: true, Baseline: true,
+			BaselineThreshold: 2, Threshold: 1 << 20,
+			ForceBaselineGuardFail: func(bc *mtjit.BaselineCode, id uint64) bool {
+				return bc.ID == gk.code && id == gk.id
+			},
+		}
+		out, err := RunSource(deoptSrc, false, cfg)
+		if err != nil {
+			t.Fatalf("baseline guard %d/%d: %v", gk.code, gk.id, err)
+		}
+		if out.Result != ref.Result || out.Heap != ref.Heap ||
+			out.Output != ref.Output || out.Err != ref.Err {
+			t.Errorf("baseline guard %d/%d diverged:\n  interp: %s\n  forced: %s",
+				gk.code, gk.id, ref, out)
+		}
+		if out.Stats.BaselineDeopts == 0 {
+			t.Errorf("baseline guard %d/%d: no deopt recorded", gk.code, gk.id)
+		}
+	}
+}
+
 // TestDeoptRoundTrip forces a failure at every guard the compiled code
 // executes, one guard per run, under both exit strategies: blackhole
 // deoptimization (bridge threshold too high to ever compile one) and

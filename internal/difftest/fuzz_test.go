@@ -1,6 +1,10 @@
 package difftest
 
-import "testing"
+import (
+	"testing"
+
+	"metajit/internal/mtjit"
+)
 
 // The fuzz targets feed arbitrary bytes through the deterministic
 // program generators and run the resulting guest program under the full
@@ -31,6 +35,44 @@ func FuzzSklangDifferential(f *testing.F) {
 		src := GenSklang(data)
 		if _, err := RunMatrix(src, true); err != nil {
 			t.Fatalf("%v\nprogram:\n%s", err, src)
+		}
+	})
+}
+
+// FuzzTieredPromotion stresses the tier-1/tier-2 interaction: the input
+// bytes pick the baseline, hot, and bridge thresholds AND a sparse
+// baseline-guard failure pattern, then generate a pylang program (the
+// generator emits global mutations, so InvalidateGlobal races
+// promotion and residency). The tiered run must agree with the plain
+// interpreter on everything while promotion, invalidation, and forced
+// tier-1 deopts interleave mid-loop.
+func FuzzTieredPromotion(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(seedBytes(i | 2<<32))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := newDecider(data)
+		baseT := d.rangeInt(1, 4)
+		hotT := d.rangeInt(baseT+1, baseT+12)
+		bridgeT := d.rangeInt(1, 3)
+		// mask==0 disables forced failures so clean promotion is also
+		// covered; otherwise roughly 1/8..1/2 of guard executions fail.
+		mask := uint64(d.intn(8))
+		src := GenPylang(data)
+
+		tiered := VMConfig{
+			Name: "tiered-fuzz", JIT: true, Baseline: true,
+			BaselineThreshold: baseT, Threshold: hotT, BridgeThreshold: bridgeT,
+		}
+		if mask != 0 {
+			tiered.ForceBaselineGuardFail = func(bc *mtjit.BaselineCode, id uint64) bool {
+				return (id+bc.EnterCount+bc.DeoptCount)&7 == mask
+			}
+		}
+		configs := []VMConfig{{Name: "interp"}, tiered}
+		if _, err := RunConfigs(src, false, configs); err != nil {
+			t.Fatalf("thresholds base=%d hot=%d bridge=%d mask=%d: %v\nprogram:\n%s",
+				baseT, hotT, bridgeT, mask, err, src)
 		}
 	})
 }

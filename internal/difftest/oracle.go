@@ -19,10 +19,20 @@ type VMConfig struct {
 	Threshold       int
 	BridgeThreshold int
 	TraceLimit      int
-	Opts            *mtjit.OptConfig
+	// Baseline enables the tier-1 baseline compiler;
+	// BaselineThreshold overrides its compile threshold (0 = the
+	// guest's default). Tier thresholds always come from the config
+	// cell, never from test-local constants, so every cell is
+	// self-describing.
+	Baseline          bool
+	BaselineThreshold int
+	Opts              *mtjit.OptConfig
 	// ForceGuardFail, when set, is installed as the engine's
 	// deoptimization-testing hook (see mtjit.Engine.ForceGuardFail).
 	ForceGuardFail func(*mtjit.Trace, *mtjit.Op) bool
+	// ForceBaselineGuardFail is the tier-1 analog (see
+	// mtjit.Engine.ForceBaselineGuardFail).
+	ForceBaselineGuardFail func(*mtjit.BaselineCode, uint64) bool
 }
 
 // hot is the aggressive threshold pair: nearly every loop gets traced
@@ -41,8 +51,11 @@ func ablate(name string, strike func(*mtjit.OptConfig)) VMConfig {
 // Matrix returns the configurations every program is cross-checked
 // under: the plain interpreter (the executable specification), the
 // default JIT, the JIT with aggressive thresholds, each optimizer pass
-// ablated individually, and a tiny trace limit (constant abort +
-// blacklist pressure).
+// ablated individually, a tiny trace limit (constant abort + blacklist
+// pressure), and the tier-1 cells — baseline code with tracing out of
+// reach, the two-tier scheme with tiny thresholds, and a tiered cell
+// whose gap between the baseline and hot thresholds forces promotion
+// while the loop is resident in baseline code.
 func Matrix() []VMConfig {
 	return []VMConfig{
 		{Name: "interp"},
@@ -54,6 +67,12 @@ func Matrix() []VMConfig {
 		ablate("jit-hot-no-virtuals", func(o *mtjit.OptConfig) { o.Virtuals = false }),
 		ablate("jit-hot-no-dce", func(o *mtjit.OptConfig) { o.DCE = false }),
 		func() VMConfig { c := hot("jit-tinytrace", nil); c.TraceLimit = 24; return c }(),
+		{Name: "tier1-only", JIT: true, Baseline: true,
+			BaselineThreshold: 2, Threshold: 1 << 20},
+		{Name: "tiered-hot", JIT: true, Baseline: true,
+			BaselineThreshold: 1, Threshold: 2, BridgeThreshold: 1},
+		{Name: "tiered-promote", JIT: true, Baseline: true,
+			BaselineThreshold: 2, Threshold: 9, BridgeThreshold: 2},
 	}
 }
 
@@ -94,18 +113,23 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 	pintool.NewPhaseTracker(mach)
 
 	vm := pylang.New(mach, pylang.Config{
-		Profile:         mtjit.FrameworkProfile(),
-		JIT:             cfg.JIT,
-		Threshold:       cfg.Threshold,
-		BridgeThreshold: cfg.BridgeThreshold,
-		Opts:            cfg.Opts,
-		HeapConfig:      oracleHeapConfig(),
+		Profile:           mtjit.FrameworkProfile(),
+		JIT:               cfg.JIT,
+		Threshold:         cfg.Threshold,
+		BridgeThreshold:   cfg.BridgeThreshold,
+		Baseline:          cfg.Baseline,
+		BaselineThreshold: cfg.BaselineThreshold,
+		Opts:              cfg.Opts,
+		HeapConfig:        oracleHeapConfig(),
 	})
 	if cfg.TraceLimit > 0 && vm.Eng != nil {
 		vm.Eng.TraceLimit = cfg.TraceLimit
 	}
 	if cfg.ForceGuardFail != nil && vm.Eng != nil {
 		vm.Eng.ForceGuardFail = cfg.ForceGuardFail
+	}
+	if cfg.ForceBaselineGuardFail != nil && vm.Eng != nil {
+		vm.Eng.ForceBaselineGuardFail = cfg.ForceBaselineGuardFail
 	}
 
 	if scheme {

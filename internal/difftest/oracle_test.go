@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"encoding/binary"
+	"strings"
 	"testing"
 )
 
@@ -20,24 +21,33 @@ func TestPylangCorpus(t *testing.T) {
 	if testing.Short() {
 		n = 50
 	}
-	jitEngaged := 0
+	jitEngaged, tierEngaged := 0, 0
 	for i := 0; i < n; i++ {
 		src := GenPylang(seedBytes(uint64(i)))
 		outs, err := RunMatrix(src, false)
 		if err != nil {
 			t.Fatalf("seed %d: %v\nprogram:\n%s", i, err, src)
 		}
+		jit, tier := false, false
 		for _, o := range outs {
-			if o.Stats.LoopsCompiled > 0 {
-				jitEngaged++
-				break
-			}
+			jit = jit || o.Stats.LoopsCompiled > 0
+			tier = tier || o.Stats.BaselinesCompiled > 0
+		}
+		if jit {
+			jitEngaged++
+		}
+		if tier {
+			tierEngaged++
 		}
 	}
 	// The generator exists to exercise the JIT; if programs stopped
-	// compiling traces the corpus silently stopped testing anything.
+	// compiling traces (or tier-1 code) the corpus silently stopped
+	// testing anything.
 	if jitEngaged < n*9/10 {
 		t.Errorf("only %d/%d programs compiled any trace", jitEngaged, n)
+	}
+	if tierEngaged < n*9/10 {
+		t.Errorf("only %d/%d programs compiled any baseline code", tierEngaged, n)
 	}
 }
 
@@ -82,6 +92,7 @@ func TestMatrixShape(t *testing.T) {
 		"interp", "jit-default", "jit-hot",
 		"jit-hot-no-fold", "jit-hot-no-guards", "jit-hot-no-cse",
 		"jit-hot-no-virtuals", "jit-hot-no-dce", "jit-tinytrace",
+		"tier1-only", "tiered-hot", "tiered-promote",
 	} {
 		if !names[want] {
 			t.Errorf("matrix is missing config %q", want)
@@ -89,5 +100,20 @@ func TestMatrixShape(t *testing.T) {
 	}
 	if m[0].JIT {
 		t.Error("first matrix cell must be the plain interpreter (the reference)")
+	}
+	for _, c := range m {
+		// The documented naming scheme (package comment) is enforced:
+		// tier prefixes match the tiers the cell actually enables.
+		hasTier1 := strings.HasPrefix(c.Name, "tier1-") || strings.HasPrefix(c.Name, "tiered-")
+		if hasTier1 != c.Baseline {
+			t.Errorf("cell %q: name/tier mismatch (Baseline=%v)", c.Name, c.Baseline)
+		}
+		if strings.HasPrefix(c.Name, "tier1-") && c.Threshold < 1<<20 {
+			t.Errorf("cell %q: tier1-only cells must keep tracing out of reach (Threshold=%d)",
+				c.Name, c.Threshold)
+		}
+		if c.Baseline && c.BaselineThreshold == 0 {
+			t.Errorf("cell %q: tier cells must pin BaselineThreshold explicitly", c.Name)
+		}
 	}
 }

@@ -3,13 +3,38 @@
 // Python-like and Scheme-like guests, an oracle that runs each program
 // under a matrix of VM configurations (interpreter-only, default JIT,
 // per-pass optimizer ablations, aggressive thresholds, tiny trace
-// limits) and demands identical results, heap checksums, output, and
-// guest errors across all cells, and cross-layer invariant checkers
-// (phase accounting, trace IR well-formedness, engine stats) applied to
-// every execution. It follows the cross-checking methodology used to
-// validate composed interpreters: the plain interpreter is the
-// executable specification, and every JIT configuration must agree
-// with it bit for bit.
+// limits, and the tier-1 baseline compiler) and demands identical
+// results, heap checksums, output, and guest errors across all cells,
+// and cross-layer invariant checkers (phase accounting, trace IR
+// well-formedness, engine stats) applied to every execution. It follows
+// the cross-checking methodology used to validate composed
+// interpreters: the plain interpreter is the executable specification,
+// and every JIT configuration must agree with it bit for bit.
+//
+// # Cell naming
+//
+// Matrix cell names encode which tiers run and what distinguishes the
+// cell, so a failure report identifies the configuration without
+// consulting the code:
+//
+//   - "interp" — no JIT at all; the reference cell every other cell
+//     must agree with.
+//   - "jit-<variant>" — single-tier tracing JIT. "jit-default" uses
+//     production thresholds; "jit-hot" uses aggressive thresholds
+//     (trace at 2, bridge at 1); "jit-hot-no-<pass>" is jit-hot with
+//     one optimizer pass ablated; "jit-tinytrace" caps trace length to
+//     force aborts and blacklisting.
+//   - "tier1-<variant>" — baseline (tier-1) compiler only, with the
+//     tracing threshold out of reach; all hot code runs as unoptimized
+//     threaded code.
+//   - "tiered-<variant>" — both tiers. "tiered-hot" promotes almost
+//     immediately; "tiered-promote" spaces the baseline and hot
+//     thresholds so loops are resident in baseline code when promotion
+//     and its invalidation hit.
+//
+// Tier thresholds are carried by the VMConfig cell itself (never by
+// test-local constants), so the corpus and fuzz harnesses exercise
+// exactly the advertised configurations.
 package difftest
 
 // decider turns a fuzzer byte stream into bounded structured decisions.

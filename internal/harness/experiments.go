@@ -28,11 +28,13 @@ func Table1(r *Runner, progs []bench.Program) string {
 		r.Prefetch(p, VMCPython, Options{})
 		r.Prefetch(p, VMPyPyNoJIT, Options{})
 		r.Prefetch(p, VMPyPyJIT, Options{})
+		r.Prefetch(p, VMPyPyTiered, Options{})
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Table I: PyPy Benchmark Suite Performance (simulated; t in Mcycles)\n")
-	fmt.Fprintf(&sb, "%-20s %10s %6s %6s | %10s %6s %6s %6s | %10s %6s %6s %6s\n",
-		"Benchmark", "CPy t", "IPC", "MPKI", "noJIT t", "vC", "IPC", "MPKI", "JIT t", "vC", "IPC", "MPKI")
+	fmt.Fprintf(&sb, "%-20s %10s %6s %6s | %10s %6s %6s %6s | %10s %6s %6s %6s | %10s %6s %6s %6s\n",
+		"Benchmark", "CPy t", "IPC", "MPKI", "noJIT t", "vC", "IPC", "MPKI", "JIT t", "vC", "IPC", "MPKI",
+		"tiered t", "vC", "IPC", "MPKI")
 	type row struct {
 		name    string
 		text    string
@@ -44,21 +46,23 @@ func Table1(r *Runner, progs []bench.Program) string {
 		rc, errC := r.Get(p, VMCPython, Options{})
 		rn, errN := r.Get(p, VMPyPyNoJIT, Options{})
 		rj, errJ := r.Get(p, VMPyPyJIT, Options{})
-		if errC != nil || errN != nil || errJ != nil {
+		rt, errT := r.Get(p, VMPyPyTiered, Options{})
+		if errC != nil || errN != nil || errJ != nil || errT != nil {
 			rows = append(rows, row{name: p.Name, speedup: -1,
 				text: fmt.Sprintf("%-20s %s", p.Name, errCell)})
 			continue
 		}
-		if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum {
-			r.Fail(fmt.Errorf("table1: checksum mismatch on %s: %d/%d/%d",
-				p.Name, rc.Checksum, rn.Checksum, rj.Checksum))
+		if rc.Checksum != rn.Checksum || rc.Checksum != rj.Checksum || rc.Checksum != rt.Checksum {
+			r.Fail(fmt.Errorf("table1: checksum mismatch on %s: %d/%d/%d/%d",
+				p.Name, rc.Checksum, rn.Checksum, rj.Checksum, rt.Checksum))
 		}
 		sp := rc.Cycles / rj.Cycles
-		text := fmt.Sprintf("%-20s %10.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f",
+		text := fmt.Sprintf("%-20s %10.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f | %10.2f %6.2f %6.2f %6.2f",
 			p.Name,
 			rc.Cycles/1e6, rc.Total.IPC(), rc.Total.MPKI(),
 			rn.Cycles/1e6, rc.Cycles/rn.Cycles, rn.Total.IPC(), rn.Total.MPKI(),
-			rj.Cycles/1e6, sp, rj.Total.IPC(), rj.Total.MPKI())
+			rj.Cycles/1e6, sp, rj.Total.IPC(), rj.Total.MPKI(),
+			rt.Cycles/1e6, rc.Cycles/rt.Cycles, rt.Total.IPC(), rt.Total.MPKI())
 		rows = append(rows, row{name: p.Name, text: text, speedup: sp})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
@@ -122,8 +126,8 @@ func Fig2(r *Runner, progs []bench.Program) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 2: Phase breakdown (%% of instructions, PyPy with JIT)\n")
-	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s\n",
-		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline")
 	for i := range progs {
 		p := &progs[i]
 		res, err := r.Get(p, VMPyPyJIT, Options{})
@@ -219,8 +223,8 @@ func Fig3(r *Runner, fast, slow string) string {
 			fmt.Fprintf(&sb, "%s\n", errCell)
 			continue
 		}
-		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole)")
-		letters := []byte{'I', 'T', 'J', 'C', 'G', 'B'}
+		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole k=basecomp b=baseline)")
+		letters := []byte{'I', 'T', 'J', 'C', 'G', 'B', 'k', 'b'}
 		var prev [core.NumPhases]uint64
 		for _, s := range res.Samples {
 			var deltas [core.NumPhases]uint64
@@ -249,8 +253,8 @@ func Fig4(r *Runner, progs []bench.Program) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 4: Phase breakdown, PyPy vs Pycket (CLBG)\n")
-	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s\n",
-		"Benchmark", "VM", "interp", "tracing", "jit", "jitcall", "gc", "blkhole")
+	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "VM", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline")
 	for i := range progs {
 		p := &progs[i]
 		for _, kind := range []VMKind{VMPyPyJIT, VMPycket} {
@@ -633,6 +637,70 @@ func Table4(r *Runner, progs []bench.Program) string {
 		m3, s3 := meanStd(a.miss)
 		fmt.Fprintf(&sb, "%-10s %8.2f +/-%5.2f %12.3f +/-%6.3f %10.3f +/-%6.3f\n",
 			ph, m1, s1, m2, s2, m3, s3)
+	}
+	return sb.String()
+}
+
+// WarmupCycles returns the simulated cycle count at which the run had
+// completed frac of its total guest bytecodes, linearly interpolating
+// between WorkMeter samples (from the origin before the first sample).
+// Falls back to total cycles when the sampled window never reaches the
+// target.
+func WarmupCycles(res *Result, frac float64) float64 {
+	target := frac * float64(res.Bytecodes)
+	var prevB, prevC float64
+	for _, s := range res.Samples {
+		b, c := float64(s.Bytecodes), float64(s.Cycles)
+		if b >= target {
+			if b == prevB {
+				return c
+			}
+			return prevC + (c-prevC)*(target-prevB)/(b-prevB)
+		}
+		prevB, prevC = b, c
+	}
+	return res.Cycles
+}
+
+// Fig10 is the tiered-warmup study: cycles for the single-tier JIT vs
+// the two-tier (baseline + tracing) configuration to complete 25% and
+// 50% of the run's total guest bytecodes. Work totals are
+// layer-independent (Section IV), so the same fraction means the same
+// guest progress in both configurations; ratio < 1 means the baseline
+// tier reached that much work sooner.
+func Fig10(r *Runner, progs []bench.Program) string {
+	opt := Options{SampleInterval: DefaultSampleInterval}
+	for i := range progs {
+		r.Prefetch(&progs[i], VMPyPyJIT, opt)
+		r.Prefetch(&progs[i], VMPyPyTiered, opt)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10: tiered warmup - Mcycles to reach a fraction of total work\n")
+	fmt.Fprintf(&sb, "%-20s %9s %9s %6s | %9s %9s %6s | %9s %9s\n",
+		"Benchmark", "JIT 25%", "tier 25%", "ratio", "JIT 50%", "tier 50%", "ratio", "JIT tot", "tier tot")
+	for i := range progs {
+		p := &progs[i]
+		rj, errJ := r.Get(p, VMPyPyJIT, opt)
+		rt, errT := r.Get(p, VMPyPyTiered, opt)
+		if errJ != nil || errT != nil {
+			fmt.Fprintf(&sb, "%-20s %s\n", p.Name, errCell)
+			continue
+		}
+		if rj.Checksum != rt.Checksum {
+			r.Fail(fmt.Errorf("fig10: checksum mismatch on %s: %d/%d",
+				p.Name, rj.Checksum, rt.Checksum))
+		}
+		if rj.Bytecodes != rt.Bytecodes {
+			r.Fail(fmt.Errorf("fig10: work mismatch on %s: %d/%d bytecodes",
+				p.Name, rj.Bytecodes, rt.Bytecodes))
+		}
+		j25, t25 := WarmupCycles(rj, 0.25), WarmupCycles(rt, 0.25)
+		j50, t50 := WarmupCycles(rj, 0.50), WarmupCycles(rt, 0.50)
+		fmt.Fprintf(&sb, "%-20s %9.2f %9.2f %6.2f | %9.2f %9.2f %6.2f | %9.2f %9.2f\n",
+			p.Name,
+			j25/1e6, t25/1e6, t25/j25,
+			j50/1e6, t50/1e6, t50/j50,
+			rj.Cycles/1e6, rt.Cycles/1e6)
 	}
 	return sb.String()
 }

@@ -31,6 +31,11 @@ const (
 	VMRacket    VMKind = "racket"     // custom-VM baseline for the Scheme guest
 	VMPycket    VMKind = "pycket"     // Scheme guest on the meta-tracing framework
 	VMC         VMKind = "c"          // statically compiled reference
+
+	// VMPyPyTiered is the two-tier configuration: the framework
+	// interpreter with the tier-1 baseline compiler in front of the
+	// meta-tracing JIT (warmup study).
+	VMPyPyTiered VMKind = "pypy-tiered"
 )
 
 // Options tunes a run.
@@ -45,6 +50,9 @@ type Options struct {
 	// Threshold / BridgeThreshold override JIT defaults when non-zero.
 	Threshold       int
 	BridgeThreshold int
+	// BaselineThreshold overrides the tier-1 compile threshold for
+	// tiered VM kinds when non-zero.
+	BaselineThreshold int
 	// Opts overrides the optimizer configuration.
 	Opts *mtjit.OptConfig
 	// Params overrides the CPU model.
@@ -142,6 +150,11 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	case VMPyPyJIT:
 		cfg.Profile = mtjit.FrameworkProfile()
 		cfg.JIT = true
+	case VMPyPyTiered:
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+		cfg.Baseline = true
+		cfg.BaselineThreshold = opt.BaselineThreshold
 	case VMRacket:
 		cfg.Profile = mtjit.CustomVMProfile()
 		src = p.SkSource

@@ -12,15 +12,19 @@ import (
 	"metajit/internal/mtjit"
 )
 
-// Log collects trace records from an engine.
+// Log collects trace and tier-1 compile records from an engine.
 type Log struct {
 	Traces []*mtjit.Trace
+	// Baselines records tier-1 (baseline threaded-code) compilations in
+	// install order, including later-invalidated ones.
+	Baselines []*mtjit.BaselineCode
 }
 
-// Attach registers the log with an engine's compile hook.
+// Attach registers the log with an engine's compile hooks.
 func Attach(eng *mtjit.Engine) *Log {
 	l := &Log{}
 	eng.OnCompile = func(t *mtjit.Trace) { l.Traces = append(l.Traces, t) }
+	eng.OnBaselineCompile = func(bc *mtjit.BaselineCode) { l.Baselines = append(l.Baselines, bc) }
 	return l
 }
 
@@ -150,15 +154,24 @@ func (l *Log) AsmPerOpcode() map[mtjit.Opcode]float64 {
 	return out
 }
 
-// Dump renders traces in PyPy-log style for debugging.
+// Dump renders tier-1 and trace records in PyPy-log style for
+// debugging; every record leads with its tier tag.
 func (l *Log) Dump() string {
 	var sb strings.Builder
+	for _, bc := range l.Baselines {
+		status := ""
+		if bc.Invalidated {
+			status = " (invalidated)"
+		}
+		fmt.Fprintf(&sb, "# tier1 baseline %d (code %d pc %d-%d) entered %d times, %d deopts, %d ops, %d asm bytes%s\n",
+			bc.ID, bc.Key.CodeID, bc.Start, bc.End, bc.EnterCount, bc.DeoptCount, len(bc.Ops), bc.AsmLen*4, status)
+	}
 	for _, t := range l.Traces {
 		kind := "loop"
 		if t.Bridge {
 			kind = "bridge"
 		}
-		fmt.Fprintf(&sb, "# %s %d (code %d pc %d) executed %d times, %d ops, %d asm bytes\n",
+		fmt.Fprintf(&sb, "# tier2 %s %d (code %d pc %d) executed %d times, %d ops, %d asm bytes\n",
 			kind, t.ID, t.Key.CodeID, t.Key.PC, t.ExecCount, len(t.Ops), t.AsmLen*4)
 		for i := range t.Ops {
 			fmt.Fprintf(&sb, "  [%6d] %s\n", t.OpExecs[i], t.Ops[i].String())

@@ -1,0 +1,378 @@
+package mtjit
+
+import (
+	"metajit/internal/core"
+	"metajit/internal/heap"
+	"metajit/internal/isa"
+)
+
+// This file implements the tier-1 baseline compiler: a threaded-code
+// tier between plain interpretation and the tracing JIT, in the spirit
+// of Izawa & Bolz-Tereick's multi-tier meta-tracing work. When a loop
+// header's counter crosses the (low) BaselineThreshold, the loop body is
+// compiled straight-line to the synthetic ISA with no optimization:
+// every bytecode keeps its generic handler, type checks stay generic
+// guards, and the hot counter keeps accumulating so the loop is promoted
+// to the tracing pipeline at Threshold as usual. Baseline code is
+// invalidated on promotion (the loop trace supersedes it) and on
+// InvalidateGlobal (the threaded code embeds global values the way the
+// interpreter's inline caches do).
+//
+// Baseline execution is concrete — it reuses the guest evaluator through
+// BaselineMachine, which only changes the cost accounting (threaded
+// dispatch instead of the framework switch loop) and intercepts guards.
+// Results are therefore byte-identical to plain interpretation by
+// construction; the differential oracle checks that this stays true.
+
+// BaselineOp describes one guest bytecode lowered into tier-1 code.
+type BaselineOp struct {
+	// PC is the guest bytecode position.
+	PC int
+	// AsmLen is the threaded-code footprint in synthetic instructions.
+	AsmLen int
+}
+
+// BaselineCode is one installed unit of tier-1 code: a loop body
+// compiled straight-line, entered at its header.
+type BaselineCode struct {
+	ID  uint32
+	Key GreenKey
+	// Start..End is the inclusive guest pc range the code covers
+	// (Start is the loop header).
+	Start, End int
+	Ops        []BaselineOp
+	// Globals lists module globals whose values the threaded code
+	// embeds; mutating any of them invalidates the code.
+	Globals []string
+
+	// AsmBase/AsmLen locate the code in the simulated JIT code region.
+	AsmBase uint64
+	AsmLen  int
+
+	// EnterCount / DeoptCount are execution statistics.
+	EnterCount uint64
+	DeoptCount uint64
+	// Invalidated is set on promotion to a loop trace and on global
+	// mutation; invalidated code is never entered again.
+	Invalidated bool
+
+	pcIdx map[int]int // guest pc -> index in Ops
+	opOff []uint64    // per-op byte offset from AsmBase
+}
+
+// Covers reports whether pc falls inside the compiled region.
+func (b *BaselineCode) Covers(pc int) bool { return pc >= b.Start && pc <= b.End }
+
+// SitePC returns the simulated code address of the threaded-code
+// fragment for a guest pc (used as the dispatch site while resident, so
+// indirect-branch prediction sees per-fragment sites as real threaded
+// code does).
+func (b *BaselineCode) SitePC(pc int) uint64 {
+	if i, ok := b.pcIdx[pc]; ok {
+		return b.AsmBase + b.opOff[i]
+	}
+	return b.AsmBase
+}
+
+// TierEvent is the driver instruction returned from a loop-header
+// crossing: which tier (if any) the header just became eligible for.
+type TierEvent uint8
+
+// Tier events.
+const (
+	// TierNone: keep interpreting (or stay resident in baseline code).
+	TierNone TierEvent = iota
+	// TierBaseline: the header crossed BaselineThreshold; the driver
+	// should lower the loop body and install baseline code.
+	TierBaseline
+	// TierTrace: the header crossed Threshold; the driver should begin
+	// tracing (promotion, when baseline code exists).
+	TierTrace
+)
+
+// CountAtHeader bumps the loop-header counter for key and reports which
+// tier the header just became eligible for. The counter check costs a
+// couple of instructions per crossing, as in RPython. With
+// BaselineThreshold == 0 (the default) this is exactly the single-tier
+// CountAndMaybeTrace behavior.
+func (e *Engine) CountAtHeader(key GreenKey) TierEvent {
+	e.S.Ops(isa.ALU, 2)
+	e.S.Ops(isa.Load, 1)
+	if e.tracing != nil {
+		return TierNone
+	}
+	if e.blacklist[key] >= e.MaxAborts {
+		return TierNone
+	}
+	e.counters[key]++
+	if e.counters[key] >= e.Threshold && e.traces[key] == nil {
+		e.counters[key] = 0
+		return TierTrace
+	}
+	if e.BaselineThreshold > 0 && e.counters[key] >= e.BaselineThreshold &&
+		e.baseline[key] == nil && !e.baselineFailed[key] && e.traces[key] == nil {
+		return TierBaseline
+	}
+	return TierNone
+}
+
+// CountAndMaybeTrace bumps the loop-header counter for key and reports
+// whether the driver should begin tracing it now (single-tier wrapper
+// around CountAtHeader).
+func (e *Engine) CountAndMaybeTrace(key GreenKey) bool {
+	return e.CountAtHeader(key) == TierTrace
+}
+
+// CompileBaseline lowers a loop body into tier-1 threaded code and
+// installs it. ops lists the covered bytecodes in pc order with their
+// threaded-code footprints; globals names the module globals whose
+// values the code embeds (invalidation dependencies). The compile cost
+// is charged to the baseline-compile phase and is far below tracing
+// cost: one template copy per bytecode, no optimizer.
+func (e *Engine) CompileBaseline(key GreenKey, start, end int, ops []BaselineOp, globals []string) *BaselineCode {
+	e.S.Annot(core.TagBaselineCompileStart, uint64(key.CodeID)<<16|uint64(key.PC))
+	e.baselineSeq++
+	bc := &BaselineCode{
+		ID:      e.baselineSeq,
+		Key:     key,
+		Start:   start,
+		End:     end,
+		Ops:     ops,
+		Globals: globals,
+		pcIdx:   make(map[int]int, len(ops)),
+		opOff:   make([]uint64, len(ops)),
+	}
+	off := uint64(0)
+	for i := range ops {
+		bc.pcIdx[ops[i].PC] = i
+		bc.opOff[i] = off
+		off += uint64(ops[i].AsmLen) * 4
+	}
+	bc.AsmLen = int(off / 4)
+	bc.AsmBase = e.jitPC.Take(off + 64)
+
+	// Template-copy cost per bytecode plus fixed entry/exit stub cost.
+	n := len(ops)
+	e.S.Ops(isa.ALU, 22*n+40)
+	e.S.Ops(isa.Load, 6*n+10)
+	e.S.Ops(isa.Store, 9*n+12)
+
+	e.baseline[key] = bc
+	e.allBaseline = append(e.allBaseline, bc)
+	for _, name := range globals {
+		e.baselineDeps[name] = append(e.baselineDeps[name], bc)
+	}
+	e.stats.BaselinesCompiled++
+	e.S.Annot(core.TagBaselineCompileEnd, uint64(bc.ID))
+	if e.OnBaselineCompile != nil {
+		e.OnBaselineCompile(bc)
+	}
+	return bc
+}
+
+// MarkBaselineFailed blacklists a header the guest could not lower (no
+// closed loop extent); the tier state machine will not ask again.
+func (e *Engine) MarkBaselineFailed(key GreenKey) { e.baselineFailed[key] = true }
+
+// LookupBaseline returns the installed, valid baseline code for a green
+// key, or nil.
+func (e *Engine) LookupBaseline(key GreenKey) *BaselineCode {
+	bc := e.baseline[key]
+	if bc == nil || bc.Invalidated {
+		return nil
+	}
+	return bc
+}
+
+// BaselineCodes returns every baseline compilation in install order
+// (including invalidated ones — the compile log does not rewrite
+// history).
+func (e *Engine) BaselineCodes() []*BaselineCode { return e.allBaseline }
+
+// EnterBaseline accounts a transfer from the interpreter into tier-1
+// code: the entry stub loads the threaded-code register state.
+func (e *Engine) EnterBaseline(bc *BaselineCode) {
+	e.S.Annot(core.TagBaselineEnter, uint64(bc.ID))
+	bc.EnterCount++
+	e.stats.BaselineEnters++
+	e.S.Ops(isa.ALU, 3)
+	e.S.Ops(isa.Store, 2)
+}
+
+// LeaveBaseline accounts a transfer out of tier-1 code back to the
+// interpreter (loop exit, call, or invalidation).
+func (e *Engine) LeaveBaseline(bc *BaselineCode) {
+	e.S.Ops(isa.ALU, 2)
+	e.S.Ops(isa.Load, 1)
+	e.S.Annot(core.TagBaselineLeave, uint64(bc.ID))
+}
+
+// BaselineDeopt accounts a baseline guard failure: unlike trace deopt
+// there is no state reconstruction (baseline frames ARE interpreter
+// frames), only a jump back to the generic handler. The caller leaves
+// residency afterwards via LeaveBaseline.
+func (e *Engine) BaselineDeopt(bc *BaselineCode) {
+	bc.DeoptCount++
+	e.stats.BaselineDeopts++
+	e.S.Annot(core.TagBaselineDeopt, uint64(bc.ID))
+	e.S.Ops(isa.ALU, 8)
+	e.S.Ops(isa.Store, 4)
+}
+
+// invalidateBaseline kills one baseline compilation: it is unlinked from
+// the dispatch table so it is never entered again (execution currently
+// resident notices the flag at the next loop-top check).
+func (e *Engine) invalidateBaseline(bc *BaselineCode) {
+	if bc.Invalidated {
+		return
+	}
+	bc.Invalidated = true
+	e.stats.BaselineInvalidated++
+	if e.baseline[bc.Key] == bc {
+		delete(e.baseline, bc.Key)
+	}
+	e.S.Ops(isa.ALU, 4)
+	e.S.Ops(isa.Store, 1)
+}
+
+// BaselineProfile derives the tier-1 cost profile from an interpreter
+// profile: threaded code replaces the fetch/decode switch with a
+// direct-threaded next-handler jump (2 ALU + 1 load, no extra
+// data-dependent branches), while primitive and call costs are unchanged
+// — baseline code runs the same generic handlers, it only removes
+// dispatch overhead. The working set shrinks to the compiled templates.
+func BaselineProfile(p *CostProfile) *CostProfile {
+	return &CostProfile{
+		Name:          p.Name + "+baseline",
+		DispatchALU:   2,
+		DispatchLoads: 1,
+		PrimALU:       p.PrimALU,
+		PrimLoads:     p.PrimLoads,
+		Footprint:     64 << 10,
+		CallALU:       p.CallALU,
+		CallLoads:     p.CallLoads,
+		CallStores:    p.CallStores,
+	}
+}
+
+// BaselineMachine executes guest operations concretely at tier-1 cost.
+// It embeds a DirectMachine built from BaselineProfile, so semantics are
+// identical to plain interpretation; additionally every operation that
+// would be a guard in a trace (type tests, truth tests, promotions,
+// overflow arithmetic) passes through a generic-guard point that the
+// ForceBaselineGuardFail hook can fail, latching a pending deopt the
+// driver drains at the next bytecode boundary.
+type BaselineMachine struct {
+	*DirectMachine
+	Eng *Engine
+
+	// Code is the baseline compilation currently executing.
+	Code *BaselineCode
+
+	curPC        int
+	guardSeq     int
+	pendingDeopt bool
+}
+
+var _ Machine = (*BaselineMachine)(nil)
+
+// NewBaselineMachine returns a tier-1 machine for an engine, deriving
+// its cost profile from the engine's interpreter profile.
+func NewBaselineMachine(e *Engine) *BaselineMachine {
+	return &BaselineMachine{
+		DirectMachine: NewDirectMachine(e.RT, BaselineProfile(e.Profile)),
+		Eng:           e,
+	}
+}
+
+// SetCode binds the machine to the baseline code being entered.
+func (m *BaselineMachine) SetCode(bc *BaselineCode) { m.Code = bc }
+
+// BeginOp marks the start of one resident bytecode: guard identities are
+// (guest pc, ordinal within the bytecode), so they are stable across
+// runs and enumerable by the deopt round-trip test.
+func (m *BaselineMachine) BeginOp(pc int) {
+	m.curPC = pc
+	m.guardSeq = 0
+}
+
+// TakeDeopt consumes the pending-deopt latch set by a forced guard
+// failure.
+func (m *BaselineMachine) TakeDeopt() bool {
+	d := m.pendingDeopt
+	m.pendingDeopt = false
+	return d
+}
+
+// BaselineGuardID packs a stable guard identity from a guest pc and the
+// guard's ordinal within that bytecode's lowering.
+func BaselineGuardID(pc, seq int) uint64 { return uint64(pc)<<8 | uint64(seq&0xFF) }
+
+// guard is one generic-guard point in the threaded code: a compare and
+// a well-predicted branch. A forced failure latches the deopt; the
+// current bytecode still completes concretely (baseline guards sit at
+// bytecode boundaries in the lowering), so falling back to the
+// interpreter afterwards is state-identical.
+func (m *BaselineMachine) guard() {
+	m.S.Ops(isa.ALU, 1)
+	id := BaselineGuardID(m.curPC, m.guardSeq)
+	m.guardSeq++
+	if !m.pendingDeopt && m.Eng.ForceBaselineGuardFail != nil &&
+		m.Eng.ForceBaselineGuardFail(m.Code, id) {
+		m.pendingDeopt = true
+	}
+}
+
+// KindOf implements Machine (guard_class over kinds in trace terms).
+func (m *BaselineMachine) KindOf(a TV) heap.Kind {
+	m.guard()
+	return m.DirectMachine.KindOf(a)
+}
+
+// ShapeOf implements Machine (guard_class).
+func (m *BaselineMachine) ShapeOf(a TV) *heap.Shape {
+	m.guard()
+	return m.DirectMachine.ShapeOf(a)
+}
+
+// IsNil implements Machine (guard_isnull).
+func (m *BaselineMachine) IsNil(a TV) bool {
+	m.guard()
+	return m.DirectMachine.IsNil(a)
+}
+
+// Truth implements Machine (guard_true/guard_false).
+func (m *BaselineMachine) Truth(a TV, site uint64) bool {
+	m.guard()
+	return m.DirectMachine.Truth(a, site)
+}
+
+// PromoteInt implements Machine (guard_value).
+func (m *BaselineMachine) PromoteInt(a TV) int64 {
+	m.guard()
+	return m.DirectMachine.PromoteInt(a)
+}
+
+// PromoteRef implements Machine (guard_value on identity).
+func (m *BaselineMachine) PromoteRef(a TV) *heap.Obj {
+	m.guard()
+	return m.DirectMachine.PromoteRef(a)
+}
+
+// IntAddOvf implements Machine (guard_no_overflow).
+func (m *BaselineMachine) IntAddOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntAddOvf(a, b)
+}
+
+// IntSubOvf implements Machine (guard_no_overflow).
+func (m *BaselineMachine) IntSubOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntSubOvf(a, b)
+}
+
+// IntMulOvf implements Machine (guard_no_overflow).
+func (m *BaselineMachine) IntMulOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntMulOvf(a, b)
+}

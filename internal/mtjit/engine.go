@@ -18,6 +18,12 @@ type EngineStats struct {
 	OpsRemoved      int // by the optimizer
 	GuardFailures   uint64
 	Invalidated     int // traces killed by a global mutation
+
+	// Tier-1 (baseline threaded-code) bookkeeping.
+	BaselinesCompiled   int
+	BaselineInvalidated int // killed by promotion or global mutation
+	BaselineEnters      uint64
+	BaselineDeopts      uint64
 }
 
 // Engine is the meta-tracing JIT: it owns hot-loop counters, recordings in
@@ -42,6 +48,12 @@ type Engine struct {
 	TraceLimit int
 	// MaxAborts blacklists a loop after this many failed recordings.
 	MaxAborts int
+	// BaselineThreshold, when positive, enables the tier-1 baseline
+	// compiler: loop headers crossing it (well below Threshold) get
+	// threaded-code compilation while the hot counter keeps running.
+	// Zero disables the tier (single-tier behavior, bit-identical to
+	// the pre-tier engine).
+	BaselineThreshold int
 
 	// OnCompile, if set, is invoked for every installed trace or bridge
 	// (the PyPy-log hook).
@@ -52,6 +64,16 @@ type Engine struct {
 	// guard fail anyway. Deoptimization testing hook: it exercises the
 	// bridge/blackhole exit paths at guards whose conditions hold.
 	ForceGuardFail func(*Trace, *Op) bool
+
+	// OnBaselineCompile, if set, is invoked for every installed baseline
+	// compilation (the tier-1 analog of OnCompile).
+	OnBaselineCompile func(*BaselineCode)
+
+	// ForceBaselineGuardFail, if set, is consulted at every generic
+	// guard executed in baseline code; returning true deoptimizes to the
+	// interpreter at the next bytecode boundary. Tier-1 analog of
+	// ForceGuardFail.
+	ForceBaselineGuardFail func(*BaselineCode, uint64) bool
 
 	counters  map[GreenKey]int
 	blacklist map[GreenKey]int
@@ -65,6 +87,15 @@ type Engine struct {
 	// globalDeps maps a global name to the installed traces that
 	// constant-folded its value (see TracingMachine.DependOnGlobal).
 	globalDeps map[string][]*Trace
+
+	// Tier-1 bookkeeping: installed baseline code by green key, headers
+	// that could not be lowered, the compile log, and global-value
+	// dependencies (baseline code embeds globals like an inline cache).
+	baseline       map[GreenKey]*BaselineCode
+	baselineFailed map[GreenKey]bool
+	allBaseline    []*BaselineCode
+	baselineDeps   map[string][]*BaselineCode
+	baselineSeq    uint32
 
 	guardSeq uint32
 	traceSeq uint32
@@ -100,6 +131,9 @@ func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
 		guardFails:          map[uint32]int{},
 		pendingBridgeResume: map[uint32]*ResumeState{},
 		globalDeps:          map[string][]*Trace{},
+		baseline:            map[GreenKey]*BaselineCode{},
+		baselineFailed:      map[GreenKey]bool{},
+		baselineDeps:        map[string][]*BaselineCode{},
 		jitPC:               isa.NewPCAlloc(isa.RegionJITCode),
 		bhSite:              rt.PC.Site(),
 		cmpSite:             rt.PC.Site(),
@@ -157,26 +191,6 @@ func (e *Engine) PendingBridgeResume(guardID uint32) *ResumeState {
 func (e *Engine) nextGuardID() uint32 {
 	e.guardSeq++
 	return e.guardSeq
-}
-
-// CountAndMaybeTrace bumps the loop-header counter for key and reports
-// whether the driver should begin tracing it now. The counter check itself
-// costs a couple of instructions per crossing, as in RPython.
-func (e *Engine) CountAndMaybeTrace(key GreenKey) bool {
-	e.S.Ops(isa.ALU, 2)
-	e.S.Ops(isa.Load, 1)
-	if e.tracing != nil {
-		return false
-	}
-	if e.blacklist[key] >= e.MaxAborts {
-		return false
-	}
-	e.counters[key]++
-	if e.counters[key] >= e.Threshold && e.traces[key] == nil {
-		e.counters[key] = 0
-		return true
-	}
-	return false
 }
 
 // BeginTracing starts recording the loop at key. The frame's slots are
@@ -389,6 +403,13 @@ func (e *Engine) install(tm *TracingMachine, key GreenKey, bridge bool) *Trace {
 	for name := range tm.deps {
 		e.globalDeps[name] = append(e.globalDeps[name], t)
 	}
+	if !bridge {
+		// Promotion: the loop trace supersedes any tier-1 code for the
+		// same header.
+		if bc := e.baseline[key]; bc != nil {
+			e.invalidateBaseline(bc)
+		}
+	}
 	e.all = append(e.all, t)
 	e.tracing = nil
 	e.S.Annot(core.TagTraceEnd, uint64(t.ID))
@@ -421,6 +442,12 @@ func (e *Engine) GuardFailCount(id uint32) int { return e.guardFails[id] }
 // The traces stay in the compile log (Traces/stats) — invalidation does
 // not rewrite history, it only stops the code from running.
 func (e *Engine) InvalidateGlobal(name string) {
+	if bcs := e.baselineDeps[name]; len(bcs) > 0 {
+		delete(e.baselineDeps, name)
+		for _, bc := range bcs {
+			e.invalidateBaseline(bc)
+		}
+	}
 	ts := e.globalDeps[name]
 	if len(ts) == 0 {
 		return

@@ -294,7 +294,88 @@ func (e *Engine) Validate() error {
 			}
 		}
 	}
+	return e.validateBaseline()
+}
+
+// validateBaseline checks tier-1 bookkeeping: stats match the compile
+// log, the dispatch table only holds valid code, promotion invalidated
+// superseded code, and per-code counters sum to the engine totals.
+func (e *Engine) validateBaseline() error {
+	st := e.stats
+	if st.BaselinesCompiled != len(e.allBaseline) {
+		return fmt.Errorf("stats.BaselinesCompiled = %d, %d baseline codes installed",
+			st.BaselinesCompiled, len(e.allBaseline))
+	}
+	invalidated := 0
+	var enters, deopts uint64
+	for _, bc := range e.allBaseline {
+		if bc.Invalidated {
+			invalidated++
+		}
+		enters += bc.EnterCount
+		deopts += bc.DeoptCount
+		if len(bc.Ops) == 0 {
+			return fmt.Errorf("baseline code %d has no ops", bc.ID)
+		}
+		if bc.AsmLen <= 0 {
+			return fmt.Errorf("baseline code %d has AsmLen %d", bc.ID, bc.AsmLen)
+		}
+		if !bc.Covers(bc.Key.PC) {
+			return fmt.Errorf("baseline code %d region [%d,%d] does not cover its header pc %d",
+				bc.ID, bc.Start, bc.End, bc.Key.PC)
+		}
+		for i := range bc.Ops {
+			if bc.Ops[i].PC < bc.Start || bc.Ops[i].PC > bc.End {
+				return fmt.Errorf("baseline code %d op %d at pc %d outside region [%d,%d]",
+					bc.ID, i, bc.Ops[i].PC, bc.Start, bc.End)
+			}
+			if bc.Ops[i].AsmLen <= 0 {
+				return fmt.Errorf("baseline code %d op %d has AsmLen %d", bc.ID, i, bc.Ops[i].AsmLen)
+			}
+		}
+	}
+	if invalidated != st.BaselineInvalidated {
+		return fmt.Errorf("%d baseline codes marked invalidated, stats.BaselineInvalidated = %d",
+			invalidated, st.BaselineInvalidated)
+	}
+	if enters != st.BaselineEnters {
+		return fmt.Errorf("per-code enter counts sum to %d, stats.BaselineEnters = %d", enters, st.BaselineEnters)
+	}
+	if deopts != st.BaselineDeopts {
+		return fmt.Errorf("per-code deopt counts sum to %d, stats.BaselineDeopts = %d", deopts, st.BaselineDeopts)
+	}
+	for key, bc := range e.baseline {
+		if bc.Key != key {
+			return fmt.Errorf("baseline table entry %v holds code %d keyed %v", key, bc.ID, bc.Key)
+		}
+		if bc.Invalidated {
+			return fmt.Errorf("baseline table entry %v holds invalidated code %d", key, bc.ID)
+		}
+		if !baselineInstalled(e.allBaseline, bc) {
+			return fmt.Errorf("baseline table entry %v holds uninstalled code %d", key, bc.ID)
+		}
+		if t := e.traces[key]; t != nil && !t.Invalidated {
+			return fmt.Errorf("header %v has both live baseline code %d and loop trace %d (promotion must invalidate)",
+				key, bc.ID, t.ID)
+		}
+	}
+	for name, bcs := range e.baselineDeps {
+		for _, bc := range bcs {
+			if !baselineInstalled(e.allBaseline, bc) {
+				return fmt.Errorf("baseline global dep %q holds uninstalled code %d", name, bc.ID)
+			}
+		}
+	}
 	return nil
+}
+
+func baselineInstalled(all []*BaselineCode, bc *BaselineCode) bool {
+	for _, x := range all {
+		if x == bc {
+			return true
+		}
+	}
+	return false
 }
 
 func installed(all []*Trace, t *Trace) bool {

@@ -73,6 +73,14 @@ func (t *PhaseTracker) OnAnnotation(a core.Annotation, _, _ uint64) {
 		t.push(core.PhaseBlackhole)
 	case core.TagBlackholeLeave:
 		t.pop()
+	case core.TagBaselineCompileStart:
+		t.push(core.PhaseBaselineComp)
+	case core.TagBaselineCompileEnd:
+		t.pop()
+	case core.TagBaselineEnter:
+		t.push(core.PhaseBaseline)
+	case core.TagBaselineLeave:
+		t.pop()
 	}
 }
 
@@ -187,6 +195,11 @@ type TraceEventCounter struct {
 	MinorGCs     uint64
 	MajorGCs     uint64
 	Deopts       uint64 // blackhole entries
+
+	// Tier-1 (baseline) lifecycle events.
+	BaselineCompiles uint64
+	BaselineEnters   uint64
+	BaselineDeopts   uint64
 }
 
 // NewTraceEventCounter attaches a counter to m.
@@ -208,6 +221,12 @@ func NewTraceEventCounter(m *cpu.Machine) *TraceEventCounter {
 			c.MajorGCs++
 		case core.TagBlackholeEnter:
 			c.Deopts++
+		case core.TagBaselineCompileEnd:
+			c.BaselineCompiles++
+		case core.TagBaselineEnter:
+			c.BaselineEnters++
+		case core.TagBaselineDeopt:
+			c.BaselineDeopts++
 		}
 	}))
 	return c

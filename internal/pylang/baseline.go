@@ -1,0 +1,133 @@
+package pylang
+
+import (
+	"sort"
+
+	"metajit/internal/mtjit"
+)
+
+// This file lowers guest loop bodies into tier-1 baseline code: the
+// per-bytecode templates that CompileBaseline strings together into
+// threaded code. The lowering is deliberately dumb — one template per
+// bytecode, no optimization, generic guards — so its cost model (and
+// nothing else) is what distinguishes tier-1 from plain interpretation.
+
+// DefaultBaselineThreshold is the loop-header count that triggers
+// tier-1 compilation when Config.Baseline is on: roughly a tenth of the
+// tracing threshold, so baseline code covers most of the warmup window.
+const DefaultBaselineThreshold = 6
+
+// baselineAsmLen is the threaded-code footprint of one bytecode's
+// template, in synthetic instructions: the next-handler jump plus the
+// generic handler body.
+func baselineAsmLen(in Instr) int {
+	switch in.Op {
+	case BCLoadConst, BCLoadLocal, BCStoreLocal, BCPop, BCDup, BCDup2:
+		return 3
+	case BCJump:
+		return 2
+	case BCPopJumpIfFalse, BCPopJumpIfTrue, BCJumpIfFalseOrPop, BCJumpIfTrueOrPop, BCUnaryNot:
+		return 5
+	case BCLoadGlobal, BCStoreGlobal:
+		return 6
+	case BCBinary, BCCompare, BCUnaryNeg:
+		return 8
+	case BCLoadAttr, BCStoreAttr, BCIndex, BCStoreIndex, BCLen, BCUnpack2:
+		return 9
+	case BCCall, BCReturn:
+		return 12
+	case BCBuildList, BCBuildTuple, BCBuildDict, BCSlice, BCStoreSlice, BCIterPrep:
+		return 14
+	default:
+		return 6
+	}
+}
+
+// baselineUnit computes the loop extent at a header: the inclusive pc
+// range [header, j] where j is the last backward jump to the header. A
+// header with no backward jump (a merge point that is not a bytecode
+// loop, e.g. a function entry used for tail calls into an extent we
+// cannot delimit) cannot be lowered and reports ok=false.
+func baselineUnit(code *Code, header int) (ops []mtjit.BaselineOp, end int, globals []string, ok bool) {
+	end = -1
+	for j := header; j < len(code.Instrs); j++ {
+		if code.Instrs[j].Op == BCJump && int(code.Instrs[j].Arg) == header {
+			end = j
+		}
+	}
+	if end < 0 {
+		return nil, 0, nil, false
+	}
+	ops = make([]mtjit.BaselineOp, 0, end-header+1)
+	seen := map[string]bool{}
+	for pc := header; pc <= end; pc++ {
+		in := code.Instrs[pc]
+		ops = append(ops, mtjit.BaselineOp{PC: pc, AsmLen: baselineAsmLen(in)})
+		if in.Op == BCLoadGlobal {
+			seen[code.Names[in.Arg]] = true
+		}
+	}
+	globals = make([]string, 0, len(seen))
+	for name := range seen {
+		globals = append(globals, name)
+	}
+	sort.Strings(globals)
+	return ops, end, globals, true
+}
+
+// compileBaseline lowers the loop at f.PC and installs tier-1 code for
+// it, or blacklists the header if it has no closed extent. Globals the
+// loop reads that are already known-mutated are excluded from the
+// embedded-value dependencies (the template does a dict lookup for
+// them, exactly like the interpreter), so recompilation after an
+// invalidation converges.
+func (vm *VM) compileBaseline(f *Frame, key mtjit.GreenKey) {
+	ops, end, globals, ok := baselineUnit(f.Code, f.PC)
+	if !ok {
+		vm.Eng.MarkBaselineFailed(key)
+		return
+	}
+	deps := globals[:0]
+	for _, name := range globals {
+		if !vm.mutatedGlobals[name] {
+			deps = append(deps, name)
+		}
+	}
+	vm.Eng.CompileBaseline(key, f.PC, end, ops, deps)
+}
+
+// enterBaseline makes the dispatch loop resident in bc for frame f.
+func (vm *VM) enterBaseline(bc *mtjit.BaselineCode, f *Frame) {
+	vm.baseMach.SetCode(bc)
+	vm.baseCode = bc
+	vm.baseFrame = f
+	vm.m = vm.baseMach
+	vm.Eng.EnterBaseline(bc)
+}
+
+// leaveBaseline ends tier-1 residency and returns to the interpreter.
+func (vm *VM) leaveBaseline() {
+	if vm.baseCode == nil {
+		return
+	}
+	vm.Eng.LeaveBaseline(vm.baseCode)
+	vm.baseCode = nil
+	vm.baseFrame = nil
+	vm.m = vm.direct
+}
+
+// checkBaselineResidency runs at the top of the dispatch loop: it
+// drains a pending guard deopt and leaves residency when execution has
+// moved outside the compiled region (loop exit, call, return) or the
+// code was invalidated under us.
+func (vm *VM) checkBaselineResidency() {
+	f := vm.frames[len(vm.frames)-1]
+	if vm.baseMach.TakeDeopt() {
+		vm.Eng.BaselineDeopt(vm.baseCode)
+		vm.leaveBaseline()
+		return
+	}
+	if f != vm.baseFrame || vm.baseCode.Invalidated || !vm.baseCode.Covers(f.PC) {
+		vm.leaveBaseline()
+	}
+}

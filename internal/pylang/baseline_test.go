@@ -1,0 +1,140 @@
+package pylang
+
+import (
+	"testing"
+
+	"metajit/internal/cpu"
+	"metajit/internal/mtjit"
+)
+
+const baselineLoopSrc = `
+def main():
+    s = 0
+    i = 0
+    while i < 400:
+        s = s + i * 2
+        i = i + 1
+    return s
+`
+
+// TestBaselineTierMatchesInterp checks the tier-1 pipeline end to end:
+// the loop gets baseline code at the low threshold, runs resident, is
+// promoted to a trace at the hot threshold (invalidating the baseline
+// code), and the result matches plain interpretation.
+func TestBaselineTierMatchesInterp(t *testing.T) {
+	want, _ := interp(t, baselineLoopSrc)
+	got, vm := runProgram(t, baselineLoopSrc, Config{
+		JIT: true, Baseline: true,
+		Threshold: 13, BridgeThreshold: 7, BaselineThreshold: 3,
+	})
+	wantInt(t, got, want.I)
+
+	st := vm.Eng.Stats()
+	if st.BaselinesCompiled == 0 {
+		t.Fatal("baseline tier never compiled")
+	}
+	if st.BaselineEnters == 0 {
+		t.Fatal("baseline code never entered")
+	}
+	if st.LoopsCompiled == 0 {
+		t.Fatal("loop never promoted to a trace")
+	}
+	if st.BaselineInvalidated == 0 {
+		t.Fatal("promotion did not invalidate the baseline code")
+	}
+	if err := vm.Eng.Validate(); err != nil {
+		t.Fatalf("engine validation: %v", err)
+	}
+}
+
+// TestBaselineOnlyMatchesInterp runs with the tracing threshold out of
+// reach: execution stays in tier-1 code for the whole loop and results
+// still match the interpreter.
+func TestBaselineOnlyMatchesInterp(t *testing.T) {
+	want, _ := interp(t, baselineLoopSrc)
+	got, vm := runProgram(t, baselineLoopSrc, Config{
+		JIT: true, Baseline: true,
+		Threshold: 1 << 20, BaselineThreshold: 3,
+	})
+	wantInt(t, got, want.I)
+
+	st := vm.Eng.Stats()
+	if st.BaselinesCompiled == 0 || st.BaselineEnters == 0 {
+		t.Fatalf("baseline tier not engaged: %+v", st)
+	}
+	if st.LoopsCompiled != 0 {
+		t.Fatalf("tracing fired below threshold: %+v", st)
+	}
+	if err := vm.Eng.Validate(); err != nil {
+		t.Fatalf("engine validation: %v", err)
+	}
+}
+
+// TestBaselineGlobalInvalidation mutates a module global the baseline
+// code embedded: the code must be invalidated, execution falls back to
+// the interpreter, and the recompiled code (mutated name excluded from
+// its dependencies) survives further stores.
+func TestBaselineGlobalInvalidation(t *testing.T) {
+	src := `
+g = 7
+def bump(x):
+    global g
+    g = x
+    return x
+def main():
+    s = 0
+    i = 0
+    while i < 300:
+        s = s + g
+        if i == 150:
+            bump(1)
+        i = i + 1
+    return s
+`
+	want, _ := interp(t, src)
+	got, vm := runProgram(t, src, Config{
+		JIT: true, Baseline: true,
+		Threshold: 1 << 20, BaselineThreshold: 3,
+	})
+	wantInt(t, got, want.I)
+
+	st := vm.Eng.Stats()
+	if st.BaselineInvalidated == 0 {
+		t.Fatalf("global mutation did not invalidate baseline code: %+v", st)
+	}
+	if st.BaselinesCompiled < 2 {
+		t.Fatalf("loop was not recompiled after invalidation: %+v", st)
+	}
+	if err := vm.Eng.Validate(); err != nil {
+		t.Fatalf("engine validation: %v", err)
+	}
+}
+
+// TestBaselineForcedDeopt forces every baseline guard to fail once: each
+// deopt must fall back to the interpreter mid-loop with no effect on the
+// result.
+func TestBaselineForcedDeopt(t *testing.T) {
+	want, _ := interp(t, baselineLoopSrc)
+
+	failed := map[uint64]bool{}
+	vmF := New(cpu.NewDefault(), Config{JIT: true, Baseline: true, Threshold: 1 << 20, BaselineThreshold: 3})
+	vmF.Eng.ForceBaselineGuardFail = func(bc *mtjit.BaselineCode, id uint64) bool {
+		key := uint64(bc.Key.CodeID)<<40 | id
+		if failed[key] {
+			return false
+		}
+		failed[key] = true
+		return true
+	}
+	if err := vmF.LoadModule("test", baselineLoopSrc); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res := vmF.RunFunction("main")
+	wantInt(t, res, want.I)
+	if vmF.Eng.Stats().BaselineDeopts == 0 {
+		t.Fatal("forced guard failures produced no deopts")
+	}
+	if err := vmF.Eng.Validate(); err != nil {
+		t.Fatalf("engine validation: %v", err)
+	}
+}

@@ -92,6 +92,13 @@ type VM struct {
 	// started.
 	traceRoot int
 
+	// Tier-1 residency: while baseCode is non-nil the dispatch loop runs
+	// inside baseline threaded code for baseFrame, using baseMach for
+	// cost accounting. baseMach is nil unless the baseline tier is on.
+	baseMach  *mtjit.BaselineMachine
+	baseCode  *mtjit.BaselineCode
+	baseFrame *Frame
+
 	frames []*Frame
 
 	globals  map[string]heap.Value
@@ -147,9 +154,15 @@ type Config struct {
 	Profile *mtjit.CostProfile
 	// JIT enables the meta-tracing engine (framework profile only).
 	JIT bool
+	// Baseline enables the tier-1 threaded-code compiler (requires JIT;
+	// the engine owns the tier state machine).
+	Baseline bool
 	// Threshold/BridgeThreshold override engine defaults when non-zero.
 	Threshold       int
 	BridgeThreshold int
+	// BaselineThreshold overrides the tier-1 compile threshold when
+	// Baseline is on (default DefaultBaselineThreshold).
+	BaselineThreshold int
 	// Opts overrides optimizer passes when JIT is on.
 	Opts *mtjit.OptConfig
 	// HeapConfig overrides the GC geometry.
@@ -207,6 +220,13 @@ func New(mach *cpu.Machine, cfg Config) *VM {
 		}
 		if cfg.Opts != nil {
 			vm.Eng.Opts = *cfg.Opts
+		}
+		if cfg.Baseline {
+			vm.Eng.BaselineThreshold = DefaultBaselineThreshold
+			if cfg.BaselineThreshold > 0 {
+				vm.Eng.BaselineThreshold = cfg.BaselineThreshold
+			}
+			vm.baseMach = mtjit.NewBaselineMachine(vm.Eng)
 		}
 	}
 

@@ -199,14 +199,29 @@ func (vm *VM) mergePoint(f *Frame) bool {
 		return false
 	}
 	if tr := vm.Eng.LookupTrace(key); tr != nil {
+		vm.leaveBaseline()
 		vm.runTrace(tr)
 		return true
 	}
-	if vm.Eng.CountAndMaybeTrace(key) {
+	switch vm.Eng.CountAtHeader(key) {
+	case mtjit.TierTrace:
+		// Promotion: tracing records from the interpreter; any tier-1
+		// residency ends here, and installing the loop trace will
+		// invalidate the superseded baseline code.
+		vm.leaveBaseline()
 		vm.traceRoot = len(vm.frames) - 1
 		vm.tm = vm.Eng.BeginTracing(key, f, vm.snapshot)
 		vm.tm.UseUnicodeOps = vm.UnicodeStrings
 		vm.m = vm.tm
+		return false
+	case mtjit.TierBaseline:
+		vm.compileBaseline(f, key)
+	}
+	if vm.baseMach != nil {
+		if bc := vm.Eng.LookupBaseline(key); bc != nil && bc != vm.baseCode {
+			vm.leaveBaseline()
+			vm.enterBaseline(bc, f)
+		}
 	}
 	return false
 }
@@ -238,6 +253,9 @@ func (vm *VM) runTrace(tr *mtjit.Trace) {
 // frame at base returns, and returns that value.
 func (vm *VM) run(base int) heap.Value {
 	for {
+		if vm.baseCode != nil {
+			vm.checkBaselineResidency()
+		}
 		f := vm.frames[len(vm.frames)-1]
 		code := f.Code
 		if vm.tm != nil {
@@ -258,7 +276,16 @@ func (vm *VM) run(base int) heap.Value {
 		}
 		in := code.Instrs[f.PC]
 		m := vm.m
-		m.Dispatch(code.Site(f.PC), HandlerPC(in.Op))
+		site := code.Site(f.PC)
+		if vm.baseCode != nil {
+			// Resident in tier-1 code: the dispatch site is the
+			// threaded-code fragment's own address (per-fragment
+			// indirect branches predict far better than the shared
+			// switch), and guard identities reset per bytecode.
+			vm.baseMach.BeginOp(f.PC)
+			site = vm.baseCode.SitePC(f.PC)
+		}
+		m.Dispatch(site, HandlerPC(in.Op))
 		f.PC++
 
 		switch in.Op {
