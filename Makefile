@@ -48,3 +48,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzPylangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzSklangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzTieredPromotion -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -fuzz=FuzzAnnotStream -fuzztime=$(FUZZTIME) ./internal/profile

@@ -23,6 +23,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..10, all)")
 	jobs := flag.Int("j", 0, "max concurrent cell simulations (0 = NumCPU)")
+	profileDir := flag.String("profile", "", "also run the PyPy suite under the streaming profiler, writing Chrome traces, folded flamegraphs, and interval series to this directory")
 	flag.Parse()
 
 	pypy := bench.PyPySuite()
@@ -75,6 +76,30 @@ func main() {
 	for _, ch := range outputs {
 		if ch != nil {
 			fmt.Println(<-ch)
+		}
+	}
+
+	// Profiled cells run after the tables so they reuse the warmed pool
+	// without perturbing memoized cells (a ProfileDir is part of the cell
+	// key). Artifacts are written as a side effect of each simulation;
+	// the summary goes to stderr to keep stdout byte-identical to an
+	// unprofiled run of the same experiments.
+	if *profileDir != "" {
+		for _, kind := range []harness.VMKind{harness.VMPyPyJIT, harness.VMPyPyTiered} {
+			for i := range pypy {
+				p := &pypy[i]
+				res, err := runner.Get(p, kind, harness.Options{ProfileDir: *profileDir})
+				if err != nil {
+					runner.Fail(err)
+					continue
+				}
+				if perr := res.Profile.Err(); perr != nil {
+					runner.Fail(fmt.Errorf("%s/%s: profile: %w", p.Name, kind, perr))
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "profiled %s/%s: %d spans, %d artifacts\n",
+					p.Name, kind, res.Profile.Stream.Spans, len(res.ProfileFiles))
+			}
 		}
 	}
 

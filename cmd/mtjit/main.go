@@ -31,6 +31,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks")
 	dumpLog := flag.Bool("jitlog", false, "dump the JIT log (traces and IR)")
 	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
+	profileDir := flag.String("profile", "", "write streaming-profiler artifacts (Chrome trace, folded flamegraph, interval series) to this directory")
 	flag.Parse()
 
 	if *list {
@@ -57,7 +58,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *benchName)
 		os.Exit(2)
 	}
-	r, err := harness.Run(p, harness.VMKind(*vmName), harness.Options{Threshold: *threshold})
+	r, err := harness.Run(p, harness.VMKind(*vmName), harness.Options{
+		Threshold:  *threshold,
+		ProfileDir: *profileDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -94,6 +98,17 @@ func report(r *harness.Result, dumpLog bool) {
 			r.EngStats.OpsRecorded, r.EngStats.OpsRemoved)
 		fmt.Printf("jit events: %d guard failures, %d deopts, %d bridge entries\n",
 			r.Events.GuardFails, r.Events.Deopts, r.Events.BridgeEnters)
+	}
+	if r.Profile != nil {
+		if err := r.Profile.Err(); err != nil {
+			fmt.Printf("profile: stream error: %v\n", err)
+		} else {
+			fmt.Printf("profile: %d spans, %d events over %d windows\n",
+				r.Profile.Stream.Spans, r.Profile.Stream.Events, len(r.Profile.Stream.Windows()))
+		}
+		for _, f := range r.ProfileFiles {
+			fmt.Printf("profile: wrote %s\n", f)
+		}
 	}
 	if dumpLog && r.Log != nil {
 		fmt.Println("---- jit log ----")

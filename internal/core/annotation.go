@@ -87,6 +87,16 @@ func (r *Registry) Define(name string) Tag {
 	return t
 }
 
+// TagName returns the name of a built-in tag, or "tag<N>" for dynamic or
+// unknown tags. Consumers holding a Registry should prefer Registry.Name,
+// which also resolves dynamically defined tags.
+func TagName(t Tag) string {
+	if s, ok := builtinTagNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("tag<%d>", t)
+}
+
 // Name returns the name of a tag defined in this registry, or the name of a
 // built-in tag, or "tag<N>" for unknown tags.
 func (r *Registry) Name(t Tag) string {

@@ -56,9 +56,33 @@ const (
 	TagBaselineLeave        // execution leaves baseline code back to interp
 	TagBaselineDeopt        // a baseline guard failed; interpreter takes over (Arg: baseline code ID)
 
+	// TagGCSkipped marks a collection request that the collector dropped
+	// because a collection was already active (Arg: the GCReason* code of
+	// the dropped request). It is an event marker with no phase effect:
+	// without it a re-entrant Minor/Major request would vanish from the
+	// annotation stream entirely, invisible to stream checkers.
+	TagGCSkipped
+
 	// tagFirstDynamic is the first tag available to Registry.Define.
 	tagFirstDynamic
 )
+
+// GC trigger reasons, carried in the Arg of TagGCMinorStart,
+// TagGCMajorStart, and TagGCSkipped so profilers can attribute each
+// collection span to what forced it.
+const (
+	GCReasonAlloc     uint64 = 1 // nursery budget exhausted at an allocation
+	GCReasonPreMajor  uint64 = 2 // minor collection emptying the nursery ahead of a major
+	GCReasonThreshold uint64 = 3 // old generation crossed the major threshold
+	GCReasonExplicit  uint64 = 4 // external Minor()/Major() request
+)
+
+// TraceStartBridge is set in TagTraceStart's Arg when the recording is a
+// bridge (low bits: the guard ID being bridged); loop recordings carry
+// the green key hash (CodeID<<16|PC) with the flag clear. The flag lets
+// stream consumers tell the two recording kinds apart, which the arg
+// values alone cannot.
+const TraceStartBridge uint64 = 1 << 40
 
 var builtinTagNames = map[Tag]string{
 	TagDispatch:       "dispatch",
@@ -84,6 +108,8 @@ var builtinTagNames = map[Tag]string{
 	TagBaselineEnter:        "baseline_enter",
 	TagBaselineLeave:        "baseline_leave",
 	TagBaselineDeopt:        "baseline_deopt",
+
+	TagGCSkipped: "gc_skipped",
 }
 
 // Phase is the framework-level execution phase taxonomy of Section V-B:

@@ -7,6 +7,7 @@ import (
 	"metajit/internal/core"
 	"metajit/internal/cpu"
 	"metajit/internal/isa"
+	"metajit/internal/profile"
 )
 
 // CheckPhases verifies the cross-layer accounting invariants of a
@@ -29,6 +30,28 @@ func CheckPhases(mach *cpu.Machine) error {
 	}
 	if math.Abs(sum.Cycles-total.Cycles) > 1e-6*(1+math.Abs(total.Cycles)) {
 		return fmt.Errorf("phase cycle counts sum to %g, total is %g", sum.Cycles, total.Cycles)
+	}
+	return nil
+}
+
+// CheckProfile verifies the streaming profiler against the machine it
+// observed: the annotation stream must be well-formed (balanced spans
+// obeying the nesting grammar, monotone state), and the profiler's
+// per-phase totals must equal the machine's own phase counters EXACTLY
+// — cycles and memory counters by the snapshot construction, and
+// instructions as a genuine cross-check of the independently
+// accumulated sums. Call after Profiler.Finish, and only for clean runs
+// (a guest error unwinds the VM without closing annotation spans).
+func CheckProfile(mach *cpu.Machine, p *profile.Profiler) error {
+	if err := p.Err(); err != nil {
+		return fmt.Errorf("profile stream: %w", err)
+	}
+	totals := p.PhaseTotals()
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		if got, want := totals[ph], mach.PhaseCounters(ph); got != want {
+			return fmt.Errorf("profile phase %s totals diverge from machine: instrs %d vs %d, cycles %g vs %g",
+				ph, got.Instrs, want.Instrs, got.Cycles, want.Cycles)
+		}
 	}
 	return nil
 }

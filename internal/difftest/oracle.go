@@ -7,6 +7,7 @@ import (
 	"metajit/internal/heap"
 	"metajit/internal/mtjit"
 	"metajit/internal/pintool"
+	"metajit/internal/profile"
 	"metajit/internal/pylang"
 	"metajit/internal/sklang"
 )
@@ -111,6 +112,10 @@ func oracleHeapConfig() *heap.Config {
 func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 	mach := cpu.New(cpu.DefaultParams())
 	pintool.NewPhaseTracker(mach)
+	// The streaming profiler rides along as the 13th invariant: its span
+	// checker validates the annotation stream's grammar and its phase
+	// totals are cross-checked against the machine after the run.
+	prof := profile.Attach(mach, profile.Config{})
 
 	vm := pylang.New(mach, pylang.Config{
 		Profile:           mtjit.FrameworkProfile(),
@@ -166,6 +171,14 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 
 	if err := CheckPhases(mach); err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	prof.Finish()
+	if out.Err == "" {
+		// A guest error unwinds the VM without closing annotation spans,
+		// so the stream-balance invariant only holds for clean runs.
+		if err := CheckProfile(mach, prof); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
 	}
 	if vm.Eng != nil {
 		out.Stats = vm.Eng.Stats()

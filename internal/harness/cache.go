@@ -22,9 +22,10 @@ type CellKey struct {
 	HasHeap bool
 	Heap    heap.Config
 
-	SampleInterval  uint64
-	Threshold       int
-	BridgeThreshold int
+	SampleInterval    uint64
+	Threshold         int
+	BridgeThreshold   int
+	BaselineThreshold int
 
 	HasOpts bool
 	Opts    mtjit.OptConfig
@@ -33,16 +34,24 @@ type CellKey struct {
 	Params    cpu.Params
 
 	MaxInstrs uint64
+
+	Profile       bool
+	ProfileDir    string
+	ProfileWindow uint64
 }
 
 // Key fingerprints a cell.
 func Key(p *bench.Program, kind VMKind, opt Options) CellKey {
 	k := CellKey{
-		VM:              kind,
-		SampleInterval:  opt.SampleInterval,
-		Threshold:       opt.Threshold,
-		BridgeThreshold: opt.BridgeThreshold,
-		MaxInstrs:       opt.MaxInstrs,
+		VM:                kind,
+		SampleInterval:    opt.SampleInterval,
+		Threshold:         opt.Threshold,
+		BridgeThreshold:   opt.BridgeThreshold,
+		BaselineThreshold: opt.BaselineThreshold,
+		MaxInstrs:         opt.MaxInstrs,
+		Profile:           opt.Profile,
+		ProfileDir:        opt.ProfileDir,
+		ProfileWindow:     opt.ProfileWindow,
 	}
 	if p != nil {
 		k.Bench = p.Name
@@ -75,6 +84,9 @@ func (k CellKey) String() string {
 	if k.BridgeThreshold != 0 {
 		s += fmt.Sprintf("+bridge=%d", k.BridgeThreshold)
 	}
+	if k.BaselineThreshold != 0 {
+		s += fmt.Sprintf("+baseline=%d", k.BaselineThreshold)
+	}
 	if k.HasHeap {
 		s += "+heap"
 	}
@@ -86,6 +98,9 @@ func (k CellKey) String() string {
 	}
 	if k.MaxInstrs != 0 {
 		s += fmt.Sprintf("+max=%d", k.MaxInstrs)
+	}
+	if k.Profile || k.ProfileDir != "" {
+		s += "+profile"
 	}
 	return s
 }

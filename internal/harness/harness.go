@@ -6,7 +6,11 @@
 package harness
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 
 	"metajit/internal/bench"
 	"metajit/internal/core"
@@ -15,6 +19,7 @@ import (
 	"metajit/internal/jitlog"
 	"metajit/internal/mtjit"
 	"metajit/internal/pintool"
+	"metajit/internal/profile"
 	"metajit/internal/pylang"
 	"metajit/internal/sklang"
 	"metajit/internal/static"
@@ -60,7 +65,23 @@ type Options struct {
 	// MaxInstrs stops sampling-based comparisons early (0 = run to
 	// completion; execution itself always completes).
 	MaxInstrs uint64
+	// Profile attaches the streaming cross-layer profiler
+	// (internal/profile) to the run; Result.Profile holds the finished
+	// profiler. When false and ProfileDir is empty, no profiler is
+	// attached and the run is bit-identical to an unprofiled one.
+	Profile bool
+	// ProfileDir, when non-empty, implies Profile and writes the profile
+	// artifacts (<bench>-<vm>.trace.json / .folded / .series.txt) there,
+	// creating the directory if needed.
+	ProfileDir string
+	// ProfileWindow overrides the interval time-series window in retired
+	// instructions (0: DefaultProfileWindow).
+	ProfileWindow uint64
 }
+
+// DefaultProfileWindow is the time-series window (in retired
+// instructions) used when profiling is on and no override is given.
+const DefaultProfileWindow = 1 << 16
 
 // Result is one benchmark execution's measurements.
 type Result struct {
@@ -86,6 +107,12 @@ type Result struct {
 	Events    *pintool.TraceEventCounter
 	EngStats  mtjit.EngineStats
 	AOTNames  map[uint32]aotInfo
+
+	// Profile is the finished streaming profiler (nil unless
+	// Options.Profile/ProfileDir enabled it); ProfileFiles lists artifact
+	// paths written under Options.ProfileDir.
+	Profile      *profile.Profiler
+	ProfileFiles []string
 }
 
 type aotInfo struct {
@@ -183,10 +210,79 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 		}
 	}
 
+	// The profiler attaches after the pintool observers — PhaseTracker
+	// must run first so barrier checks see the post-switch phase — and
+	// before any guest code runs. Its label closures capture profVM /
+	// profLog, which are assigned as soon as the VM and JIT log exist
+	// (labels are only resolved at span open, during execution).
+	var (
+		prof       *profile.Profiler
+		profVM     *pylang.VM
+		profLog    *jitlog.Log
+		chromeFile *os.File
+		chromeBuf  *bufio.Writer
+		chromePath string
+	)
+	if opt.Profile || opt.ProfileDir != "" {
+		pcfg := profile.Config{
+			Window:  opt.ProfileWindow,
+			ClockHz: params.ClockHz,
+			Labels: profile.Labels{
+				Trace: func(id uint64) string {
+					if profLog == nil {
+						return ""
+					}
+					return profLog.TraceLabel(id)
+				},
+				Baseline: func(id uint64) string {
+					if profLog == nil {
+						return ""
+					}
+					return profLog.BaselineLabel(id)
+				},
+				AOTFunc: func(id uint64) string {
+					if profVM == nil {
+						return ""
+					}
+					for _, f := range profVM.RT.Funcs() {
+						if uint64(f.ID) == id {
+							return f.Name
+						}
+					}
+					return ""
+				},
+			},
+		}
+		if pcfg.Window == 0 {
+			pcfg.Window = DefaultProfileWindow
+		}
+		if opt.ProfileDir != "" {
+			if err := os.MkdirAll(opt.ProfileDir, 0o755); err != nil {
+				return nil, fmt.Errorf("harness: profile dir: %w", err)
+			}
+			chromePath = filepath.Join(opt.ProfileDir, fmt.Sprintf("%s-%s.trace.json", p.Name, kind))
+			f, err := os.Create(chromePath)
+			if err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			chromeFile = f
+			chromeBuf = bufio.NewWriter(f)
+			pcfg.Chrome = chromeBuf
+		}
+		prof = profile.Attach(mach, pcfg)
+		defer func() {
+			if chromeFile != nil {
+				chromeFile.Close()
+			}
+		}()
+	}
+
 	vm := pylang.New(mach, cfg)
+	profVM = vm
 	var log *jitlog.Log
 	if cfg.JIT {
 		log = jitlog.Attach(vm.Eng)
+		profLog = log
 	}
 	if scheme {
 		vm.UnicodeStrings = false
@@ -200,6 +296,32 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	}
 	out := vm.RunFunction("main")
 	res.Checksum = out.I
+
+	if prof != nil {
+		prof.Finish()
+		res.Profile = prof
+		if opt.ProfileDir != "" {
+			if err := chromeBuf.Flush(); err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			if err := chromeFile.Close(); err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			chromeFile = nil
+			res.ProfileFiles = append(res.ProfileFiles, chromePath)
+			base := fmt.Sprintf("%s-%s", p.Name, kind)
+			folded := filepath.Join(opt.ProfileDir, base+".folded")
+			if err := writeArtifact(folded, prof.Stream.WriteFolded); err != nil {
+				return nil, fmt.Errorf("harness: profile flamegraph: %w", err)
+			}
+			res.ProfileFiles = append(res.ProfileFiles, folded)
+			series := filepath.Join(opt.ProfileDir, base+".series.txt")
+			if err := writeArtifact(series, prof.Stream.WriteSeries); err != nil {
+				return nil, fmt.Errorf("harness: profile series: %w", err)
+			}
+			res.ProfileFiles = append(res.ProfileFiles, series)
+		}
+	}
 
 	res.GC = vm.H.Stats()
 	res.Bytecodes = wm.Bytecodes
@@ -216,6 +338,24 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	}
 	res.finish(mach)
 	return res, nil
+}
+
+// writeArtifact writes one profile export through a buffered writer.
+func writeArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (r *Result) finish(mach *cpu.Machine) {

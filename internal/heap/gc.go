@@ -10,12 +10,20 @@ var siteGCTrace = isa.NewSite()
 // Minor runs a nursery collection: survivors reachable from the VM roots
 // and the remembered set are promoted to the old generation; everything
 // else allocated since the previous minor collection is dead.
-func (h *Heap) Minor() {
+func (h *Heap) Minor() { h.minor(core.GCReasonExplicit) }
+
+// minor is Minor with the trigger reason threaded into the annotation
+// stream. A request arriving while a collection is already running is
+// dropped, but never silently: the dropped request is announced as a
+// TagGCSkipped event so stream consumers can account for it.
+func (h *Heap) minor(reason uint64) {
 	if h.gcActive {
+		h.stats.Skipped++
+		h.stream.Annot(core.TagGCSkipped, reason)
 		return
 	}
 	h.gcActive = true
-	h.stream.Annot(core.TagGCMinorStart, 0)
+	h.stream.Annot(core.TagGCMinorStart, reason)
 
 	h.epoch++
 	var stack []*Obj
@@ -84,7 +92,7 @@ func (h *Heap) Minor() {
 	h.gcActive = false
 
 	if h.oldBytes > h.majorAt && !h.inMajor {
-		h.Major()
+		h.major(core.GCReasonThreshold)
 	}
 }
 
@@ -127,16 +135,20 @@ func (h *Heap) scanChildren(o *Obj, visit func(*Obj)) {
 // Major runs a full collection: a minor collection first (emptying the
 // nursery), then a mark phase over the whole heap from the VM roots and a
 // sweep that frees unreachable old objects.
-func (h *Heap) Major() {
+func (h *Heap) Major() { h.major(core.GCReasonExplicit) }
+
+func (h *Heap) major(reason uint64) {
 	if h.gcActive || h.inMajor {
+		h.stats.Skipped++
+		h.stream.Annot(core.TagGCSkipped, reason)
 		return
 	}
 	h.inMajor = true
 	defer func() { h.inMajor = false }()
-	h.Minor() // empty the nursery first
+	h.minor(core.GCReasonPreMajor) // empty the nursery first
 
 	h.gcActive = true
-	h.stream.Annot(core.TagGCMajorStart, 0)
+	h.stream.Annot(core.TagGCMajorStart, reason)
 
 	h.epoch++
 	var stack []*Obj

@@ -3,6 +3,7 @@ package heap
 import (
 	"fmt"
 
+	"metajit/internal/core"
 	"metajit/internal/isa"
 )
 
@@ -63,6 +64,7 @@ type Stats struct {
 	PromotedBytes  uint64
 	CollectedYoung uint64 // nursery objects that died young
 	LiveAtMajor    uint64 // live bytes at last major collection
+	Skipped        uint64 // collection requests dropped re-entrantly (TagGCSkipped)
 }
 
 // Heap is the simulated guest heap.
@@ -181,8 +183,11 @@ func (h *Heap) AllocElems(shape *Shape, nFields, n int) *Obj {
 }
 
 func (h *Heap) allocate(o *Obj) {
-	if h.sinceMinor >= h.cfg.NurserySize && !h.gcActive {
-		h.Minor()
+	// The re-entrancy decision belongs to minor: if a collection is
+	// already running, the request surfaces as a TagGCSkipped event
+	// rather than disappearing here.
+	if h.sinceMinor >= h.cfg.NurserySize {
+		h.minor(core.GCReasonAlloc)
 	}
 	o.addr = h.bump(o.size)
 	h.nextUID++

@@ -18,6 +18,52 @@ type Log struct {
 	// Baselines records tier-1 (baseline threaded-code) compilations in
 	// install order, including later-invalidated ones.
 	Baselines []*mtjit.BaselineCode
+
+	// Lazy ID indexes for the span-label helpers. Traces/Baselines are
+	// append-only, so the indexes extend incrementally.
+	traceByID    map[uint32]*mtjit.Trace
+	baselineByID map[uint32]*mtjit.BaselineCode
+	traceIndexed int
+	baseIndexed  int
+}
+
+// TraceLabel returns a compact human-readable label for the trace with
+// the given ID ("loop3@c2:p14", "bridge7@c2:p9"), or "" when the ID is
+// unknown. The format is safe for folded-flamegraph frames: no spaces
+// or semicolons.
+func (l *Log) TraceLabel(id uint64) string {
+	for ; l.traceIndexed < len(l.Traces); l.traceIndexed++ {
+		if l.traceByID == nil {
+			l.traceByID = map[uint32]*mtjit.Trace{}
+		}
+		t := l.Traces[l.traceIndexed]
+		l.traceByID[t.ID] = t
+	}
+	t := l.traceByID[uint32(id)]
+	if t == nil {
+		return ""
+	}
+	kind := "loop"
+	if t.Bridge {
+		kind = "bridge"
+	}
+	return fmt.Sprintf("%s%d@c%d:p%d", kind, t.ID, t.Key.CodeID, t.Key.PC)
+}
+
+// BaselineLabel is TraceLabel's tier-1 analog ("bc1@c2:p14").
+func (l *Log) BaselineLabel(id uint64) string {
+	for ; l.baseIndexed < len(l.Baselines); l.baseIndexed++ {
+		if l.baselineByID == nil {
+			l.baselineByID = map[uint32]*mtjit.BaselineCode{}
+		}
+		bc := l.Baselines[l.baseIndexed]
+		l.baselineByID[bc.ID] = bc
+	}
+	bc := l.baselineByID[uint32(id)]
+	if bc == nil {
+		return ""
+	}
+	return fmt.Sprintf("bc%d@c%d:p%d", bc.ID, bc.Key.CodeID, bc.Key.PC)
 }
 
 // Attach registers the log with an engine's compile hooks.

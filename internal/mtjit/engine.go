@@ -226,7 +226,7 @@ func (e *Engine) BeginTracing(key GreenKey, fr FrameAdapter, snap SnapshotFn) *T
 // BeginBridge starts recording a bridge for guardID from the reconstructed
 // frame chain (trace-root frame first).
 func (e *Engine) BeginBridge(guardID uint32, resume *ResumeState, frames []FrameAdapter, snap SnapshotFn) *TracingMachine {
-	e.S.Annot(core.TagTraceStart, uint64(guardID))
+	e.S.Annot(core.TagTraceStart, core.TraceStartBridge|uint64(guardID))
 	tm := newTracingMachine(NewDirectMachine(e.RT, e.Profile), e)
 	tm.snapshot = snap
 	tm.bridge = true

@@ -114,7 +114,7 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			s.Ops(isa.ALU, 3)
 			s.Ops(isa.Store, 2)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
-			s.Annot(core.TagJITLeave, 0)
+			s.Annot(core.TagJITLeave, uint64(cur.ID))
 			return &ExitState{Frames: frames}
 
 		case OpCallAssembler:
@@ -123,7 +123,7 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			s.Ops(isa.Load, 8)
 			s.CallIndirect(opPC, op.Target.AsmBase)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
-			s.Annot(core.TagJITLeave, 0)
+			s.Annot(core.TagJITLeave, uint64(cur.ID))
 			return &ExitState{Frames: frames, Enter: op.Target}
 
 		case OpGuardTrue, OpGuardFalse, OpGuardValue, OpGuardClass,
@@ -248,10 +248,10 @@ func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Tr
 	}
 
 	// Deoptimize.
-	s.Annot(core.TagJITLeave, 0)
+	s.Annot(core.TagJITLeave, uint64(t.ID))
 	s.Annot(core.TagBlackholeEnter, uint64(op.GuardID))
 	frames := e.materializeFrames(t, op.Resume, regs, true)
-	s.Annot(core.TagBlackholeLeave, 0)
+	s.Annot(core.TagBlackholeLeave, uint64(op.GuardID))
 
 	exit := &ExitState{Frames: frames, GuardID: op.GuardID}
 	if e.guardFails[op.GuardID] == e.BridgeThreshold {

@@ -1,0 +1,179 @@
+// Package profile is a streaming cross-layer profiler: a consumer of
+// the live annotation stream (Section IV's tagged nops) that maintains
+// a phase/tier span stack with per-span microarchitectural deltas and
+// exports timeline and aggregate views of one run.
+//
+// The profiler sits alongside the pintool observers on cpu.Machine: the
+// machine-bound Profiler intercepts annotations, stamps each with the
+// machine state, and pushes it into a fixed ring buffer. Phase-boundary
+// annotations act as barriers that drain the ring synchronously (the
+// state is exactly at the boundary); high-frequency event-only
+// annotations (dispatch ticks) buffer lazily. The ring's consumer is a
+// pure Stream machine — span stack, well-formedness checker, and
+// aggregation — that never touches the machine, so malformed streams
+// can be fed to it directly (see FuzzAnnotStream).
+//
+// Exports:
+//   - Chrome trace-event JSON (Config.Chrome), loadable in
+//     chrome://tracing or Perfetto, streamed during the run;
+//   - folded-stack flamegraph text (Stream.WriteFolded), one line per
+//     phase→tier→trace-id stack signature weighted by cycles;
+//   - an interval time-series (Config.Window, Stream.WriteSeries) of
+//     per-phase IPC and miss rates.
+//
+// Memory stays bounded for arbitrarily long runs: only aggregates (the
+// folded-stack map, interval windows, per-phase snapshots) are
+// retained; the Chrome trace streams to its writer with an event cap.
+package profile
+
+import (
+	"io"
+
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultRingSize        = 256
+	DefaultMaxChromeEvents = 250_000
+)
+
+// State is the profiler's projection of machine counters: the totals it
+// attributes to spans, windows, and flamegraph frames.
+type State struct {
+	Instrs      uint64
+	Cycles      float64
+	Branches    uint64
+	Mispredicts uint64
+	Accesses    uint64 // cache-modeled loads + stores
+	L1Miss      uint64
+	L2Miss      uint64
+}
+
+// StateOf projects one counter domain.
+func StateOf(c cpu.Counters) State {
+	return State{
+		Instrs:      c.Instrs,
+		Cycles:      c.Cycles,
+		Branches:    c.Branches(),
+		Mispredicts: c.Mispredicts(),
+		Accesses:    c.Loads + c.Stores,
+		L1Miss:      c.L1Miss,
+		L2Miss:      c.L2Miss,
+	}
+}
+
+// Sub returns s - o field-wise.
+func (s State) Sub(o State) State {
+	return State{
+		Instrs:      s.Instrs - o.Instrs,
+		Cycles:      s.Cycles - o.Cycles,
+		Branches:    s.Branches - o.Branches,
+		Mispredicts: s.Mispredicts - o.Mispredicts,
+		Accesses:    s.Accesses - o.Accesses,
+		L1Miss:      s.L1Miss - o.L1Miss,
+		L2Miss:      s.L2Miss - o.L2Miss,
+	}
+}
+
+// Add accumulates d into s.
+func (s *State) Add(d State) {
+	s.Instrs += d.Instrs
+	s.Cycles += d.Cycles
+	s.Branches += d.Branches
+	s.Mispredicts += d.Mispredicts
+	s.Accesses += d.Accesses
+	s.L1Miss += d.L1Miss
+	s.L2Miss += d.L2Miss
+}
+
+// Event is one annotation stamped with the machine totals at its
+// retirement (inclusive of the tagged nop itself).
+type Event struct {
+	Tag   core.Tag
+	Arg   uint64
+	State State
+}
+
+// Labels resolve span identifiers to human-readable names. Nil funcs
+// (or "" results) fall back to numeric labels. Returned names must be
+// folded-stack safe: no spaces or semicolons (sanitized defensively).
+type Labels struct {
+	// Trace labels a tier-2 trace or bridge by ID (jitlog.Log.TraceLabel).
+	Trace func(id uint64) string
+	// Baseline labels a tier-1 code object by ID (jitlog.Log.BaselineLabel).
+	Baseline func(id uint64) string
+	// AOTFunc labels an AOT-compiled function by ID.
+	AOTFunc func(id uint64) string
+}
+
+// Config tunes a profiler.
+type Config struct {
+	// Window enables the interval time-series: one window per Window
+	// retired instructions (0 disables the series). Window boundaries
+	// snap to annotation events, so windows are at least Window wide.
+	Window uint64
+	// Labels resolve span ids to names in exports.
+	Labels Labels
+	// Chrome, when non-nil, receives the Chrome trace-event JSON stream
+	// during the run.
+	Chrome io.Writer
+	// ClockHz converts cycles to trace timestamps in µs (0: 3 GHz).
+	ClockHz float64
+	// MaxChromeEvents caps the trace-event stream; past the cap new
+	// spans are dropped (already-open ones still close) and the trace
+	// tail records the drop count (0: DefaultMaxChromeEvents).
+	MaxChromeEvents int
+	// RingSize is the event ring capacity (0: DefaultRingSize).
+	RingSize int
+}
+
+// isTransition reports whether tag switches the accounting phase; the
+// set mirrors pintool.PhaseTracker exactly. Transitions are the
+// profiler's barriers.
+func isTransition(t core.Tag) bool {
+	switch t {
+	case core.TagTraceStart, core.TagTraceEnd, core.TagTraceAbort,
+		core.TagJITEnter, core.TagJITLeave,
+		core.TagAOTCallEnter, core.TagAOTCallLeave,
+		core.TagGCMinorStart, core.TagGCMinorEnd,
+		core.TagGCMajorStart, core.TagGCMajorEnd,
+		core.TagBlackholeEnter, core.TagBlackholeLeave,
+		core.TagBaselineCompileStart, core.TagBaselineCompileEnd,
+		core.TagBaselineEnter, core.TagBaselineLeave:
+		return true
+	}
+	return false
+}
+
+// gcReasonName renders a core.GCReason* code for span labels.
+func gcReasonName(r uint64) string {
+	switch r {
+	case core.GCReasonAlloc:
+		return "alloc"
+	case core.GCReasonPreMajor:
+		return "premajor"
+	case core.GCReasonThreshold:
+		return "threshold"
+	case core.GCReasonExplicit:
+		return "explicit"
+	}
+	return "unknown"
+}
+
+// sanitizeFrame makes a label safe for folded-stack output.
+func sanitizeFrame(s string) string {
+	out := []byte(s)
+	changed := false
+	for i := range out {
+		if out[i] == ' ' || out[i] == ';' || out[i] < 0x20 {
+			out[i] = '_'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(out)
+}

@@ -1,0 +1,166 @@
+package profile
+
+import (
+	"fmt"
+
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+)
+
+// Profiler binds a Stream to a live cpu.Machine: it intercepts
+// annotations like a pintool, stamps each with the machine state, and
+// feeds the ring-buffered event stream through the Stream consumer.
+//
+// Exactness contract. The machine's per-cycle costs are floats, so
+// naive re-summation of per-span deltas would drift from the machine's
+// own per-phase accounting. Instead the profiler snapshots ALL phases'
+// counters at every phase-transition barrier and verifies change
+// locality: between barriers, only the phase believed active may have
+// advanced (any other change is a detected accounting bug, not silent
+// drift). Per-phase cycle totals are therefore the machine's own final
+// counters — exact by construction — while per-phase instruction totals
+// are accumulated independently as uint64 sums and cross-checked
+// against the machine by the difftest CheckProfile invariant.
+//
+// Attach the profiler AFTER pintool.NewPhaseTracker: observers run in
+// registration order, and the profiler asserts at each barrier that the
+// machine's phase (as switched by the tracker) agrees with its own span
+// stack.
+type Profiler struct {
+	m      *cpu.Machine
+	Stream *Stream
+	ring   *Ring
+
+	active        core.Phase
+	snaps         [core.NumPhases]cpu.Counters
+	initial       [core.NumPhases]cpu.Counters
+	instrsByPhase [core.NumPhases]uint64
+	barrierTotal  State
+
+	errs     []error
+	errCount int
+	finished bool
+}
+
+// Attach registers a profiler on the machine. The machine's current
+// phase must already be tracked (PhaseTracker attached first).
+func Attach(m *cpu.Machine, cfg Config) *Profiler {
+	p := &Profiler{
+		m:      m,
+		Stream: NewStream(cfg),
+		active: m.Phase(),
+	}
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		p.snaps[ph] = m.PhaseCounters(ph)
+	}
+	p.initial = p.snaps
+	for ph := range p.snaps {
+		p.barrierTotal.Add(StateOf(p.snaps[ph]))
+	}
+	p.Stream.start(p.barrierTotal)
+	p.ring = NewRing(cfg.RingSize, p.Stream.Consume)
+	m.Observe(p)
+	return p
+}
+
+func (p *Profiler) errorf(format string, args ...any) {
+	p.errCount++
+	if len(p.errs) < maxErrs {
+		p.errs = append(p.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// now stamps the current machine state: the last barrier total plus the
+// active phase's advance since then. Between barriers only the active
+// phase's counters change (verified at the next barrier), so this is
+// both cheap — one phase read, not eight — and consistent with the
+// barrier totals the stream's deltas are computed against.
+func (p *Profiler) now() State {
+	cur := StateOf(p.m.PhaseCounters(p.active))
+	st := p.barrierTotal
+	st.Add(cur.Sub(StateOf(p.snaps[p.active])))
+	return st
+}
+
+// OnAnnotation implements core.Observer. The annotation nop retires
+// into the pre-switch phase before observers run, so the stamped state
+// includes the nop; transition tags then drain the ring synchronously
+// (the stamped state is exactly at the phase boundary) and run the
+// barrier bookkeeping.
+func (p *Profiler) OnAnnotation(a core.Annotation, instrs, cycles uint64) {
+	if p.finished {
+		return
+	}
+	st := p.now()
+	p.ring.Push(Event{Tag: a.Tag, Arg: a.Arg, State: st})
+	if isTransition(a.Tag) {
+		p.ring.Drain()
+		p.barrier(st)
+	}
+}
+
+// barrier re-snapshots every phase, verifies change locality, folds the
+// active phase's instruction advance into the independent per-phase
+// sums, and re-bases the total on the event that crossed the boundary
+// (NOT on a re-summation of the snapshots, which would change float
+// addition order and break monotonicity against already-stamped
+// events).
+func (p *Profiler) barrier(st State) {
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		c := p.m.PhaseCounters(ph)
+		if ph == p.active {
+			p.instrsByPhase[ph] += c.Instrs - p.snaps[ph].Instrs
+		} else if c != p.snaps[ph] {
+			p.errorf("phase %s counters changed while %s was active", ph, p.active)
+			p.instrsByPhase[ph] += c.Instrs - p.snaps[ph].Instrs
+		}
+		p.snaps[ph] = c
+	}
+	p.barrierTotal = st
+	p.active = p.m.Phase()
+	if sp := p.Stream.CurrentPhase(); sp != p.active && p.Stream.errCount == 0 {
+		p.errorf("machine phase %s disagrees with span stack phase %s", p.active, sp)
+	}
+}
+
+// Finish drains pending events, runs a final barrier, and finalizes the
+// stream (closing exports). Further annotations are ignored.
+func (p *Profiler) Finish() {
+	if p.finished {
+		return
+	}
+	st := p.now()
+	p.ring.Drain()
+	p.barrier(st)
+	p.Stream.Finish(st)
+	p.finished = true
+}
+
+// PhaseTotals returns per-phase counters attributed over the profiled
+// interval: the machine's own snapshots (cycles and memory counters
+// exact by construction) with the instruction field replaced by the
+// profiler's independently accumulated sums. Comparing against
+// Machine.PhaseCounters is therefore a real cross-check, not an
+// identity. Valid after Finish.
+func (p *Profiler) PhaseTotals() [core.NumPhases]cpu.Counters {
+	out := p.snaps
+	for ph := range out {
+		out[ph].Instrs = p.initial[ph].Instrs + p.instrsByPhase[ph]
+	}
+	return out
+}
+
+// Err summarizes profiler-level errors (locality or phase-agreement
+// violations) and stream well-formedness errors; nil when clean.
+func (p *Profiler) Err() error {
+	if p.errCount > 0 {
+		if p.errCount == 1 {
+			return p.errs[0]
+		}
+		return fmt.Errorf("%d profiler errors, first: %w", p.errCount, p.errs[0])
+	}
+	return p.Stream.Err()
+}
+
+// Errors returns retained profiler-level error details.
+func (p *Profiler) Errors() []error { return p.errs }

@@ -1,0 +1,53 @@
+package profile
+
+// Ring is the fixed-capacity event buffer between the annotation
+// interceptor and the stream consumer. The producer pushes stamped
+// events; the consumer drains in batches — when the ring fills, or
+// synchronously at phase-boundary barriers (where the stamped state is
+// exactly at the boundary). Capacity bounds buffering, never loses
+// events: a push into a full ring drains it first.
+type Ring struct {
+	buf  []Event
+	head int // next slot to drain
+	tail int // next slot to fill
+	n    int
+	sink func(Event)
+}
+
+// NewRing returns a ring of the given capacity (<= 0: DefaultRingSize)
+// draining into sink.
+func NewRing(size int, sink func(Event)) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{buf: make([]Event, size), sink: sink}
+}
+
+// Push appends an event, draining first if the ring is full.
+func (r *Ring) Push(ev Event) {
+	if r.n == len(r.buf) {
+		r.Drain()
+	}
+	r.buf[r.tail] = ev
+	r.tail++
+	if r.tail == len(r.buf) {
+		r.tail = 0
+	}
+	r.n++
+}
+
+// Drain feeds every buffered event to the sink in order.
+func (r *Ring) Drain() {
+	for r.n > 0 {
+		ev := r.buf[r.head]
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		r.n--
+		r.sink(ev)
+	}
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return r.n }

@@ -1,0 +1,484 @@
+package profile
+
+import (
+	"fmt"
+
+	"metajit/internal/core"
+)
+
+// The span grammar — the interruption rules the checker enforces.
+// Every *_start/*_enter tag opens a span, every *_end/*_leave tag
+// closes the matching one, and spans nest strictly:
+//
+//	interp (implicit root, never opened or closed)
+//	├─ tracing    trace_start .. trace_end|trace_abort    from interp only
+//	├─ jit        jit_enter .. jit_leave                  from interp only
+//	│   └─ jit_call  aot_call_enter .. aot_call_leave     from jit or jit_call
+//	├─ blackhole  blackhole_enter .. blackhole_leave      from interp only
+//	│             ("blackhole interrupts JIT" lowers to jit_leave;
+//	│             blackhole_enter — the executor closes the jit span
+//	│             before deoptimizing, so the blackhole span nests in
+//	│             the phase the JIT code was entered from)
+//	├─ basecomp   baseline_compile_start .. _end          from interp or
+//	│             baseline (a loop header crossing the tier-1 threshold
+//	│             while another loop's baseline code is resident)
+//	├─ baseline   baseline_enter .. baseline_leave        from interp only
+//	└─ gc         gc_{minor,major}_start .. _end          from any phase
+//	              except gc itself (GC interrupts anything; a major's
+//	              preparatory minor runs before the major span opens)
+//
+// Event-only tags carry no span structure but are phase-checked:
+// dispatch ticks in interp/tracing/jit/baseline; guard_fail and
+// bridge_enter only inside jit; trace_compiled in interp (installation
+// happens after the tracing span closes); baseline_deopt inside
+// baseline; trace_abort closes the tracing span like trace_end;
+// gc_skipped anywhere. Dynamic (application-defined) tags pass through
+// unchecked.
+
+type phaseMask uint16
+
+func maskOf(ps ...core.Phase) phaseMask {
+	var m phaseMask
+	for _, p := range ps {
+		m |= 1 << p
+	}
+	return m
+}
+
+func (m phaseMask) has(p core.Phase) bool { return m&(1<<p) != 0 }
+
+var (
+	maskInterp   = maskOf(core.PhaseInterp)
+	maskAnyButGC = ^maskOf(core.PhaseGC)
+	maskJITCall  = maskOf(core.PhaseJIT, core.PhaseJITCall)
+	maskDispatch = maskOf(core.PhaseInterp, core.PhaseTracing, core.PhaseJIT, core.PhaseBaseline)
+	maskJIT      = maskOf(core.PhaseJIT)
+	maskBaseline = maskOf(core.PhaseBaseline)
+	maskBasecomp = maskOf(core.PhaseInterp, core.PhaseBaseline)
+)
+
+// flameEntry accumulates one folded-stack signature's weight.
+type flameEntry struct {
+	cycles float64
+	instrs uint64
+}
+
+// span is one open region of the phase/tier stack.
+type span struct {
+	phase    core.Phase
+	openTag  core.Tag
+	enterArg uint64
+	label    string
+	start    State       // totals at open
+	self     State       // deltas attributed while top of stack
+	flame    *flameEntry // folded-stack accumulator for this stack signature
+	prevSig  string      // parent signature, restored on close
+	chrome   bool        // a Chrome B event was emitted
+	// linked records that execution transferred through a bridge inside
+	// this jit span. A bridge's closing jump links into a loop trace —
+	// not necessarily the entered one — with no annotation, so once a
+	// span is linked the jit_leave argument is unconstrained; an
+	// unlinked span must leave with the trace it entered.
+	linked bool
+}
+
+// Window is one interval of the time-series: per-phase deltas over at
+// least Config.Window retired instructions.
+type Window struct {
+	Start, End uint64 // machine instruction counts [Start, End)
+	Phases     [core.NumPhases]State
+}
+
+// maxErrs bounds retained error detail; further errors only count.
+const maxErrs = 16
+
+// Stream is the pure annotation-stream consumer: span stack,
+// well-formedness checker, and aggregation. It never touches a
+// cpu.Machine — events carry their own state — so arbitrary (including
+// malformed) streams can be fed to it. A malformed stream records
+// errors (Err) and recovers; it never panics.
+type Stream struct {
+	cfg Config
+
+	stack []span
+	sig   string
+	last  State
+
+	flame map[string]*flameEntry
+
+	win     Window
+	windows []Window
+
+	cw *chromeWriter
+
+	labelCache map[core.Tag]map[uint64]string
+
+	errs     []error
+	errCount int
+	finished bool
+
+	// Spans counts opened spans; Events counts consumed events.
+	Spans  uint64
+	Events uint64
+}
+
+// NewStream returns a stream consumer starting at machine state zero in
+// the implicit interp root span.
+func NewStream(cfg Config) *Stream {
+	s := &Stream{
+		cfg:        cfg,
+		flame:      map[string]*flameEntry{},
+		labelCache: map[core.Tag]map[uint64]string{},
+	}
+	if cfg.Chrome != nil {
+		s.cw = newChromeWriter(cfg.Chrome, cfg.ClockHz, cfg.MaxChromeEvents)
+	}
+	root := span{phase: core.PhaseInterp, label: "interp"}
+	s.sig = root.label
+	root.flame = s.flameAt(s.sig)
+	s.stack = append(s.stack, root)
+	if s.cw != nil {
+		root.chrome = s.cw.begin(root.label, core.PhaseInterp.String(), 0)
+		s.stack[0] = root
+	}
+	return s
+}
+
+// start rebases the stream on a machine that already has history: the
+// root span and window accounting begin at st instead of zero.
+func (s *Stream) start(st State) {
+	s.last = st
+	s.stack[0].start = st
+	s.win.Start = st.Instrs
+}
+
+func (s *Stream) flameAt(sig string) *flameEntry {
+	e := s.flame[sig]
+	if e == nil {
+		e = &flameEntry{}
+		s.flame[sig] = e
+	}
+	return e
+}
+
+func (s *Stream) errorf(format string, args ...any) {
+	s.errCount++
+	if len(s.errs) < maxErrs {
+		s.errs = append(s.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// Err summarizes recorded stream errors (nil for a well-formed stream).
+func (s *Stream) Err() error {
+	if s.errCount == 0 {
+		return nil
+	}
+	if s.errCount == 1 {
+		return s.errs[0]
+	}
+	return fmt.Errorf("%d stream errors, first: %w", s.errCount, s.errs[0])
+}
+
+// Errors returns the retained error details (capped at maxErrs).
+func (s *Stream) Errors() []error { return s.errs }
+
+// CurrentPhase returns the phase of the top of the span stack.
+func (s *Stream) CurrentPhase() core.Phase { return s.stack[len(s.stack)-1].phase }
+
+// Depth returns the span-stack depth including the implicit root.
+func (s *Stream) Depth() int { return len(s.stack) }
+
+// Windows returns the closed time-series windows.
+func (s *Stream) Windows() []Window { return s.windows }
+
+// Consume feeds one event through attribution and the span checker.
+func (s *Stream) Consume(ev Event) {
+	if s.finished {
+		return
+	}
+	s.Events++
+	s.attribute(ev.State)
+	s.apply(ev)
+	s.last = ev.State
+}
+
+// attribute charges the delta since the previous event to the current
+// top of stack (folded signature, self counters, series window).
+func (s *Stream) attribute(at State) {
+	if at.Instrs < s.last.Instrs {
+		s.errorf("event state regressed: instrs %d -> %d", s.last.Instrs, at.Instrs)
+		return
+	}
+	d := at.Sub(s.last)
+	if d.Cycles < 0 {
+		s.errorf("event state regressed: cycles went negative by %g", -d.Cycles)
+		d.Cycles = 0
+	}
+	if d.Instrs == 0 && d.Cycles == 0 {
+		return
+	}
+	top := &s.stack[len(s.stack)-1]
+	top.self.Add(d)
+	top.flame.cycles += d.Cycles
+	top.flame.instrs += d.Instrs
+	if s.cfg.Window > 0 {
+		s.win.Phases[top.phase].Add(d)
+		if at.Instrs >= s.win.Start+s.cfg.Window {
+			s.win.End = at.Instrs
+			s.windows = append(s.windows, s.win)
+			s.win = Window{Start: at.Instrs}
+		}
+	}
+}
+
+// apply interprets the event's tag against the span grammar.
+func (s *Stream) apply(ev Event) {
+	switch ev.Tag {
+	case core.TagTraceStart:
+		s.open(ev, core.PhaseTracing, maskInterp)
+	case core.TagTraceEnd, core.TagTraceAbort:
+		s.close(ev, core.TagTraceStart)
+		if ev.Tag == core.TagTraceAbort {
+			s.instant(ev, "trace_abort")
+		}
+	case core.TagJITEnter:
+		s.open(ev, core.PhaseJIT, maskInterp)
+	case core.TagJITLeave:
+		if top := s.top(); top.openTag == core.TagJITEnter && !top.linked && ev.Arg != top.enterArg {
+			s.errorf("jit_leave arg %d from unlinked span entered at trace %d", ev.Arg, top.enterArg)
+		}
+		s.close(ev, core.TagJITEnter)
+	case core.TagAOTCallEnter:
+		s.open(ev, core.PhaseJITCall, maskJITCall)
+	case core.TagAOTCallLeave:
+		if top := s.top(); top.openTag == core.TagAOTCallEnter && top.enterArg != ev.Arg {
+			s.errorf("aot_call_leave arg %d does not match enter arg %d", ev.Arg, top.enterArg)
+		}
+		s.close(ev, core.TagAOTCallEnter)
+	case core.TagGCMinorStart:
+		s.open(ev, core.PhaseGC, maskAnyButGC)
+	case core.TagGCMinorEnd:
+		s.close(ev, core.TagGCMinorStart)
+	case core.TagGCMajorStart:
+		s.open(ev, core.PhaseGC, maskAnyButGC)
+	case core.TagGCMajorEnd:
+		s.close(ev, core.TagGCMajorStart)
+	case core.TagBlackholeEnter:
+		s.open(ev, core.PhaseBlackhole, maskInterp)
+	case core.TagBlackholeLeave:
+		if top := s.top(); top.openTag == core.TagBlackholeEnter && top.enterArg != ev.Arg {
+			s.errorf("blackhole_leave guard %d does not match enter guard %d", ev.Arg, top.enterArg)
+		}
+		s.close(ev, core.TagBlackholeEnter)
+	case core.TagBaselineCompileStart:
+		s.open(ev, core.PhaseBaselineComp, maskBasecomp)
+	case core.TagBaselineCompileEnd:
+		s.close(ev, core.TagBaselineCompileStart)
+	case core.TagBaselineEnter:
+		s.open(ev, core.PhaseBaseline, maskInterp)
+	case core.TagBaselineLeave:
+		if top := s.top(); top.openTag == core.TagBaselineEnter && top.enterArg != ev.Arg {
+			s.errorf("baseline_leave code %d does not match enter code %d", ev.Arg, top.enterArg)
+		}
+		s.close(ev, core.TagBaselineEnter)
+
+	case core.TagDispatch:
+		s.checkEventPhase(ev, maskDispatch, "dispatch")
+	case core.TagGuardFail:
+		s.checkEventPhase(ev, maskJIT, "guard_fail")
+		s.instant(ev, "guard_fail")
+	case core.TagBridgeEnter:
+		s.bridgeEnter(ev)
+	case core.TagTraceCompiled:
+		s.checkEventPhase(ev, maskInterp, "trace_compiled")
+		s.instant(ev, "trace_compiled")
+	case core.TagBaselineDeopt:
+		s.checkEventPhase(ev, maskBaseline, "baseline_deopt")
+		s.instant(ev, "baseline_deopt")
+	case core.TagGCSkipped:
+		s.instant(ev, "gc_skipped")
+
+	default:
+		// Dynamic application tags (and, in fuzzed streams, unknown tag
+		// values) are phase-agnostic events: tolerated anywhere.
+	}
+}
+
+func (s *Stream) top() *span { return &s.stack[len(s.stack)-1] }
+
+func (s *Stream) checkEventPhase(ev Event, allowed phaseMask, name string) {
+	if p := s.CurrentPhase(); !allowed.has(p) {
+		s.errorf("%s event in phase %s", name, p)
+	}
+}
+
+// open pushes a span, checking its parent phase against the grammar.
+func (s *Stream) open(ev Event, phase core.Phase, parents phaseMask) {
+	if p := s.CurrentPhase(); !parents.has(p) {
+		s.errorf("%s span opened in phase %s", phase, p)
+	}
+	label := s.labelFor(ev.Tag, ev.Arg)
+	sp := span{
+		phase:    phase,
+		openTag:  ev.Tag,
+		enterArg: ev.Arg,
+		label:    label,
+		start:    ev.State,
+		prevSig:  s.sig,
+	}
+	s.sig = s.sig + ";" + label
+	sp.flame = s.flameAt(s.sig)
+	if s.cw != nil {
+		sp.chrome = s.cw.begin(label, phase.String(), ev.State.Cycles)
+	}
+	s.stack = append(s.stack, sp)
+	s.Spans++
+}
+
+// close pops the span opened by wantOpen. A mismatched close is a
+// stream error; recovery pops down to the nearest matching span if one
+// is open (closing the spans above it), and ignores the event
+// otherwise. endPhase maps the end tag for the error message.
+func (s *Stream) close(ev Event, wantOpen core.Tag) {
+	idx := -1
+	for i := len(s.stack) - 1; i >= 1; i-- {
+		if s.stack[i].openTag == wantOpen {
+			idx = i
+			break
+		}
+	}
+	top := len(s.stack) - 1
+	if idx == -1 {
+		s.errorf("%s with no matching open span (top is %s)", core.TagName(ev.Tag), s.stack[top].label)
+		return
+	}
+	if idx != top {
+		s.errorf("%s closes %s across %d still-open span(s), innermost %s",
+			core.TagName(ev.Tag), s.stack[idx].label, top-idx, s.stack[top].label)
+	}
+	for len(s.stack)-1 > idx {
+		s.pop(ev.State)
+	}
+	s.pop(ev.State)
+}
+
+// pop closes the top span at the given state.
+func (s *Stream) pop(at State) {
+	top := s.top()
+	if s.cw != nil && top.chrome {
+		incl := at.Sub(top.start)
+		s.cw.end(at.Cycles, incl, top.self)
+	}
+	s.sig = top.prevSig
+	s.stack = s.stack[:len(s.stack)-1]
+}
+
+// bridgeEnter relabels the open jit span's attribution to the bridge
+// (flamegraph frames are keyed phase→tier→trace-id, and time after a
+// bridge transfer belongs to the bridge until the next transfer) and
+// records the bridge ID as a legal jit_leave argument.
+func (s *Stream) bridgeEnter(ev Event) {
+	s.checkEventPhase(ev, maskJIT, "bridge_enter")
+	s.instant(ev, "bridge_enter")
+	top := s.top()
+	if top.openTag != core.TagJITEnter {
+		return
+	}
+	top.linked = true
+	top.label = s.labelFor(core.TagBridgeEnter, ev.Arg)
+	s.sig = top.prevSig + ";" + top.label
+	top.flame = s.flameAt(s.sig)
+}
+
+func (s *Stream) instant(ev Event, name string) {
+	if s.cw != nil {
+		s.cw.instant(name, ev.State.Cycles, ev.Arg)
+	}
+}
+
+// Finish attributes the tail delta, verifies balance, closes any
+// still-open spans (an error unless only the root remains), and
+// finalizes the Chrome stream and the pending series window.
+func (s *Stream) Finish(final State) {
+	if s.finished {
+		return
+	}
+	s.attribute(final)
+	s.last = final
+	if n := len(s.stack) - 1; n > 0 {
+		labels := make([]string, 0, n)
+		for _, sp := range s.stack[1:] {
+			labels = append(labels, sp.label)
+		}
+		s.errorf("%d span(s) still open at end of stream: %v", n, labels)
+	}
+	for len(s.stack) > 1 {
+		s.pop(final)
+	}
+	if s.cfg.Window > 0 && (s.win.Phases != [core.NumPhases]State{}) {
+		s.win.End = final.Instrs
+		s.windows = append(s.windows, s.win)
+	}
+	if s.cw != nil {
+		root := &s.stack[0]
+		if root.chrome {
+			s.cw.end(final.Cycles, final.Sub(root.start), root.self)
+		}
+		s.cw.close()
+		if err := s.cw.Err(); err != nil {
+			s.errorf("chrome trace write: %v", err)
+		}
+	}
+	s.finished = true
+}
+
+// labelFor builds (and caches) the span label for a tag/arg pair.
+func (s *Stream) labelFor(tag core.Tag, arg uint64) string {
+	byArg := s.labelCache[tag]
+	if byArg == nil {
+		byArg = map[uint64]string{}
+		s.labelCache[tag] = byArg
+	}
+	if l, ok := byArg[arg]; ok {
+		return l
+	}
+	l := s.buildLabel(tag, arg)
+	byArg[arg] = l
+	return l
+}
+
+func (s *Stream) buildLabel(tag core.Tag, arg uint64) string {
+	ls := s.cfg.Labels
+	named := func(prefix string, f func(uint64) string, id uint64, fallback string) string {
+		if f != nil {
+			if n := f(id); n != "" {
+				return sanitizeFrame(prefix + n)
+			}
+		}
+		return fallback
+	}
+	switch tag {
+	case core.TagTraceStart:
+		if arg&core.TraceStartBridge != 0 {
+			return fmt.Sprintf("tracing:bridge:g%d", arg&^core.TraceStartBridge)
+		}
+		return fmt.Sprintf("tracing:loop:c%d:p%d", arg>>16, arg&0xffff)
+	case core.TagJITEnter:
+		return named("jit:", ls.Trace, arg, fmt.Sprintf("jit:t%d", arg))
+	case core.TagBridgeEnter:
+		return named("jit:", ls.Trace, arg, fmt.Sprintf("jit:b%d", arg))
+	case core.TagAOTCallEnter:
+		return named("call:", ls.AOTFunc, arg, fmt.Sprintf("call:fn%d", arg))
+	case core.TagGCMinorStart:
+		return "gc:minor:" + gcReasonName(arg)
+	case core.TagGCMajorStart:
+		return "gc:major:" + gcReasonName(arg)
+	case core.TagBlackholeEnter:
+		return fmt.Sprintf("blackhole:g%d", arg)
+	case core.TagBaselineCompileStart:
+		return fmt.Sprintf("basecomp:c%d:p%d", arg>>16, arg&0xffff)
+	case core.TagBaselineEnter:
+		return named("baseline:", ls.Baseline, arg, fmt.Sprintf("baseline:bc%d", arg))
+	}
+	return fmt.Sprintf("tag%d:%d", tag, arg)
+}
