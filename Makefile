@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench experiments fuzz
+.PHONY: all build test check vet fmt race bench experiments serve fuzz
 
 all: build
 
@@ -29,7 +29,7 @@ fmt:
 # and differential oracle are single-threaded but ride along under
 # -short to catch races introduced by future parallelism.
 race:
-	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/...
+	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/...
 	$(GO) test -race -short -timeout 30m ./internal/mtjit/... ./internal/difftest/...
 
 bench:
@@ -37,6 +37,10 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all
+
+# serve starts the mtjitd introspection daemon on :8077 (see README).
+serve:
+	$(GO) run ./cmd/mtjitd -addr :8077
 
 # Differential fuzzing: each target generates guest programs from raw
 # bytes and cross-checks them under the full VM configuration matrix

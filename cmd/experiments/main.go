@@ -24,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..10, all)")
 	jobs := flag.Int("j", 0, "max concurrent cell simulations (0 = NumCPU)")
 	profileDir := flag.String("profile", "", "also run the PyPy suite under the streaming profiler, writing Chrome traces, folded flamegraphs, and interval series to this directory")
+	stats := flag.Bool("stats", false, "print memo-cache statistics to stderr after the run")
 	flag.Parse()
 
 	pypy := bench.PyPySuite()
@@ -101,6 +102,14 @@ func main() {
 					p.Name, kind, res.Profile.Stream.Spans, len(res.ProfileFiles))
 			}
 		}
+	}
+
+	// Cache statistics go to stderr so stdout (results.txt) stays
+	// byte-identical with and without -stats.
+	if *stats {
+		cs := runner.CacheStats()
+		fmt.Fprintf(os.Stderr, "cache: %d requests, %d hits, %d misses, %d evictions (%.1f%% hit rate)\n",
+			cs.Requests, cs.Hits, cs.Misses, cs.Evictions, 100*cs.HitRate())
 	}
 
 	if errs := runner.Errs(); len(errs) > 0 {

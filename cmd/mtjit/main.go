@@ -22,6 +22,7 @@ import (
 	"metajit/internal/mtjit"
 	"metajit/internal/pintool"
 	"metajit/internal/pylang"
+	"metajit/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +33,16 @@ func main() {
 	dumpLog := flag.Bool("jitlog", false, "dump the JIT log (traces and IR)")
 	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
 	profileDir := flag.String("profile", "", "write streaming-profiler artifacts (Chrome trace, folded flamegraph, interval series) to this directory")
+	teleDump := flag.Bool("telemetry-dump", false, "print a final telemetry snapshot (Prometheus text format) to stderr")
 	flag.Parse()
+
+	// Telemetry attaches before any guest work and dumps to stderr at
+	// exit, keeping stdout byte-identical to an uninstrumented run.
+	var reg *telemetry.Registry
+	if *teleDump {
+		reg = telemetry.NewRegistry()
+		harness.InstallTelemetry(reg)
+	}
 
 	if *list {
 		for _, p := range bench.All() {
@@ -51,6 +61,7 @@ func main() {
 
 	if *file != "" {
 		runFile(*file, *vmName)
+		dumpTelemetry(reg)
 		return
 	}
 	p := bench.ByName(*benchName)
@@ -67,6 +78,19 @@ func main() {
 		os.Exit(1)
 	}
 	report(r, *dumpLog)
+	dumpTelemetry(reg)
+}
+
+// dumpTelemetry writes the registry's final exposition snapshot to
+// stderr; nil (flag off) is a no-op.
+func dumpTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "---- telemetry ----")
+	if err := reg.WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }
 
 func report(r *harness.Result, dumpLog bool) {

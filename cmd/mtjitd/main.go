@@ -1,0 +1,69 @@
+// Command mtjitd is the long-running introspection daemon: it executes
+// benchmark requests over HTTP through the memoizing harness runner and
+// exposes live telemetry for the whole simulator stack.
+//
+// Endpoints:
+//
+//	POST /run          {"bench":"telco","vm":"pypy-tiered"} — run (memoized)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness + cache statistics
+//	GET  /vm/phases    per-phase cycles/instrs/IPC of tracked runs
+//	GET  /vm/traces    compiled trace/bridge inventory with jitlog labels
+//	GET  /vm/warmup    per-tier work-fraction progress (SSE stream)
+//	GET  /debug/pprof  Go runtime profiling
+//
+// Usage:
+//
+//	mtjitd -addr :8077
+//	curl -s -X POST localhost:8077/run -d '{"bench":"telco","vm":"pypy"}'
+//	curl -s localhost:8077/metrics | grep ^mtjit_
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metajit/internal/mtjitd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
+	maxPending := flag.Int("max-pending", 0, "run requests accepted at once before shedding with 429 (0: 4x workers)")
+	liveInterval := flag.Int("live-interval", 0, "live-snapshot publish cadence in machine annotations (0: default)")
+	flag.Parse()
+
+	srv := mtjitd.New(mtjitd.Config{
+		Workers:      *workers,
+		MaxPending:   *maxPending,
+		LiveInterval: *liveInterval,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mtjitd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "mtjitd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "mtjitd: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mtjitd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,9 @@ func CheckProfile(mach *cpu.Machine, p *profile.Profiler) error {
 	if err := p.Err(); err != nil {
 		return fmt.Errorf("profile stream: %w", err)
 	}
+	if _, dropped := p.RingStats(); dropped != 0 {
+		return fmt.Errorf("profile ring dropped %d event(s); a sinked ring must drain, never overwrite", dropped)
+	}
 	totals := p.PhaseTotals()
 	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
 		if got, want := totals[ph], mach.PhaseCounters(ph); got != want {

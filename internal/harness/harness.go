@@ -77,6 +77,12 @@ type Options struct {
 	// ProfileWindow overrides the interval time-series window in retired
 	// instructions (0: DefaultProfileWindow).
 	ProfileWindow uint64
+	// Live, when non-nil, registers the run with a LiveTracker so its
+	// progress can be observed mid-flight (the mtjitd introspection
+	// endpoints). Excluded from the memo CellKey: tracking reads counters
+	// without perturbing the simulation, so a tracked run's Result is
+	// identical to an untracked one.
+	Live *LiveTracker
 }
 
 // DefaultProfileWindow is the time-series window (in retired
@@ -151,6 +157,13 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 
 	res := &Result{Bench: p.Name, VM: kind}
 
+	// Live tracking begins before any guest work and ends on every exit
+	// path (including errors), so a daemon's run listing never shows a
+	// run stuck in flight. Static-kernel runs get begin/end snapshots
+	// only: no annotation stream, nothing to observe mid-run.
+	lr := opt.Live.begin(p.Name, kind, mach)
+	defer lr.end()
+
 	if kind == VMC {
 		k := static.ByName(p.Name)
 		if k == nil {
@@ -162,6 +175,7 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	}
 
 	pintool.NewPhaseTracker(mach)
+	lr.attach() // after the tracker: dispatch ticks see the switched phase
 	wm := pintool.NewWorkMeter(mach, opt.SampleInterval)
 	att := pintool.NewAOTAttributor(mach)
 	events := pintool.NewTraceEventCounter(mach)
@@ -283,6 +297,7 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	if cfg.JIT {
 		log = jitlog.Attach(vm.Eng)
 		profLog = log
+		lr.setLog(log)
 	}
 	if scheme {
 		vm.UnicodeStrings = false

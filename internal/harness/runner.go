@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"metajit/internal/bench"
 )
@@ -24,6 +25,7 @@ type Runner struct {
 	cells  map[CellKey]*cell
 	order  []*cell
 	failed []error
+	stats  CacheStats
 
 	// simulate is the cell executor; tests swap it to count or fake
 	// simulations.
@@ -75,14 +77,50 @@ func (r *Runner) lookup(p *bench.Program, kind VMKind, opt Options) *cell {
 	key := Key(p, kind, opt)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.stats.Requests++
 	if c, ok := r.cells[key]; ok {
+		r.stats.Hits++
+		if m := telem(); m != nil {
+			m.hits.Inc()
+		}
 		return c
+	}
+	r.stats.Misses++
+	if m := telem(); m != nil {
+		m.misses.Inc()
 	}
 	c := &cell{key: key, p: p, kind: kind, opt: opt, done: make(chan struct{})}
 	r.cells[key] = c
 	r.order = append(r.order, c)
 	go r.runCell(c)
 	return c
+}
+
+// Evict removes a completed cell from the memo cache so the next
+// request re-simulates it; it reports whether a cell was evicted. A
+// cell still in flight is left alone (false): the running simulation is
+// already as fresh as a re-run would be, and the caller's Get will join
+// it. Evicted cells stay in the insertion-order history, so errors they
+// produced remain visible to Errs.
+func (r *Runner) Evict(p *bench.Program, kind VMKind, opt Options) bool {
+	key := Key(p, kind, opt)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cells[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+	default:
+		return false
+	}
+	delete(r.cells, key)
+	r.stats.Evictions++
+	if m := telem(); m != nil {
+		m.evictions.Inc()
+	}
+	return true
 }
 
 func (r *Runner) runCell(c *cell) {
@@ -104,7 +142,12 @@ func (r *Runner) runCell(c *cell) {
 	r.simCount++
 	sim := r.simulate
 	r.mu.Unlock()
+	m := telem()
+	m.inflight().Inc()
+	start := time.Now()
 	res, err := sim(c.p, c.kind, c.opt)
+	m.latencyHist().Observe(uint64(time.Since(start).Microseconds()))
+	m.inflight().Dec()
 	if err != nil {
 		err = fmt.Errorf("%s: %w", c.key, err)
 	}
@@ -145,4 +188,54 @@ func (r *Runner) Simulations() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.simCount
+}
+
+// Has reports whether the cell is memoized AND finished — a subsequent
+// Get will return without simulating. Advisory under concurrency: a
+// cell can finish (or be evicted) between Has and Get.
+func (r *Runner) Has(p *bench.Program, kind VMKind, opt Options) bool {
+	key := Key(p, kind, opt)
+	r.mu.Lock()
+	c, ok := r.cells[key]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// SetSimulate replaces the cell executor. Intended for tests that need
+// deterministic or blocking fakes; call before any cells are scheduled.
+func (r *Runner) SetSimulate(fn func(*bench.Program, VMKind, Options) (*Result, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.simulate = fn
+}
+
+// CacheStats summarizes the runner's memoization behavior.
+type CacheStats struct {
+	Requests  int // cell lookups (Get + Prefetch)
+	Hits      int // lookups served by an existing cell
+	Misses    int // lookups that scheduled a fresh simulation
+	Evictions int // cells explicitly evicted for re-simulation
+}
+
+// HitRate returns Hits/Requests, 0 when no requests were made.
+func (s CacheStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// CacheStats returns a snapshot of the memo cache counters.
+func (r *Runner) CacheStats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"metajit/internal/heap"
+	"metajit/internal/mtjit"
+	"metajit/internal/profile"
+	"metajit/internal/telemetry"
+)
+
+// harnessMetrics tracks the memoizing runner's cache behavior and cell
+// execution for live export.
+type harnessMetrics struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	running   *telemetry.Gauge
+	latency   *telemetry.Histogram
+}
+
+// inflight and latencyHist are nil-safe accessors: runCell loads the
+// metrics pointer once and uses it across the whole simulation, so the
+// Inc/Dec pair stays balanced even if telemetry is detached mid-run.
+func (m *harnessMetrics) inflight() *telemetry.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.running
+}
+
+func (m *harnessMetrics) latencyHist() *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.latency
+}
+
+// tele holds the installed metrics; nil until InstallTelemetry.
+var tele atomic.Pointer[harnessMetrics]
+
+// telem returns the installed metrics, or nil.
+func telem() *harnessMetrics { return tele.Load() }
+
+// InstallTelemetry wires the whole simulator stack into one registry:
+// it installs the harness's own runner metrics and fans out to the
+// mtjit, heap, and profile layers, so a daemon (or any embedder) makes
+// a single call to light up every layer. Installing nil detaches all of
+// them.
+func InstallTelemetry(r *telemetry.Registry) {
+	mtjit.InstallTelemetry(r)
+	heap.InstallTelemetry(r)
+	profile.InstallTelemetry(r)
+	if r == nil {
+		tele.Store(nil)
+		return
+	}
+	m := &harnessMetrics{
+		hits:      r.Counter("harness_cache_hits_total", "Cell requests served from the memo cache."),
+		misses:    r.Counter("harness_cache_misses_total", "Cell requests that scheduled a fresh simulation."),
+		evictions: r.Counter("harness_cache_evictions_total", "Memoized cells evicted to force re-simulation."),
+		running:   r.Gauge("harness_runs_inflight", "Cell simulations currently executing."),
+		latency:   r.Histogram("harness_cell_latency_micros", "Wall-clock latency of cell simulations in microseconds."),
+	}
+	tele.Store(m)
+}

@@ -1,0 +1,41 @@
+package heap
+
+import (
+	"sync/atomic"
+
+	"metajit/internal/telemetry"
+)
+
+// heapMetrics aggregates collector activity across every Heap in the
+// process for live export. It sits beside the per-heap Stats snapshot:
+// Stats answers "what did this run do", the registry answers "what is
+// the daemon doing right now".
+type heapMetrics struct {
+	minor         *telemetry.Counter
+	major         *telemetry.Counter
+	skipped       *telemetry.Counter
+	promotedBytes *telemetry.Counter
+}
+
+// tele holds the installed metrics; nil until InstallTelemetry.
+var tele atomic.Pointer[heapMetrics]
+
+// telem returns the installed metrics, or nil.
+func telem() *heapMetrics { return tele.Load() }
+
+// InstallTelemetry registers the heap's metric families on r and routes
+// all subsequent collector activity into them. Installing a nil
+// registry detaches telemetry.
+func InstallTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		tele.Store(nil)
+		return
+	}
+	m := &heapMetrics{
+		minor:         r.Counter("heap_gc_collections_total", "Garbage collections by generation.", "gen", "minor"),
+		major:         r.Counter("heap_gc_collections_total", "Garbage collections by generation.", "gen", "major"),
+		skipped:       r.Counter("heap_gc_skipped_total", "Collection requests dropped because a collection was already running."),
+		promotedBytes: r.Counter("heap_promoted_bytes_total", "Bytes promoted from the nursery to the old generation."),
+	}
+	tele.Store(m)
+}

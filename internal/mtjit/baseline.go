@@ -163,6 +163,9 @@ func (e *Engine) CompileBaseline(key GreenKey, start, end int, ops []BaselineOp,
 		e.baselineDeps[name] = append(e.baselineDeps[name], bc)
 	}
 	e.stats.BaselinesCompiled++
+	if m := telem(); m != nil {
+		m.baselines.Inc()
+	}
 	e.S.Annot(core.TagBaselineCompileEnd, uint64(bc.ID))
 	if e.OnBaselineCompile != nil {
 		e.OnBaselineCompile(bc)
@@ -214,6 +217,9 @@ func (e *Engine) LeaveBaseline(bc *BaselineCode) {
 func (e *Engine) BaselineDeopt(bc *BaselineCode) {
 	bc.DeoptCount++
 	e.stats.BaselineDeopts++
+	if m := telem(); m != nil {
+		m.baselineDeopts.Inc()
+	}
 	e.S.Annot(core.TagBaselineDeopt, uint64(bc.ID))
 	e.S.Ops(isa.ALU, 8)
 	e.S.Ops(isa.Store, 4)
@@ -228,6 +234,9 @@ func (e *Engine) invalidateBaseline(bc *BaselineCode) {
 	}
 	bc.Invalidated = true
 	e.stats.BaselineInvalidated++
+	if m := telem(); m != nil {
+		m.baselineInvalidated.Inc()
+	}
 	if e.baseline[bc.Key] == bc {
 		delete(e.baseline, bc.Key)
 	}

@@ -307,6 +307,9 @@ func (e *Engine) AbortTrace(tm *TracingMachine, reason ...AbortReason) {
 	}
 	e.S.Annot(core.TagTraceAbort, uint64(r))
 	e.stats.Aborts++
+	if m := telem(); m != nil {
+		m.aborts.Inc()
+	}
 	switch r {
 	case AbortTooLong:
 		e.stats.AbortsTooLong++
@@ -395,6 +398,15 @@ func (e *Engine) install(tm *TracingMachine, key GreenKey, bridge bool) *Trace {
 
 	e.stats.OpsRecorded += recorded
 	e.stats.OpsRemoved += removed
+	if m := telem(); m != nil {
+		m.opsRecorded.Add(uint64(recorded))
+		m.opsRemoved.Add(uint64(removed))
+		if bridge {
+			m.bridges.Inc()
+		} else {
+			m.loops.Inc()
+		}
+	}
 	if bridge {
 		e.stats.BridgesCompiled++
 	} else {
@@ -408,6 +420,9 @@ func (e *Engine) install(tm *TracingMachine, key GreenKey, bridge bool) *Trace {
 		// same header.
 		if bc := e.baseline[key]; bc != nil {
 			e.invalidateBaseline(bc)
+			if m := telem(); m != nil {
+				m.promotions.Inc()
+			}
 		}
 	}
 	e.all = append(e.all, t)
@@ -463,6 +478,9 @@ func (e *Engine) InvalidateGlobal(name string) {
 		}
 		t.Invalidated = true
 		e.stats.Invalidated++
+		if m := telem(); m != nil {
+			m.invalidated.Inc()
+		}
 		if e.traces[t.Key] == t {
 			delete(e.traces, t.Key)
 		}

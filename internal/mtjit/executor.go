@@ -223,6 +223,9 @@ func (e *Engine) checkGuard(t *Trace, op *Op, regs []heap.Value) bool {
 func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Trace, []heap.Value) {
 	e.guardFails[op.GuardID]++
 	e.stats.GuardFailures++
+	if m := telem(); m != nil {
+		m.guardFails.Inc()
+	}
 	s := e.S
 	s.Annot(core.TagGuardFail, uint64(op.GuardID))
 

@@ -1,0 +1,59 @@
+package mtjit
+
+import (
+	"sync/atomic"
+
+	"metajit/internal/telemetry"
+)
+
+// engineMetrics is the engine's live telemetry: process-wide counters
+// aggregated across every Engine instance (a daemon runs many engines —
+// one per simulated VM — and wants compiler activity totals, the way
+// RPython's jitlog surfaces them to running users). It complements, not
+// replaces, the per-engine EngineStats snapshot.
+type engineMetrics struct {
+	loops               *telemetry.Counter
+	bridges             *telemetry.Counter
+	aborts              *telemetry.Counter
+	guardFails          *telemetry.Counter
+	invalidated         *telemetry.Counter
+	baselines           *telemetry.Counter
+	baselineDeopts      *telemetry.Counter
+	baselineInvalidated *telemetry.Counter
+	promotions          *telemetry.Counter
+	opsRecorded         *telemetry.Counter
+	opsRemoved          *telemetry.Counter
+}
+
+// tele holds the installed metrics; nil until InstallTelemetry. An
+// atomic pointer keeps installation racefree against engines running on
+// other goroutines, and the per-site cost without a registry is one
+// atomic load and a nil test.
+var tele atomic.Pointer[engineMetrics]
+
+// telem returns the installed metrics, or nil.
+func telem() *engineMetrics { return tele.Load() }
+
+// InstallTelemetry registers the engine's metric families on r and
+// routes all subsequent compiler activity (from every engine in the
+// process) into them. Installing a nil registry detaches telemetry.
+func InstallTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		tele.Store(nil)
+		return
+	}
+	m := &engineMetrics{
+		loops:               r.Counter("mtjit_traces_compiled_total", "Traces installed by the meta-tracing JIT.", "kind", "loop"),
+		bridges:             r.Counter("mtjit_traces_compiled_total", "Traces installed by the meta-tracing JIT.", "kind", "bridge"),
+		aborts:              r.Counter("mtjit_trace_aborts_total", "Recordings abandoned before installation."),
+		guardFails:          r.Counter("mtjit_guard_failures_total", "Guard failures during trace execution."),
+		invalidated:         r.Counter("mtjit_invalidations_total", "Compiled code invalidated by a global mutation or a tier promotion.", "tier", "trace"),
+		baselineInvalidated: r.Counter("mtjit_invalidations_total", "Compiled code invalidated by a global mutation or a tier promotion.", "tier", "baseline"),
+		baselines:           r.Counter("mtjit_baseline_compiles_total", "Tier-1 baseline compilations installed."),
+		baselineDeopts:      r.Counter("mtjit_baseline_deopts_total", "Tier-1 generic-guard deoptimizations."),
+		promotions:          r.Counter("mtjit_baseline_promotions_total", "Loop headers promoted from tier-1 baseline code to a compiled trace."),
+		opsRecorded:         r.Counter("mtjit_trace_ops_total", "IR operations recorded into traces.", "stage", "recorded"),
+		opsRemoved:          r.Counter("mtjit_trace_ops_total", "IR operations recorded into traces.", "stage", "removed"),
+	}
+	tele.Store(m)
+}

@@ -1,0 +1,449 @@
+// Package mtjitd is the long-running introspection service around the
+// simulation harness: it executes benchmark requests through the
+// memoizing Runner, exposes the process-wide telemetry registry in
+// Prometheus text format, and serves live views of in-flight
+// simulations — per-phase counters, the compiled trace inventory, and
+// warmup progress — the way a production VM daemon surfaces its JIT's
+// state to operators.
+package mtjitd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+	"metajit/internal/telemetry"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds concurrent simulations (<= 0: NumCPU).
+	Workers int
+	// MaxPending bounds /run requests being processed at once; beyond
+	// it the daemon sheds load with 429 + Retry-After. <= 0: 4×Workers.
+	MaxPending int
+	// LiveInterval is the live-snapshot publish cadence in machine
+	// annotations (<= 0: harness.DefaultLiveInterval).
+	LiveInterval int
+}
+
+// Server owns the daemon's state: one registry, one memoizing runner,
+// one live tracker.
+type Server struct {
+	cfg     Config
+	reg     *telemetry.Registry
+	runner  *harness.Runner
+	live    *harness.LiveTracker
+	started time.Time
+
+	pending atomic.Int64
+
+	httpReqs *telemetry.Counter
+	runOK    *telemetry.Counter
+	runErr   *telemetry.Counter
+	runShed  *telemetry.Counter
+}
+
+// New builds a daemon, installs the full simulator stack's telemetry
+// into a fresh registry, and registers the daemon's own metrics.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4 * workers
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     telemetry.NewRegistry(),
+		runner:  harness.NewRunner(workers),
+		live:    harness.NewLiveTracker(cfg.LiveInterval),
+		started: time.Now(),
+	}
+	harness.InstallTelemetry(s.reg)
+	s.httpReqs = s.reg.Counter("mtjitd_http_requests_total", "HTTP requests served.")
+	s.runOK = s.reg.Counter("mtjitd_run_requests_total", "Benchmark run requests by outcome.", "outcome", "ok")
+	s.runErr = s.reg.Counter("mtjitd_run_requests_total", "Benchmark run requests by outcome.", "outcome", "error")
+	s.runShed = s.reg.Counter("mtjitd_run_requests_total", "Benchmark run requests by outcome.", "outcome", "shed")
+	s.reg.Gauge("mtjitd_max_pending", "Load-shedding threshold for concurrent run requests.").Set(int64(cfg.MaxPending))
+	s.reg.GaugeFunc("mtjitd_pending_runs", "Run requests currently being processed.", func() float64 {
+		return float64(s.pending.Load())
+	})
+	s.reg.GaugeFunc("mtjitd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	s.reg.GaugeFunc("mtjitd_goroutines", "Goroutines in the daemon process.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	return s
+}
+
+// Registry exposes the daemon's telemetry registry (tests scrape it
+// directly; embedders may add their own families).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Runner exposes the memoizing runner (tests swap its executor).
+func (s *Server) Runner() *harness.Runner { return s.runner }
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/vm/phases", s.handlePhases)
+	mux.HandleFunc("/vm/traces", s.handleTraces)
+	mux.HandleFunc("/vm/warmup", s.handleWarmup)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpReqs.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// RunRequest is the POST /run body. Zero-valued tuning fields keep the
+// harness defaults.
+type RunRequest struct {
+	Bench             string `json:"bench"`
+	VM                string `json:"vm"`
+	Threshold         int    `json:"threshold,omitempty"`
+	BridgeThreshold   int    `json:"bridge_threshold,omitempty"`
+	BaselineThreshold int    `json:"baseline_threshold,omitempty"`
+	SampleInterval    uint64 `json:"sample_interval,omitempty"`
+	MaxInstrs         uint64 `json:"max_instrs,omitempty"`
+	// Fresh evicts any memoized result first, forcing re-simulation.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// RunResponse is the POST /run reply.
+type RunResponse struct {
+	Bench     string  `json:"bench"`
+	VM        string  `json:"vm"`
+	Cached    bool    `json:"cached"`
+	Checksum  int64   `json:"checksum"`
+	Instrs    uint64  `json:"instrs"`
+	Cycles    float64 `json:"cycles"`
+	Seconds   float64 `json:"seconds"`
+	Bytecodes uint64  `json:"bytecodes,omitempty"`
+	GCMinor   uint64  `json:"gc_minor"`
+	GCMajor   uint64  `json:"gc_major"`
+	Loops     int     `json:"jit_loops"`
+	Bridges   int     `json:"jit_bridges"`
+	Baselines int     `json:"baseline_compiles"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+var vmKinds = map[string]harness.VMKind{
+	string(harness.VMCPython):    harness.VMCPython,
+	string(harness.VMPyPyNoJIT):  harness.VMPyPyNoJIT,
+	string(harness.VMPyPyJIT):    harness.VMPyPyJIT,
+	string(harness.VMRacket):     harness.VMRacket,
+	string(harness.VMPycket):     harness.VMPycket,
+	string(harness.VMC):          harness.VMC,
+	string(harness.VMPyPyTiered): harness.VMPyPyTiered,
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// Load shedding: admission control happens before any work. The
+	// bound covers requests being processed (queued on the runner's
+	// worker pool included), so a flood degrades to fast 429s instead of
+	// an unbounded goroutine pile-up.
+	if n := s.pending.Add(1); n > int64(s.cfg.MaxPending) {
+		s.pending.Add(-1)
+		s.runShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "run queue full")
+		return
+	}
+	defer s.pending.Add(-1)
+
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.runErr.Inc()
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	p := bench.ByName(req.Bench)
+	if p == nil {
+		s.runErr.Inc()
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q", req.Bench))
+		return
+	}
+	kind, ok := vmKinds[req.VM]
+	if !ok {
+		s.runErr.Inc()
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown vm %q", req.VM))
+		return
+	}
+	opt := harness.Options{
+		Threshold:         req.Threshold,
+		BridgeThreshold:   req.BridgeThreshold,
+		BaselineThreshold: req.BaselineThreshold,
+		SampleInterval:    req.SampleInterval,
+		MaxInstrs:         req.MaxInstrs,
+		Live:              s.live,
+	}
+	if req.Fresh {
+		s.runner.Evict(p, kind, opt)
+	}
+	cached := s.runner.Has(p, kind, opt)
+	start := time.Now()
+	res, err := s.runner.Get(p, kind, opt)
+	if err != nil {
+		s.runErr.Inc()
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.runOK.Inc()
+	writeJSON(w, RunResponse{
+		Bench:     res.Bench,
+		VM:        string(res.VM),
+		Cached:    cached,
+		Checksum:  res.Checksum,
+		Instrs:    res.Instrs,
+		Cycles:    res.Cycles,
+		Seconds:   res.Seconds(),
+		Bytecodes: res.Bytecodes,
+		GCMinor:   res.GC.Minor,
+		GCMajor:   res.GC.Major,
+		Loops:     res.EngStats.LoopsCompiled,
+		Bridges:   res.EngStats.BridgesCompiled,
+		Baselines: res.EngStats.BaselinesCompiled,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// A write error here means the scraper hung up mid-scrape; the
+	// headers are already gone, so there is nothing further to report.
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	stats := s.runner.CacheStats()
+	writeJSON(w, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"active_runs":    s.live.Active(),
+		"pending":        s.pending.Load(),
+		"cache": map[string]any{
+			"requests":  stats.Requests,
+			"hits":      stats.Hits,
+			"misses":    stats.Misses,
+			"evictions": stats.Evictions,
+			"hit_rate":  stats.HitRate(),
+		},
+	})
+}
+
+// phasesView is the /vm/phases row: identity plus per-phase counters.
+type phasesView struct {
+	ID     uint64              `json:"id"`
+	Bench  string              `json:"bench"`
+	VM     harness.VMKind      `json:"vm"`
+	Done   bool                `json:"done"`
+	Instrs uint64              `json:"instrs"`
+	Cycles float64             `json:"cycles"`
+	IPC    float64             `json:"ipc"`
+	Phases []harness.LivePhase `json:"phases"`
+}
+
+func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
+	runs := s.selectRuns(w, r)
+	if runs == nil {
+		return
+	}
+	out := make([]phasesView, 0, len(runs))
+	for _, st := range runs {
+		v := phasesView{ID: st.ID, Bench: st.Bench, VM: st.VM}
+		if sn := st.Snap; sn != nil {
+			v.Done = sn.Done
+			v.Instrs = sn.Instrs
+			v.Cycles = sn.Cycles
+			if sn.Cycles > 0 {
+				v.IPC = float64(sn.Instrs) / sn.Cycles
+			}
+			v.Phases = sn.Phases
+		}
+		out = append(out, v)
+	}
+	writeJSON(w, map[string]any{"runs": out})
+}
+
+// tracesView is the /vm/traces row: identity plus the jitlog inventory.
+type tracesView struct {
+	ID        uint64                 `json:"id"`
+	Bench     string                 `json:"bench"`
+	VM        harness.VMKind         `json:"vm"`
+	Done      bool                   `json:"done"`
+	Traces    []harness.LiveTrace    `json:"traces"`
+	Baselines []harness.LiveBaseline `json:"baselines"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	runs := s.selectRuns(w, r)
+	if runs == nil {
+		return
+	}
+	out := make([]tracesView, 0, len(runs))
+	for _, st := range runs {
+		v := tracesView{ID: st.ID, Bench: st.Bench, VM: st.VM}
+		if sn := st.Snap; sn != nil {
+			v.Done = sn.Done
+			v.Traces = sn.Traces
+			v.Baselines = sn.Baselines
+		}
+		out = append(out, v)
+	}
+	writeJSON(w, map[string]any{"runs": out})
+}
+
+// selectRuns resolves the optional ?id= filter; on a bad or unknown id
+// it writes the error and returns nil (an empty tracker returns an
+// empty, non-nil slice).
+func (s *Server) selectRuns(w http.ResponseWriter, r *http.Request) []harness.LiveRunStatus {
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id")
+			return nil
+		}
+		st, ok := s.live.Run(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such run")
+			return nil
+		}
+		return []harness.LiveRunStatus{st}
+	}
+	st := s.live.Status()
+	if st == nil {
+		st = []harness.LiveRunStatus{}
+	}
+	return st
+}
+
+// warmupEvent is one SSE datum: per-run warmup progress, the Figure 10
+// quantity read live — for each executing tier, the fraction of guest
+// work (bytecodes) it has retired so far.
+type warmupEvent struct {
+	Seq  uint64          `json:"seq"`
+	Runs []warmupRunView `json:"runs"`
+}
+
+type warmupRunView struct {
+	ID        uint64             `json:"id"`
+	Bench     string             `json:"bench"`
+	VM        harness.VMKind     `json:"vm"`
+	Done      bool               `json:"done"`
+	Cycles    float64            `json:"cycles"`
+	Bytecodes uint64             `json:"bytecodes"`
+	Tiers     map[string]float64 `json:"tiers"` // phase -> fraction of work
+}
+
+// handleWarmup streams warmup progress as server-sent events. Query
+// params: events=N caps the number of events (default unbounded,
+// stopping when the client goes away), interval=DUR sets the poll
+// cadence (default 200ms, min 10ms).
+func (s *Server) handleWarmup(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	maxEvents := 0
+	if v := r.URL.Query().Get("events"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad events")
+			return
+		}
+		maxEvents = n
+	}
+	interval := 200 * time.Millisecond
+	if v := r.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad interval")
+			return
+		}
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		interval = d
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	enc := json.NewEncoder(w)
+	for seq := uint64(1); ; seq++ {
+		ev := warmupEvent{Seq: seq}
+		for _, st := range s.live.Status() {
+			rv := warmupRunView{ID: st.ID, Bench: st.Bench, VM: st.VM}
+			if sn := st.Snap; sn != nil {
+				rv.Done = sn.Done
+				rv.Cycles = sn.Cycles
+				rv.Bytecodes = sn.Bytecodes
+				rv.Tiers = map[string]float64{}
+				for _, ph := range sn.Phases {
+					if ph.Work > 0 && sn.Bytecodes > 0 {
+						rv.Tiers[ph.Phase] = float64(ph.Work) / float64(sn.Bytecodes)
+					}
+				}
+			}
+			ev.Runs = append(ev.Runs, rv)
+		}
+		if _, err := fmt.Fprint(w, "data: "); err != nil {
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return
+		}
+		fl.Flush()
+		if maxEvents > 0 && int(seq) >= maxEvents {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg})
+}

@@ -1,0 +1,384 @@
+package mtjitd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+	"metajit/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	// Telemetry installation is process-global (last registry wins);
+	// detach on teardown so later tests start from a clean slate.
+	t.Cleanup(func() { harness.InstallTelemetry(nil) })
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, RunResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatalf("decode run response: %v", err)
+		}
+	}
+	return resp, rr
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestRunMetricsHealthz drives the main daemon loop: run a tiered
+// benchmark, re-request it (cache hit), force a fresh re-run
+// (eviction), and verify the scraped /metrics parse as valid Prometheus
+// text with every layer's families present and consistent values.
+func TestRunMetricsHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, rr := postRun(t, ts, `{"bench":"telco","vm":"pypy-tiered"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run status %d", resp.StatusCode)
+	}
+	if rr.Cached || rr.Instrs == 0 || rr.Checksum == 0 {
+		t.Errorf("first run: cached=%v instrs=%d checksum=%d", rr.Cached, rr.Instrs, rr.Checksum)
+	}
+	if rr.Loops == 0 || rr.Baselines == 0 {
+		t.Errorf("tiered run compiled %d loops, %d baselines", rr.Loops, rr.Baselines)
+	}
+
+	_, rr2 := postRun(t, ts, `{"bench":"telco","vm":"pypy-tiered"}`)
+	if !rr2.Cached {
+		t.Error("second identical run was not served from cache")
+	}
+	if rr2.Checksum != rr.Checksum || rr2.Instrs != rr.Instrs {
+		t.Errorf("cached result diverged: %d/%d vs %d/%d", rr2.Checksum, rr2.Instrs, rr.Checksum, rr.Instrs)
+	}
+
+	_, rr3 := postRun(t, ts, `{"bench":"telco","vm":"pypy-tiered","fresh":true}`)
+	if rr3.Cached {
+		t.Error("fresh run reported cached")
+	}
+	if rr3.Checksum != rr.Checksum {
+		t.Errorf("fresh re-run checksum %d != %d", rr3.Checksum, rr.Checksum)
+	}
+
+	// /metrics must parse as valid Prometheus exposition and carry
+	// families from every instrumented layer.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	fams, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"mtjit_traces_compiled_total",
+		"mtjit_baseline_compiles_total",
+		"heap_gc_collections_total",
+		"heap_promoted_bytes_total",
+		"harness_cache_hits_total",
+		"harness_cache_misses_total",
+		"harness_cache_evictions_total",
+		"harness_cell_latency_micros",
+		"mtjitd_http_requests_total",
+		"mtjitd_run_requests_total",
+		"mtjitd_uptime_seconds",
+	} {
+		if fams[want] == nil {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+	value := func(family, name string) float64 {
+		f := fams[family]
+		if f == nil {
+			return -1
+		}
+		for _, s := range f.Samples {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return -1
+	}
+	if v := value("harness_cache_hits_total", "harness_cache_hits_total"); v < 1 {
+		t.Errorf("harness_cache_hits_total = %g, want >= 1", v)
+	}
+	if v := value("harness_cache_evictions_total", "harness_cache_evictions_total"); v != 1 {
+		t.Errorf("harness_cache_evictions_total = %g, want 1", v)
+	}
+
+	var hz struct {
+		OK    bool `json:"ok"`
+		Cache struct {
+			Hits      int `json:"hits"`
+			Misses    int `json:"misses"`
+			Evictions int `json:"evictions"`
+		} `json:"cache"`
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if !hz.OK || hz.Cache.Misses != 2 || hz.Cache.Hits != 1 || hz.Cache.Evictions != 1 {
+		t.Errorf("healthz cache stats = %+v", hz)
+	}
+}
+
+// TestLiveIntrospection polls /vm/phases and /vm/traces WHILE a slow
+// benchmark is executing and must observe an in-flight (done=false)
+// run with advancing counters and a trace inventory.
+func TestLiveIntrospection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, LiveInterval: 256})
+
+	done := make(chan RunResponse, 1)
+	go func() {
+		_, rr := postRun(t, ts, `{"bench":"hexiom2","vm":"pypy"}`)
+		done <- rr
+	}()
+
+	type phasesReply struct {
+		Runs []struct {
+			ID     uint64              `json:"id"`
+			Bench  string              `json:"bench"`
+			Done   bool                `json:"done"`
+			Instrs uint64              `json:"instrs"`
+			Phases []harness.LivePhase `json:"phases"`
+		} `json:"runs"`
+	}
+	var sawLive bool
+	var liveID uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for !sawLive && time.Now().Before(deadline) {
+		var pr phasesReply
+		getJSON(t, ts.URL+"/vm/phases", &pr)
+		for _, run := range pr.Runs {
+			if run.Bench == "hexiom2" && !run.Done && run.Instrs > 0 {
+				sawLive = true
+				liveID = run.ID
+				if len(run.Phases) == 0 {
+					t.Error("in-flight run published no phase counters")
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawLive {
+		t.Fatal("never observed an in-flight run on /vm/phases")
+	}
+
+	// The trace inventory must also be visible mid-run (hexiom2 on the
+	// JIT compiles traces well before it finishes).
+	var sawTraces bool
+	type tracesReply struct {
+		Runs []struct {
+			Done   bool                `json:"done"`
+			Traces []harness.LiveTrace `json:"traces"`
+		} `json:"runs"`
+	}
+	for !sawTraces && time.Now().Before(deadline) {
+		var tr tracesReply
+		resp := getJSON(t, fmt.Sprintf("%s/vm/traces?id=%d", ts.URL, liveID), &tr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/vm/traces?id=%d status %d", liveID, resp.StatusCode)
+		}
+		for _, run := range tr.Runs {
+			if len(run.Traces) > 0 && !run.Done {
+				sawTraces = true
+				for _, trc := range run.Traces {
+					if trc.Label == "" {
+						t.Errorf("trace %d has no jitlog label", trc.ID)
+					}
+				}
+			}
+			if run.Done {
+				sawTraces = true // run finished before we caught it; inventory still checked below
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rr := <-done
+	if rr.Instrs == 0 {
+		t.Fatalf("hexiom2 run failed: %+v", rr)
+	}
+	// After completion the run must still be listed, now done.
+	var pr phasesReply
+	getJSON(t, fmt.Sprintf("%s/vm/phases?id=%d", ts.URL, liveID), &pr)
+	if len(pr.Runs) != 1 || !pr.Runs[0].Done || pr.Runs[0].Instrs != rr.Instrs {
+		t.Errorf("finished run state on /vm/phases: %+v (want done, instrs=%d)", pr.Runs, rr.Instrs)
+	}
+
+	if resp := getJSON(t, ts.URL+"/vm/phases?id=999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWarmupSSE reads a bounded server-sent-event stream and checks the
+// event grammar and the per-tier work fractions.
+func TestWarmupSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	if resp, _ := postRun(t, ts, `{"bench":"telco","vm":"pypy-tiered"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run failed: %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/vm/warmup?events=3&interval=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("non-SSE line %q", line)
+		}
+		var ev warmupEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event JSON: %v", err)
+		}
+		events++
+		if len(ev.Runs) == 0 {
+			t.Fatal("warmup event listed no runs")
+		}
+		run := ev.Runs[0]
+		if run.Bench != "telco" || !run.Done || run.Bytecodes == 0 {
+			t.Errorf("warmup run = %+v", run)
+		}
+		var frac float64
+		for _, f := range run.Tiers {
+			frac += f
+		}
+		if frac < 0.999 || frac > 1.001 {
+			t.Errorf("tier work fractions sum to %g", frac)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 3 {
+		t.Errorf("got %d events, want 3", events)
+	}
+}
+
+// TestLoadShedding saturates the admission bound with a blocking fake
+// executor and expects 429 + Retry-After for the excess request.
+func TestLoadShedding(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxPending: 1})
+	release := make(chan struct{})
+	s.Runner().SetSimulate(func(p *bench.Program, kind harness.VMKind, opt harness.Options) (*harness.Result, error) {
+		<-release
+		return &harness.Result{Bench: p.Name, VM: kind, Instrs: 1, Checksum: 7}, nil
+	})
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postRun(t, ts, `{"bench":"telco","vm":"pypy"}`)
+		first <- resp.StatusCode
+	}()
+
+	// Wait until the first request is admitted (pending=1).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pending.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.pending.Load() != 1 {
+		t.Fatal("first request never admitted")
+	}
+
+	resp, _ := postRun(t, ts, `{"bench":"float","vm":"pypy"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("admitted request finished with %d", code)
+	}
+	// With capacity free again the daemon must accept new runs.
+	if resp, rr := postRun(t, ts, `{"bench":"float","vm":"pypy"}`); resp.StatusCode != http.StatusOK || rr.Checksum != 7 {
+		t.Errorf("post-recovery run: status %d, checksum %d", resp.StatusCode, rr.Checksum)
+	}
+}
+
+// TestBadRequests covers the rejection paths.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"bench":"nope","vm":"pypy"}`, http.StatusBadRequest},
+		{`{"bench":"telco","vm":"jvm"}`, http.StatusBadRequest},
+		{`{"bench":`, http.StatusBadRequest},
+		{`{"bench":"telco","vm":"pypy","bogus":1}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if resp, _ := postRun(t, ts, c.body); resp.StatusCode != c.want {
+			t.Errorf("POST %s -> %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run -> %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestPprofMounted: the runtime profiler must answer on the daemon mux.
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}

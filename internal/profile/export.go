@@ -27,7 +27,19 @@ func (s *Stream) WriteFolded(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return s.writeLossFooter(w)
+}
+
+// writeLossFooter appends a dropped-events footer to a text export —
+// only when events were actually lost, so lossless captures (the normal
+// case, asserted by difftest) render byte-identically to before the
+// counter existed.
+func (s *Stream) writeLossFooter(w io.Writer) error {
+	if s.RingDropped == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "# WARNING: %d event(s) dropped by the ring buffer; weights above undercount\n", s.RingDropped)
+	return err
 }
 
 // WriteSeries emits the interval time-series as a TSV: one row per
@@ -71,7 +83,7 @@ func (s *Stream) WriteSeries(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return s.writeLossFooter(w)
 }
 
 // ratio formats num/den with 3 decimals, "0.000" when den is zero.

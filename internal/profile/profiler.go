@@ -124,7 +124,9 @@ func (p *Profiler) barrier(st State) {
 }
 
 // Finish drains pending events, runs a final barrier, and finalizes the
-// stream (closing exports). Further annotations are ignored.
+// stream (closing exports). Further annotations are ignored. Ring and
+// span totals are flushed to the installed telemetry registry here, so
+// the per-annotation hot path stays metric-free.
 func (p *Profiler) Finish() {
 	if p.finished {
 		return
@@ -132,8 +134,24 @@ func (p *Profiler) Finish() {
 	st := p.now()
 	p.ring.Drain()
 	p.barrier(st)
+	p.Stream.RingOverruns = p.ring.Overruns()
+	p.Stream.RingDropped = p.ring.Dropped()
 	p.Stream.Finish(st)
 	p.finished = true
+	if m := telem(); m != nil {
+		m.spans.Add(p.Stream.Spans)
+		m.events.Add(p.Stream.Events)
+		m.overruns.Add(p.ring.Overruns())
+		m.dropped.Add(p.ring.Dropped())
+	}
+}
+
+// RingStats reports the event ring's overrun and drop counts. A
+// profiled run must never drop events: the ring has a sink, so a full
+// push forces a drain (an overrun) instead of an overwrite. The
+// difftest CheckProfile invariant asserts dropped == 0.
+func (p *Profiler) RingStats() (overruns, dropped uint64) {
+	return p.ring.Overruns(), p.ring.Dropped()
 }
 
 // PhaseTotals returns per-phase counters attributed over the profiled

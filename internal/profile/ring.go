@@ -4,18 +4,25 @@ package profile
 // interceptor and the stream consumer. The producer pushes stamped
 // events; the consumer drains in batches — when the ring fills, or
 // synchronously at phase-boundary barriers (where the stamped state is
-// exactly at the boundary). Capacity bounds buffering, never loses
-// events: a push into a full ring drains it first.
+// exactly at the boundary). With a sink attached, capacity bounds
+// buffering but never loses events: a push into a full ring forces a
+// drain first (counted as an overrun). Without a sink — a capture-only
+// ring — a push into a full ring overwrites the oldest event, and every
+// overwrite is counted as a drop so the loss is never silent.
 type Ring struct {
 	buf  []Event
 	head int // next slot to drain
 	tail int // next slot to fill
 	n    int
 	sink func(Event)
+
+	overruns uint64 // forced drains caused by a push into a full ring
+	dropped  uint64 // events overwritten (sink-less ring only)
 }
 
 // NewRing returns a ring of the given capacity (<= 0: DefaultRingSize)
-// draining into sink.
+// draining into sink. A nil sink makes a capture-only ring that keeps
+// the most recent events and counts overwrites as drops.
 func NewRing(size int, sink func(Event)) *Ring {
 	if size <= 0 {
 		size = DefaultRingSize
@@ -23,10 +30,22 @@ func NewRing(size int, sink func(Event)) *Ring {
 	return &Ring{buf: make([]Event, size), sink: sink}
 }
 
-// Push appends an event, draining first if the ring is full.
+// Push appends an event. A push into a full ring drains first when a
+// sink is attached (an overrun), or overwrites the oldest event when
+// capture-only (a drop).
 func (r *Ring) Push(ev Event) {
 	if r.n == len(r.buf) {
-		r.Drain()
+		if r.sink != nil {
+			r.overruns++
+			r.Drain()
+		} else {
+			r.head++
+			if r.head == len(r.buf) {
+				r.head = 0
+			}
+			r.n--
+			r.dropped++
+		}
 	}
 	r.buf[r.tail] = ev
 	r.tail++
@@ -36,7 +55,8 @@ func (r *Ring) Push(ev Event) {
 	r.n++
 }
 
-// Drain feeds every buffered event to the sink in order.
+// Drain feeds every buffered event to the sink in order. Draining a
+// sink-less ring discards the buffered events and counts them dropped.
 func (r *Ring) Drain() {
 	for r.n > 0 {
 		ev := r.buf[r.head]
@@ -45,9 +65,20 @@ func (r *Ring) Drain() {
 			r.head = 0
 		}
 		r.n--
-		r.sink(ev)
+		if r.sink != nil {
+			r.sink(ev)
+		} else {
+			r.dropped++
+		}
 	}
 }
 
 // Len returns the number of buffered events.
 func (r *Ring) Len() int { return r.n }
+
+// Overruns returns how many pushes forced a drain of the full ring.
+func (r *Ring) Overruns() uint64 { return r.overruns }
+
+// Dropped returns how many events were lost to overwrites or sink-less
+// drains. Always zero for a ring with a sink.
+func (r *Ring) Dropped() uint64 { return r.dropped }

@@ -120,6 +120,12 @@ type Stream struct {
 	// Spans counts opened spans; Events counts consumed events.
 	Spans  uint64
 	Events uint64
+
+	// RingOverruns and RingDropped are filled in by the profiler at
+	// Finish from its event ring. A nonzero RingDropped marks a lossy
+	// capture and is surfaced as a footer in the text exports.
+	RingOverruns uint64
+	RingDropped  uint64
 }
 
 // NewStream returns a stream consumer starting at machine state zero in

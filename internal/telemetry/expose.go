@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, one
+// HELP and TYPE line each, series sorted by label set. Histograms emit
+// cumulative `_bucket{le="..."}` series with power-of-two bounds, then
+// `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case s.gf != nil:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.gf()))
+			case s.h != nil:
+				writeHistogram(bw, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits one histogram series. Zero-count tail buckets
+// below +Inf are elided (they repeat the cumulative total), keeping the
+// exposition compact without changing its meaning.
+func writeHistogram(w *bufio.Writer, name, labels string, s HistogramSnapshot) {
+	// Find the last bucket whose bound is still informative: the first
+	// index at which the cumulative count reaches the final finite
+	// value. Everything after it repeats the same number.
+	last := 0
+	for b := HistogramBuckets - 1; b > 0; b-- {
+		if s.Buckets[b] != s.Buckets[b-1] {
+			last = b
+			break
+		}
+	}
+	for b := 0; b <= last; b++ {
+		w.WriteString(name)
+		w.WriteString("_bucket")
+		writeLE(w, labels, strconv.FormatUint(uint64(1)<<uint(b), 10))
+		fmt.Fprintf(w, " %d\n", s.Buckets[b])
+	}
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	writeLE(w, labels, "+Inf")
+	fmt.Fprintf(w, " %d\n", s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// writeLE appends the `le` label to an existing (possibly empty) label
+// block.
+func writeLE(w *bufio.Writer, labels, le string) {
+	if labels == "" {
+		fmt.Fprintf(w, "{le=%q}", le)
+		return
+	}
+	fmt.Fprintf(w, "%s,le=%q}", labels[:len(labels)-1], le)
+}
+
+// formatFloat renders a gauge-func value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Sample is one parsed exposition series: a metric name, its rendered
+// label block (sorted as written), and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParsedFamily is one family recovered from exposition text.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition format and verifies its
+// well-formedness: every sample belongs to a TYPE-declared family,
+// histograms carry consistent _bucket/_sum/_count series with
+// non-decreasing cumulative buckets ending in le="+Inf", and counter
+// values are finite and non-negative. It exists so tests (and the
+// mtjitd smoke job) can assert /metrics responses are actually valid
+// rather than merely grep-able.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := map[string]*ParsedFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[7:], " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			f := fams[parts[0]]
+			if f == nil {
+				f = &ParsedFamily{Name: parts[0]}
+				fams[parts[0]] = f
+			}
+			if strings.HasPrefix(line, "# HELP ") {
+				f.Help = parts[1]
+			} else {
+				f.Type = parts[1]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(fams, sample.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has samples but no TYPE", f.Name)
+		}
+		if err := checkFamily(f); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declaring family, stripping
+// histogram suffixes.
+func familyOf(fams map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f := fams[name]; f != nil {
+		return f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f := fams[base]; f != nil && f.Type == "histogram" {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits one series line into name, label block, and value.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		s.Name = rest[:i]
+		s.Labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = parts[0]
+		rest = strings.TrimSpace(parts[1])
+	}
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// checkFamily enforces per-type invariants on a parsed family.
+func checkFamily(f *ParsedFamily) error {
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if s.Value < 0 {
+				return fmt.Errorf("counter %s%s is negative: %g", s.Name, s.Labels, s.Value)
+			}
+		}
+	case "gauge":
+		// Any finite value is legal.
+	case "histogram":
+		return checkHistogramFamily(f)
+	default:
+		return fmt.Errorf("family %s has unknown type %q", f.Name, f.Type)
+	}
+	return nil
+}
+
+// checkHistogramFamily verifies bucket monotonicity and the
+// _count/+Inf agreement for every label subgroup of a histogram.
+func checkHistogramFamily(f *ParsedFamily) error {
+	type group struct {
+		buckets []Sample
+		count   *Sample
+		sum     *Sample
+	}
+	groups := map[string]*group{}
+	at := func(labels string) *group {
+		key := stripLE(labels)
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		return g
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch {
+		case s.Name == f.Name+"_bucket":
+			at(s.Labels).buckets = append(at(s.Labels).buckets, *s)
+		case s.Name == f.Name+"_count":
+			at(s.Labels).count = s
+		case s.Name == f.Name+"_sum":
+			at(s.Labels).sum = s
+		default:
+			return fmt.Errorf("histogram %s has stray sample %s", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if len(g.buckets) == 0 || g.count == nil || g.sum == nil {
+			return fmt.Errorf("histogram %s%s missing buckets, _sum, or _count", f.Name, key)
+		}
+		lastLE := g.buckets[len(g.buckets)-1]
+		if !strings.Contains(lastLE.Labels, `le="+Inf"`) {
+			return fmt.Errorf("histogram %s%s does not end in le=\"+Inf\"", f.Name, key)
+		}
+		prev := -1.0
+		for _, b := range g.buckets {
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s bucket %s regresses: %g after %g", f.Name, b.Labels, b.Value, prev)
+			}
+			prev = b.Value
+		}
+		if lastLE.Value != g.count.Value {
+			return fmt.Errorf("histogram %s%s +Inf bucket %g != count %g", f.Name, key, lastLE.Value, g.count.Value)
+		}
+	}
+	return nil
+}
+
+// stripLE removes the le label from a bucket label block so buckets of
+// one series group together.
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := strings.Split(inner, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "le=") {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}

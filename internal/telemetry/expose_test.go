@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// buildFixedRegistry populates a registry with deterministic values
+// covering every metric kind, label shapes, and histogram edge cases.
+func buildFixedRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("demo_requests_total", "Requests served.")
+	c.Add(42)
+	r.Counter("demo_errors_total", "Errors by kind.", "kind", "parse").Add(3)
+	r.Counter("demo_errors_total", "Errors by kind.", "kind", "exec").Add(1)
+	g := r.Gauge("demo_inflight", "Requests in flight.")
+	g.Set(7)
+	r.GaugeFunc("demo_ratio", "A pulled gauge.", func() float64 { return 0.25 })
+	h := r.Histogram("demo_latency_micros", "Request latency in microseconds.")
+	for _, v := range []uint64{0, 1, 2, 3, 900, 1024, 1 << 20} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestExpositionGolden locks the exposition byte format. Regenerate
+// with:
+//
+//	go test ./internal/telemetry -run TestExpositionGolden -update
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildFixedRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses round-trips the writer through the parser: the
+// format we serve must satisfy our own linter, and parsed values must
+// match the live metrics.
+func TestExpositionParses(t *testing.T) {
+	r := buildFixedRegistry()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	if f := fams["demo_requests_total"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Errorf("demo_requests_total parsed wrong: %+v", f)
+	}
+	if f := fams["demo_errors_total"]; f == nil || len(f.Samples) != 2 {
+		t.Errorf("labeled family parsed wrong: %+v", f)
+	}
+	f := fams["demo_latency_micros"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", f)
+	}
+	var count, sum float64
+	for _, s := range f.Samples {
+		switch s.Name {
+		case "demo_latency_micros_count":
+			count = s.Value
+		case "demo_latency_micros_sum":
+			sum = s.Value
+		}
+	}
+	if count != 7 || sum != float64(0+1+2+3+900+1024+(1<<20)) {
+		t.Errorf("histogram count/sum = %g/%g", count, sum)
+	}
+}
+
+// TestParseTextRejectsMalformed: the linter actually lints.
+func TestParseTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"orphan_metric 1\n", // no TYPE
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", // regressing buckets
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n", // +Inf != count
+		"# TYPE c counter\nc -1\n",           // negative counter
+		"# TYPE c counter\nc not-a-number\n", // bad value
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText accepted malformed input:\n%s", in)
+		}
+	}
+}

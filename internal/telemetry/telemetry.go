@@ -1,0 +1,370 @@
+// Package telemetry is a zero-dependency live metrics registry for the
+// simulated VM stack and the mtjitd introspection service: monotonic
+// counters, gauges, and log-bucketed histograms with a Prometheus text
+// exposition writer (see expose.go).
+//
+// The hot path is lock-free and shard-per-P: counter and histogram
+// cells are striped across GOMAXPROCS-many cache-line-padded shards,
+// and the shard index is a per-P hint obtained from a sync.Pool token
+// (pool Get/Put hits the P-local cache, so in steady state each P keeps
+// returning its own token and updates land on a private cache line).
+// Reads sum the stripes; they are monotone but not linearizable, which
+// is exactly the Prometheus scrape contract.
+//
+// Every metric method is a no-op on a nil receiver, and every
+// constructor on a nil *Registry returns a nil metric. Instrumented
+// packages therefore keep nil handles until an InstallTelemetry call
+// wires them to a live registry; uninstrumented runs pay one nil check
+// per site and produce bit-identical simulation output.
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed destructive-interference alignment: shards
+// are padded to this size so concurrent writers do not false-share.
+const cacheLine = 64
+
+// shardCount is the stripe width: the smallest power of two covering
+// GOMAXPROCS at package init.
+var shardCount = func() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}()
+
+// token carries one shard index through the per-P sync.Pool cache.
+type token struct{ idx uint32 }
+
+var (
+	tokenSeq  atomic.Uint32
+	tokenPool = sync.Pool{New: func() any {
+		return &token{idx: tokenSeq.Add(1) & uint32(shardCount-1)}
+	}}
+)
+
+// shardIndex returns this P's stripe hint. Correctness never depends on
+// the hint (any index works); it only steers contention apart.
+func shardIndex() uint32 {
+	t := tokenPool.Get().(*token)
+	i := t.idx
+	tokenPool.Put(t)
+	return i
+}
+
+// ushard is one padded counter stripe.
+type ushard struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Counter is a monotonic uint64, striped across shards. The zero of a
+// nil *Counter is a no-op sink.
+type Counter struct {
+	shards []ushard
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Lock-free: one atomic add on this P's stripe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Value returns the summed stripes (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable int64 (single atomic cell: gauges are
+// low-frequency). Nil receivers are no-op sinks.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramBuckets is the number of finite log2 buckets: upper bounds
+// 2^0 .. 2^(HistogramBuckets-1), plus an overflow (+Inf) bucket. 2^39
+// covers half a trillion — microsecond latencies up to ~6 days.
+const HistogramBuckets = 40
+
+// histShard is one histogram stripe: per-bucket counts plus the
+// observation sum. The bucket array spreads over several cache lines;
+// stripes keep concurrent writers off each other's lines.
+type histShard struct {
+	counts [HistogramBuckets + 1]atomic.Uint64
+	sum    atomic.Uint64
+	_      [cacheLine - 8]byte
+}
+
+// Histogram is a log2-bucketed distribution of uint64 observations
+// (choose the unit so the range fits: e.g. microseconds). Nil
+// receivers are no-op sinks.
+type Histogram struct {
+	shards []histShard
+}
+
+// bucketIndex returns the finite bucket whose upper bound 2^i first
+// covers v, or HistogramBuckets for overflow.
+func bucketIndex(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	i := bits.Len64(v)
+	if v&(v-1) == 0 {
+		i-- // exact powers of two sit on their own bound
+	}
+	if i >= HistogramBuckets {
+		return HistogramBuckets
+	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	s := &h.shards[shardIndex()]
+	s.counts[bucketIndex(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram: cumulative
+// bucket counts in bound order, then totals.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations ≤ 2^i; the overflow count is
+	// Count - Buckets[HistogramBuckets-1].
+	Buckets [HistogramBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Snapshot sums the stripes into cumulative buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	if h == nil {
+		return out
+	}
+	var raw [HistogramBuckets + 1]uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := range raw {
+			raw[b] += s.counts[b].Load()
+		}
+		out.Sum += s.sum.Load()
+	}
+	var cum uint64
+	for b := 0; b < HistogramBuckets; b++ {
+		cum += raw[b]
+		out.Buckets[b] = cum
+	}
+	out.Count = cum + raw[HistogramBuckets]
+	return out
+}
+
+// metricKind tags a registered family for the TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered time series: a metric plus its rendered
+// label set.
+type series struct {
+	labels string // `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family groups series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry owns metric families. Metric constructors panic on invalid
+// or conflicting registrations (programmer errors); all constructors on
+// a nil *Registry return nil metrics, so an entire instrumentation
+// layer can be disabled by never building a registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// validName reports whether name matches the Prometheus metric/label
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels joins key/value pairs into a deterministic label block.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: odd label key/value list")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", kv[i]))
+		}
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	s := "{"
+	for i, p := range pairs {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%q", p.k, p.v)
+	}
+	return s + "}"
+}
+
+// register adds one series under name, creating or extending the
+// family.
+func (r *Registry) register(name, help string, kind metricKind, s *series) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+}
+
+// Counter registers and returns a monotonic counter. Optional labels
+// are alternating key, value strings; registering the same name with
+// distinct label sets builds a multi-series family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{shards: make([]ushard, shardCount)}
+	r.register(name, help, kindCounter, &series{labels: renderLabels(labels), c: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{labels: renderLabels(labels), g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is pulled from f at
+// exposition time (queue depths, uptimes).
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, &series{labels: renderLabels(labels), gf: f})
+}
+
+// Histogram registers and returns a log2-bucketed histogram.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{shards: make([]histShard, shardCount)}
+	r.register(name, help, kindHistogram, &series{labels: renderLabels(labels), h: h})
+	return h
+}

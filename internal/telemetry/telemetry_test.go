@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestContention hammers one counter, one gauge, and one histogram from
+// 64 goroutines and checks the final sums are exact: sharding may
+// spread the updates, but no update may be lost or double-counted. Run
+// under -race this is also the registry's data-race proof.
+func TestContention(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_counter_total", "stress counter")
+	g := r.Gauge("stress_gauge", "stress gauge")
+	h := r.Histogram("stress_hist", "stress histogram")
+
+	const (
+		goroutines = 64
+		perG       = 10_000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(1)
+				h.Observe(uint64(id*perG+j) % 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), uint64(goroutines*perG*3); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), int64(goroutines*perG); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	snap := h.Snapshot()
+	if got, want := snap.Count, uint64(goroutines*perG); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var wantSum uint64
+	for i := 0; i < goroutines; i++ {
+		for j := 0; j < perG; j++ {
+			wantSum += uint64(i*perG+j) % 1000
+		}
+	}
+	if snap.Sum != wantSum {
+		t.Errorf("histogram sum = %d, want %d", snap.Sum, wantSum)
+	}
+	// All observations were < 1024, so the le=1024 bucket holds all.
+	if got := snap.Buckets[10]; got != snap.Count {
+		t.Errorf("le=1024 bucket = %d, want full count %d", got, snap.Count)
+	}
+}
+
+// TestConcurrentExposition scrapes while writers are active: exposition
+// must be race-free and every observed counter value monotone.
+func TestConcurrentExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scrape_counter_total", "scraped while written")
+	h := r.Histogram("scrape_hist", "scraped while written")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(17)
+				}
+			}
+		}()
+	}
+	var prev float64
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		fams, err := ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("scrape %d unparseable: %v\n%s", i, err, sb.String())
+		}
+		v := fams["scrape_counter_total"].Samples[0].Value
+		if v < prev {
+			t.Fatalf("counter regressed across scrapes: %g after %g", v, prev)
+		}
+		prev = v
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNilMetrics: every operation on nil metrics and a nil registry is
+// a silent no-op — this is the "no registry attached" fast path the
+// instrumented packages rely on.
+func TestNilMetrics(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g.Set(3)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h.Observe(9)
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Error("nil histogram has observations")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Error("nil registry returned a live metric")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry exposition: %v", err)
+	}
+}
+
+// TestBucketIndex pins the log2 bucket boundaries: exact powers of two
+// sit on their own bound, everything else rounds up.
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+		{1 << (HistogramBuckets - 1), HistogramBuckets - 1},
+		{(1 << (HistogramBuckets - 1)) + 1, HistogramBuckets},
+		{^uint64(0), HistogramBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The invariant the exposition depends on: v ≤ 2^bucketIndex(v).
+	for v := uint64(0); v < 5000; v++ {
+		b := bucketIndex(v)
+		if b < HistogramBuckets && v > uint64(1)<<uint(b) {
+			t.Fatalf("value %d above its bucket bound 2^%d", v, b)
+		}
+		if b > 0 && v <= uint64(1)<<uint(b-1) {
+			t.Fatalf("value %d belongs in a lower bucket than %d", v, b)
+		}
+	}
+}
+
+// TestDuplicateSeriesPanics: registering the same series twice is a
+// programmer error.
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}
+
+// TestLabeledFamilies: one family, several label sets, deterministic
+// exposition order.
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	minor := r.Counter("gc_total", "collections", "gen", "minor")
+	major := r.Counter("gc_total", "collections", "gen", "major")
+	minor.Add(5)
+	major.Add(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	iMajor := strings.Index(out, `gc_total{gen="major"} 2`)
+	iMinor := strings.Index(out, `gc_total{gen="minor"} 5`)
+	if iMajor < 0 || iMinor < 0 || iMajor > iMinor {
+		t.Errorf("labeled series missing or out of order:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE gc_total") != 1 {
+		t.Errorf("family TYPE line not unique:\n%s", out)
+	}
+}
