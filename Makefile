@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench experiments serve fuzz
+.PHONY: all build test check vet fmt race bench experiments serve fuzz perf-baseline perf-compare
 
 all: build
 
@@ -29,11 +29,23 @@ fmt:
 # and differential oracle are single-threaded but ride along under
 # -short to catch races introduced by future parallelism.
 race:
-	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/...
+	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/... ./internal/profile/...
 	$(GO) test -race -short -timeout 30m ./internal/mtjit/... ./internal/difftest/...
 
+# -run '^$' keeps `go test` from running the whole unit-test suite
+# before the benchmarks start.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem . ./internal/cpu
+
+# Host-performance baseline (see internal/hostbench and EXPERIMENTS.md):
+# perf-baseline re-records the committed BENCH_host.json; perf-compare
+# measures a fresh run and fails if any entry regresses beyond the
+# thresholds relative to the committed baseline.
+perf-baseline:
+	$(GO) run ./cmd/hostbench -out BENCH_host.json
+
+perf-compare:
+	$(GO) run ./cmd/hostbench -baseline BENCH_host.json
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

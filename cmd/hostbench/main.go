@@ -1,0 +1,96 @@
+// Command hostbench measures the host-side performance of the simulator
+// (see internal/hostbench) and maintains the committed perf baseline.
+//
+// Usage:
+//
+//	hostbench -out BENCH_host.json                      # record a baseline
+//	hostbench -baseline BENCH_host.json                 # compare a fresh run
+//	hostbench -baseline BENCH_host.json -out fresh.json # compare and keep the run
+//
+// With -baseline, the process exits non-zero if any entry regresses
+// beyond the thresholds. `make perf-baseline` and `make perf-compare`
+// wrap the two modes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metajit/internal/hostbench"
+)
+
+func main() {
+	out := flag.String("out", "", "write the fresh measurement set to this file")
+	baseline := flag.String("baseline", "", "compare the fresh run against this committed baseline")
+	timeThreshold := flag.Float64("time-threshold", hostbench.DefaultThresholds().Time,
+		"allowed fractional regression on wall-time metrics (0.35 = +35%)")
+	allocThreshold := flag.Float64("alloc-threshold", hostbench.DefaultThresholds().Alloc,
+		"allowed fractional regression on allocation metrics")
+	quick := flag.Bool("quick", false, "halve the repetition budget")
+	skipSuite := flag.Bool("skip-suite", false, "skip the full -exp all entry (fast iteration)")
+	flag.Parse()
+
+	if *out == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "hostbench: need -out and/or -baseline")
+		os.Exit(2)
+	}
+
+	fresh, err := hostbench.Measure(hostbench.Config{
+		Quick:     *quick,
+		SkipSuite: *skipSuite,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		if err := hostbench.Encode(f, fresh); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hostbench: wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		old, err := hostbench.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		regs, err := hostbench.Compare(old, fresh, hostbench.Thresholds{
+			Time:  *timeThreshold,
+			Alloc: *allocThreshold,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hostbench:", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "hostbench: %d regression(s) vs %s:\n", len(regs), *baseline)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hostbench: no regressions vs %s\n", *baseline)
+	}
+}

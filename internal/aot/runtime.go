@@ -112,20 +112,35 @@ func (rt *Runtime) ByID(id uint32) *Func {
 // Funcs returns all registered functions in registration order.
 func (rt *Runtime) Funcs() []*Func { return append([]*Func(nil), rt.funcs...) }
 
+// prologueBlocks caches the fixed arg-setup + spill mix per arity; guest
+// call sites rarely exceed a handful of arguments.
+var prologueBlocks = func() []*isa.Block {
+	bs := make([]*isa.Block, 9)
+	for n := range bs {
+		bs[n] = isa.NewBlock(isa.CC(isa.ALU, 3+n), isa.CC(isa.Store, 2))
+	}
+	return bs
+}()
+
+var epilogueBlock = isa.NewBlock(isa.CC(isa.Load, 2), isa.CC(isa.ALU, 1))
+
 // CallPrologue emits the call overhead into f: argument marshaling,
 // register saves, and the call instruction. The paper measures ~15
 // instructions of overhead per AOT call from JIT code (Figure 9's call
 // nodes).
 func (rt *Runtime) CallPrologue(f *Func, nargs int) {
-	rt.S.Ops(isa.ALU, 3+nargs) // arg setup
-	rt.S.Ops(isa.Store, 2)     // spill caller-saved values
+	if nargs >= 0 && nargs < len(prologueBlocks) {
+		rt.S.Block(prologueBlocks[nargs])
+	} else {
+		rt.S.Ops(isa.ALU, 3+nargs) // arg setup
+		rt.S.Ops(isa.Store, 2)     // spill caller-saved values
+	}
 	rt.S.CallDirect(f.EntryPC)
 }
 
 // CallEpilogue emits the return overhead.
 func (rt *Runtime) CallEpilogue(f *Func) {
-	rt.S.Ops(isa.Load, 2) // restore spills
-	rt.S.Ops(isa.ALU, 1)
+	rt.S.Block(epilogueBlock) // restore spills + stack adjust
 	rt.S.Return()
 }
 

@@ -4,12 +4,21 @@ package cpu
 type cache struct {
 	tags  []uint64
 	valid []bool
-	sets  uint64
+	mask  uint64
 	shift uint
 }
 
+// newCache builds a direct-mapped cache from a geometry that has gone
+// through Params.Normalized: line a power of two and set count a nonzero
+// power of two, so set selection is a shift and a mask instead of a
+// divide. The panic guards against a caller bypassing normalization —
+// the pre-mask model silently aliased sets on non-power-of-two counts
+// and divided by zero when size < line.
 func newCache(size, line int) *cache {
 	sets := size / line
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cpu: cache geometry not normalized (sets must be a nonzero power of two)")
+	}
 	sh := uint(0)
 	for 1<<sh < line {
 		sh++
@@ -17,7 +26,7 @@ func newCache(size, line int) *cache {
 	return &cache{
 		tags:  make([]uint64, sets),
 		valid: make([]bool, sets),
-		sets:  uint64(sets),
+		mask:  uint64(sets - 1),
 		shift: sh,
 	}
 }
@@ -25,7 +34,7 @@ func newCache(size, line int) *cache {
 // access touches addr and reports whether it hit.
 func (c *cache) access(addr uint64) (hit bool) {
 	block := addr >> c.shift
-	idx := block % c.sets
+	idx := block & c.mask
 	if c.valid[idx] && c.tags[idx] == block {
 		return true
 	}

@@ -1,0 +1,284 @@
+// Tests and host micro-benchmarks for the simulator's retire hot paths:
+// batched Block accounting, the running whole-run totals, parameter
+// normalization, and the store miss-cost model.
+package cpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"metajit/internal/core"
+	"metajit/internal/isa"
+)
+
+func TestStoreL2MissChargesBothLevels(t *testing.T) {
+	m := NewDefault()
+	m.Store(0x1000) // cold caches: misses L1 and L2
+	p := m.Params()
+	want := p.IssueCost[isa.Store] + (p.L1MissPenalty+p.L2MissPenalty)*0.5
+	if got := m.Total().Cycles; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("L2-miss store cycles = %v, want %v (L1+L2 components, half-hidden)", got, want)
+	}
+	if tot := m.Total(); tot.L1Miss != 1 || tot.L2Miss != 1 {
+		t.Fatalf("miss counts = L1:%d L2:%d, want 1/1", tot.L1Miss, tot.L2Miss)
+	}
+}
+
+func TestStoreL2HitChargesL1Component(t *testing.T) {
+	m := NewDefault()
+	m.Load(0x1000) // install in L1 and L2
+	// Drive the line out of the (smaller) L1 by touching an address that
+	// aliases its L1 set but a different L2 set, then store to the
+	// original, which must hit L2.
+	p := m.Params()
+	alias := uint64(0x1000) + uint64(p.L1Size)
+	for alias%uint64(p.L2Size) == 0x1000%uint64(p.L2Size) {
+		alias += uint64(p.L1Size)
+	}
+	m.Load(alias) // evicts 0x1000 from L1 (same set), L2 keeps it
+	before := m.Total().Cycles
+	m.Store(0x1000)
+	got := m.Total().Cycles - before
+	want := p.IssueCost[isa.Store] + p.L1MissPenalty*0.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("L2-hit store cycles = %v, want %v", got, want)
+	}
+}
+
+func TestBlockMatchesOps(t *testing.T) {
+	mix := []isa.ClassCount{isa.CC(isa.ALU, 7), isa.CC(isa.Load, 3), isa.CC(isa.Store, 2), isa.CC(isa.Jump, 1)}
+	b := isa.NewBlock(mix...)
+
+	mb, mo := NewDefault(), NewDefault()
+	for i := 0; i < 10; i++ {
+		mb.Block(b)
+		for _, cc := range mix {
+			mo.Ops(cc.Class, int(cc.N))
+		}
+	}
+	tb, to := mb.Total(), mo.Total()
+	if tb.Instrs != to.Instrs {
+		t.Fatalf("Instrs: block %d vs ops %d", tb.Instrs, to.Instrs)
+	}
+	if tb.ClassCounts != to.ClassCounts {
+		t.Fatalf("ClassCounts diverge: %v vs %v", tb.ClassCounts, to.ClassCounts)
+	}
+	if math.Abs(tb.Cycles-to.Cycles) > 1e-9 {
+		t.Fatalf("Cycles: block %v vs ops %v", tb.Cycles, to.Cycles)
+	}
+}
+
+// TestRunningTotalsMatchPhaseSums drives a mixed-phase stream through
+// every retire path and checks the O(1) running totals against the
+// grouped per-phase sums: integer-exact for instructions, and within
+// float rounding for cycles (the two sums accumulate in different
+// orders).
+func TestRunningTotalsMatchPhaseSums(t *testing.T) {
+	m := NewDefault()
+	rng := rand.New(rand.NewSource(7))
+	blk := isa.NewBlock(isa.CC(isa.ALU, 5), isa.CC(isa.Store, 2))
+	for i := 0; i < 5000; i++ {
+		m.SetPhase(core.Phase(rng.Intn(int(core.NumPhases))))
+		switch rng.Intn(8) {
+		case 0:
+			m.Ops(isa.ALU, 1+rng.Intn(8))
+		case 1:
+			m.Block(blk)
+		case 2:
+			m.Load(rng.Uint64() % (1 << 22))
+		case 3:
+			m.Store(rng.Uint64() % (1 << 22))
+		case 4:
+			m.Branch(uint64(rng.Intn(64))*4, rng.Intn(2) == 0)
+		case 5:
+			m.CallDirect(uint64(rng.Intn(64)) * 8)
+		case 6:
+			m.Return()
+		case 7:
+			m.Annot(core.TagDispatch, uint64(i))
+		}
+	}
+	tot := m.Total()
+	if m.TotalInstrs() != tot.Instrs {
+		t.Fatalf("TotalInstrs = %d, phase sum = %d", m.TotalInstrs(), tot.Instrs)
+	}
+	if d := math.Abs(m.TotalCycles() - tot.Cycles); d > 1e-6*tot.Cycles {
+		t.Fatalf("TotalCycles = %v, phase sum = %v (diff %v)", m.TotalCycles(), tot.Cycles, d)
+	}
+}
+
+func TestParamsNormalized(t *testing.T) {
+	t.Run("defaults pass through", func(t *testing.T) {
+		p := DefaultParams()
+		if p.Normalized() != p {
+			t.Fatalf("DefaultParams changed under Normalized: %+v", p.Normalized())
+		}
+	})
+	t.Run("size smaller than line", func(t *testing.T) {
+		p := DefaultParams()
+		p.L1Size, p.L1Line = 16, 64
+		n := p.Normalized()
+		if n.L1Size != 64 || n.L1Line != 64 {
+			t.Fatalf("got size %d line %d, want 64/64", n.L1Size, n.L1Line)
+		}
+	})
+	t.Run("non-power-of-two sets round up", func(t *testing.T) {
+		p := DefaultParams()
+		p.L1Size, p.L1Line = 3*64, 64 // 3 sets
+		n := p.Normalized()
+		if n.L1Size != 4*64 {
+			t.Fatalf("size = %d, want %d (4 sets)", n.L1Size, 4*64)
+		}
+	})
+	t.Run("tiny odd line rounds up", func(t *testing.T) {
+		p := DefaultParams()
+		p.L2Size, p.L2Line = 100, 3
+		n := p.Normalized()
+		if n.L2Line != 8 || n.L2Size != 128 {
+			t.Fatalf("got size %d line %d, want 128/8", n.L2Size, n.L2Line)
+		}
+	})
+	t.Run("negative RAS depth clamps", func(t *testing.T) {
+		p := DefaultParams()
+		p.RASDepth = -3
+		if n := p.Normalized(); n.RASDepth != 0 {
+			t.Fatalf("RASDepth = %d, want 0", n.RASDepth)
+		}
+	})
+}
+
+func TestNewNormalizesDegenerateGeometry(t *testing.T) {
+	p := DefaultParams()
+	p.L1Size, p.L1Line = 16, 64 // pre-fix: size/line = 0 sets, mod-by-zero panic
+	p.L2Size, p.L2Line = 3000, 48
+	m := New(p) // must not panic
+	for a := uint64(0); a < 4096; a += 8 {
+		m.Load(a)
+		m.Store(a)
+	}
+	got := m.Params()
+	if got.L1Size != 64 || got.L2Size != 4096 || got.L2Line != 64 {
+		t.Fatalf("normalized geometry = L1 %d/%d L2 %d/%d", got.L1Size, got.L1Line, got.L2Size, got.L2Line)
+	}
+}
+
+func TestNewCachePanicsOnUnnormalizedGeometry(t *testing.T) {
+	for _, g := range []struct{ size, line int }{{16, 64}, {3 * 64, 64}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newCache(%d, %d) did not panic", g.size, g.line)
+				}
+			}()
+			newCache(g.size, g.line)
+		}()
+	}
+}
+
+func TestZeroBitGShare(t *testing.T) {
+	p := DefaultParams()
+	p.GShareBits, p.HistoryBits = 0, 0
+	m := New(p)
+	// Static not-taken: taken branches always mispredict, not-taken never.
+	for i := 0; i < 100; i++ {
+		m.Branch(0x40, true)
+		m.Branch(0x80, false)
+	}
+	tot := m.Total()
+	if tot.CondMiss != 100 {
+		t.Fatalf("CondMiss = %d, want 100 (all taken branches mispredict)", tot.CondMiss)
+	}
+}
+
+func TestRASDepthZero(t *testing.T) {
+	p := DefaultParams()
+	p.RASDepth = 0
+	m := New(p)
+	for i := 0; i < 10; i++ {
+		m.CallDirect(uint64(i) * 4) // push is a no-op at depth 0
+		m.Return()
+	}
+	if tot := m.Total(); tot.RetMiss != 10 {
+		t.Fatalf("RetMiss = %d, want 10 (every pop on an empty RAS mispredicts)", tot.RetMiss)
+	}
+}
+
+func TestRASRingOverwritesOldest(t *testing.T) {
+	p := DefaultParams()
+	p.RASDepth = 2
+	m := New(p)
+	m.CallDirect(0x10)
+	m.CallDirect(0x20)
+	m.CallDirect(0x30) // overflow: overwrites the 0x10 entry
+	m.Return()         // matches 0x30's push
+	m.Return()         // matches 0x20's push
+	m.Return()         // stack empty: the 0x10 entry was overwritten
+	if tot := m.Total(); tot.RetMiss != 1 {
+		t.Fatalf("RetMiss = %d, want 1 (only the overwritten frame mispredicts)", tot.RetMiss)
+	}
+}
+
+// ---- host micro-benchmarks (consumed by internal/hostbench) ----
+
+func BenchmarkMachineOps(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Ops(isa.ALU, 4)
+	}
+}
+
+// BenchmarkMachineOpsUnbatched retires the same mix as
+// BenchmarkMachineBlock through per-class Ops calls — the before/after
+// pair for the batched-retire path.
+func BenchmarkMachineOpsUnbatched(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Ops(isa.ALU, 3)
+		m.Ops(isa.Load, 2)
+		m.Ops(isa.Store, 1)
+	}
+}
+
+func BenchmarkMachineBlock(b *testing.B) {
+	m := NewDefault()
+	blk := isa.NewBlock(isa.CC(isa.ALU, 3), isa.CC(isa.Load, 2), isa.CC(isa.Store, 1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Block(blk)
+	}
+}
+
+func BenchmarkMachineLoad(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Load(uint64(i) * 8)
+	}
+}
+
+func BenchmarkMachineStore(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Store(uint64(i) * 8)
+	}
+}
+
+func BenchmarkMachineBranch(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Branch(uint64(i&63)*4, i&3 == 0)
+	}
+}
+
+func BenchmarkMachineAnnot(b *testing.B) {
+	m := NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Annot(core.TagDispatch, uint64(i))
+	}
+}

@@ -89,7 +89,17 @@ type Machine struct {
 	p Params
 
 	phase   core.Phase
+	cur     *Counters // &byPhase[phase], refreshed by SetPhase
 	byPhase [core.NumPhases]Counters
+
+	// Running whole-run totals maintained at retire time so TotalInstrs
+	// and TotalCycles (hit once per dispatch annotation) do not rescan
+	// every phase. totCycles accumulates in retire order, while the
+	// per-phase Cycles sum groups by phase; the two can differ by float64
+	// rounding at the last bit. Exact whole-run accounting (Total, and
+	// everything derived from Result) therefore still sums byPhase.
+	totInstrs uint64
+	totCycles float64
 
 	bp  *gshare
 	btb *btb
@@ -103,23 +113,28 @@ type Machine struct {
 
 var _ isa.Stream = (*Machine)(nil)
 
-// New returns a Machine with the given parameters.
+// New returns a Machine with the given parameters, normalized first (see
+// Params.Normalized): invalid cache and predictor geometry is rounded to
+// the nearest modelable configuration rather than faulting mid-run.
 func New(p Params) *Machine {
-	return &Machine{
-		p:        p,
-		bp:       newGShare(p.GShareBits, p.HistoryBits),
-		btb:      newBTB(p.BTBBits),
-		ras:      newRAS(p.RASDepth),
-		l1:       newCache(p.L1Size, p.L1Line),
-		l2:       newCache(p.L2Size, p.L2Line),
+	m := &Machine{
+		p:        p.Normalized(),
 		registry: core.NewRegistry(),
 	}
+	m.bp = newGShare(m.p.GShareBits, m.p.HistoryBits)
+	m.btb = newBTB(m.p.BTBBits)
+	m.ras = newRAS(m.p.RASDepth)
+	m.l1 = newCache(m.p.L1Size, m.p.L1Line)
+	m.l2 = newCache(m.p.L2Size, m.p.L2Line)
+	m.cur = &m.byPhase[m.phase]
+	return m
 }
 
 // NewDefault returns a Machine with DefaultParams.
 func NewDefault() *Machine { return New(DefaultParams()) }
 
-// Params returns the machine's microarchitectural parameters.
+// Params returns the machine's microarchitectural parameters as
+// normalized — i.e. the geometry actually modeled.
 func (m *Machine) Params() Params { return m.p }
 
 // Registry returns the machine's cross-layer tag registry.
@@ -131,7 +146,10 @@ func (m *Machine) Observe(o core.Observer) { m.observers = append(m.observers, o
 // SetPhase switches the accounting domain for subsequently retired
 // instructions. It is typically called by a phase-tracking observer in
 // response to phase-boundary annotations.
-func (m *Machine) SetPhase(p core.Phase) { m.phase = p }
+func (m *Machine) SetPhase(p core.Phase) {
+	m.phase = p
+	m.cur = &m.byPhase[p]
+}
 
 // Phase returns the current accounting phase.
 func (m *Machine) Phase() core.Phase { return m.phase }
@@ -149,34 +167,42 @@ func (m *Machine) Total() Counters {
 }
 
 // TotalInstrs returns total retired instructions (cheap, for sampling).
-func (m *Machine) TotalInstrs() uint64 {
-	var t uint64
-	for i := range m.byPhase {
-		t += m.byPhase[i].Instrs
-	}
-	return t
-}
+func (m *Machine) TotalInstrs() uint64 { return m.totInstrs }
 
-// TotalCycles returns total elapsed cycles.
-func (m *Machine) TotalCycles() float64 {
-	var t float64
-	for i := range m.byPhase {
-		t += m.byPhase[i].Cycles
-	}
-	return t
-}
+// TotalCycles returns total elapsed cycles, accumulated in retire order
+// (may differ from the per-phase grouped sum in the last float64 bit).
+func (m *Machine) TotalCycles() float64 { return m.totCycles }
 
 // Ops implements isa.Stream.
 func (m *Machine) Ops(c isa.Class, n int) {
-	d := &m.byPhase[m.phase]
-	d.Instrs += uint64(n)
-	d.ClassCounts[c] += uint64(n)
-	d.Cycles += m.p.IssueCost[c] * float64(n)
+	d := m.cur
+	un := uint64(n)
+	d.Instrs += un
+	d.ClassCounts[c] += un
+	cyc := m.p.IssueCost[c] * float64(n)
+	d.Cycles += cyc
+	m.totInstrs += un
+	m.totCycles += cyc
+}
+
+// Block implements isa.Stream: retires a precomputed straight-line mix in
+// one dynamic call instead of one Ops call per class.
+func (m *Machine) Block(b *isa.Block) {
+	d := m.cur
+	var cyc float64
+	for _, cc := range b.Mix {
+		d.ClassCounts[cc.Class] += uint64(cc.N)
+		cyc += m.p.IssueCost[cc.Class] * float64(cc.N)
+	}
+	d.Instrs += b.Total
+	d.Cycles += cyc
+	m.totInstrs += b.Total
+	m.totCycles += cyc
 }
 
 // Load implements isa.Stream.
 func (m *Machine) Load(addr uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Load]++
 	d.Loads++
@@ -191,11 +217,15 @@ func (m *Machine) Load(addr uint64) {
 		}
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 }
 
-// Store implements isa.Stream.
+// Store implements isa.Stream. Store misses are charged half the load
+// miss penalty: the store buffer hides most of the latency, but a miss
+// still occupies a fill buffer and delays retirement.
 func (m *Machine) Store(addr uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Store]++
 	d.Stores++
@@ -203,18 +233,22 @@ func (m *Machine) Store(addr uint64) {
 	if !m.l1.access(addr) {
 		d.L1Miss++
 		if m.l2.access(addr) {
-			cyc += m.p.L1MissPenalty * 0.5 // store misses are mostly hidden
+			cyc += m.p.L1MissPenalty * 0.5
 		} else {
 			d.L2Miss++
-			cyc += m.p.L2MissPenalty * 0.5
+			// An L2 miss pays the full path to memory: the L1 component
+			// plus the L2 component, both half-hidden like the L2-hit case.
+			cyc += (m.p.L1MissPenalty + m.p.L2MissPenalty) * 0.5
 		}
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 }
 
 // Branch implements isa.Stream.
 func (m *Machine) Branch(pc uint64, taken bool) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Branch]++
 	d.CondBr++
@@ -224,11 +258,13 @@ func (m *Machine) Branch(pc uint64, taken bool) {
 		cyc += m.p.MispredictPenalty
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 }
 
 // Indirect implements isa.Stream.
 func (m *Machine) Indirect(pc, target uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.IndirectJump]++
 	d.IndBr++
@@ -238,20 +274,25 @@ func (m *Machine) Indirect(pc, target uint64) {
 		cyc += m.p.MispredictPenalty
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 }
 
 // CallDirect implements isa.Stream.
 func (m *Machine) CallDirect(pc uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Call]++
-	d.Cycles += m.p.IssueCost[isa.Call]
+	cyc := m.p.IssueCost[isa.Call]
+	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 	m.ras.push(pc + 4)
 }
 
 // CallIndirect implements isa.Stream.
 func (m *Machine) CallIndirect(pc, target uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.IndirectCall]++
 	d.IndBr++
@@ -261,12 +302,14 @@ func (m *Machine) CallIndirect(pc, target uint64) {
 		cyc += m.p.MispredictPenalty
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 	m.ras.push(pc + 4)
 }
 
 // Return implements isa.Stream.
 func (m *Machine) Return() {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Ret]++
 	d.Returns++
@@ -276,22 +319,27 @@ func (m *Machine) Return() {
 		cyc += m.p.MispredictPenalty
 	}
 	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 }
 
 // Annot implements isa.Stream: retires a tagged nop and dispatches it to
 // every registered observer with the machine's current instruction and
 // cycle totals.
 func (m *Machine) Annot(tag core.Tag, arg uint64) {
-	d := &m.byPhase[m.phase]
+	d := m.cur
 	d.Instrs++
 	d.ClassCounts[isa.Nop]++
-	d.Cycles += m.p.IssueCost[isa.Nop]
+	cyc := m.p.IssueCost[isa.Nop]
+	d.Cycles += cyc
+	m.totInstrs++
+	m.totCycles += cyc
 	if len(m.observers) == 0 {
 		return
 	}
 	a := core.Annotation{Tag: tag, Arg: arg}
-	instrs := m.TotalInstrs()
-	cycles := uint64(m.TotalCycles())
+	instrs := m.totInstrs
+	cycles := uint64(m.totCycles)
 	for _, o := range m.observers {
 		o.OnAnnotation(a, instrs, cycles)
 	}

@@ -87,6 +87,49 @@ func DefaultParams() Params {
 	return p
 }
 
+// Normalized returns p with its geometry rounded to the nearest
+// configuration the model can actually represent:
+//
+//   - cache lines become powers of two, at least 8 bytes;
+//   - cache sizes are rounded up so the set count (size/line) is a
+//     nonzero power of two, which lets the cache index with a mask and
+//     removes the divide-by-zero when size < line;
+//   - a negative RAS depth is clamped to zero (no return prediction).
+//
+// cpu.New normalizes its Params, so Machine.Params always reports the
+// geometry actually modeled. Already-valid parameters (including every
+// configuration in DefaultParams and the ablation set) pass through
+// unchanged.
+func (p Params) Normalized() Params {
+	p.L1Size, p.L1Line = normCacheGeom(p.L1Size, p.L1Line)
+	p.L2Size, p.L2Line = normCacheGeom(p.L2Size, p.L2Line)
+	if p.RASDepth < 0 {
+		p.RASDepth = 0
+	}
+	return p
+}
+
+func normCacheGeom(size, line int) (int, int) {
+	if line < 8 {
+		line = 8
+	}
+	line = ceilPow2(line)
+	if size < line {
+		size = line
+	}
+	sets := ceilPow2(size / line)
+	return sets * line, line
+}
+
+// ceilPow2 returns the smallest power of two >= n, for n >= 1.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // StaticPredictorParams returns DefaultParams with the dynamic predictors
 // degraded to static not-taken/last-target prediction; used by the
 // predictor-sensitivity ablation bench.

@@ -79,34 +79,49 @@ func (b *btb) predict(pc, target uint64) (correct bool) {
 	return correct
 }
 
-// ras is a return-address stack. Calls push a synthetic return address;
-// returns pop and are predicted correctly if the stack has not overflowed
-// past the matching entry.
+// ras is a return-address stack modeled as a ring buffer. Calls push a
+// synthetic return address; returns pop and are predicted correctly if
+// the stack is non-empty. Overflow overwrites the oldest entry in O(1)
+// — the prior slice model shifted the whole stack on every deep push.
+// Depth zero predicts every return wrong (no RAS at all).
 type ras struct {
-	stack []uint64
-	depth int
+	buf  []uint64
+	head int // next push slot
+	n    int // live entries, <= len(buf)
 }
 
 func newRAS(depth int) *ras {
-	return &ras{stack: make([]uint64, 0, depth), depth: depth}
+	if depth < 0 {
+		depth = 0
+	}
+	return &ras{buf: make([]uint64, depth)}
 }
 
 func (r *ras) push(addr uint64) {
-	if len(r.stack) == r.depth {
-		// Overflow: discard the oldest entry.
-		copy(r.stack, r.stack[1:])
-		r.stack = r.stack[:len(r.stack)-1]
+	if len(r.buf) == 0 {
+		return
 	}
-	r.stack = append(r.stack, addr)
+	r.buf[r.head] = addr
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	}
 }
 
 // pop returns whether the return was predicted (stack non-empty). Deep
 // recursion past RASDepth shows up as return mispredictions, as on real
 // hardware.
 func (r *ras) pop() (correct bool) {
-	if len(r.stack) == 0 {
+	if r.n == 0 {
 		return false
 	}
-	r.stack = r.stack[:len(r.stack)-1]
+	r.n--
+	if r.head == 0 {
+		r.head = len(r.buf)
+	}
+	r.head--
 	return true
 }

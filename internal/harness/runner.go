@@ -190,6 +190,26 @@ func (r *Runner) Simulations() int {
 	return r.simCount
 }
 
+// TotalSimInstrs sums the simulated retired-instruction counts over
+// every completed, successful cell — the denominator for host-side
+// ns/simulated-instruction measurements (internal/hostbench). Cells
+// still in flight are skipped; call it after rendering.
+func (r *Runner) TotalSimInstrs() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t uint64
+	for _, c := range r.order {
+		select {
+		case <-c.done:
+			if c.res != nil {
+				t += c.res.Instrs
+			}
+		default:
+		}
+	}
+	return t
+}
+
 // Has reports whether the cell is memoized AND finished — a subsequent
 // Get will return without simulating. Advisory under concurrency: a
 // cell can finish (or be evicted) between Has and Get.

@@ -7,6 +7,14 @@ import (
 
 var siteGCTrace = isa.NewSite()
 
+// Fixed per-object costs of the collector's hot loops, retired as single
+// batched blocks (see isa.Block).
+var (
+	promoteBlock = isa.NewBlock(isa.CC(isa.ALU, 12), isa.CC(isa.Load, 4), isa.CC(isa.Store, 3))
+	markBlock    = isa.NewBlock(isa.CC(isa.ALU, 8), isa.CC(isa.Store, 1))
+	sweepBlock   = isa.NewBlock(isa.CC(isa.Load, 1), isa.CC(isa.ALU, 1))
+)
+
 // Minor runs a nursery collection: survivors reachable from the VM roots
 // and the remembered set are promoted to the old generation; everything
 // else allocated since the previous minor collection is dead.
@@ -68,9 +76,7 @@ func (h *Heap) minor(reason uint64) {
 		stack = stack[:len(stack)-1]
 		h.promote(o)
 		promoted += o.size
-		h.stream.Ops(isa.ALU, 12)
-		h.stream.Ops(isa.Load, 4)
-		h.stream.Ops(isa.Store, 3)
+		h.stream.Block(promoteBlock)
 		h.stream.Indirect(siteGCTrace.PC(), o.Shape.VTableAddr)
 		h.scanChildren(o, visit)
 	}
@@ -186,8 +192,7 @@ func (h *Heap) major(reason uint64) {
 		// Mark cost: header load, type dispatch, mark store, children
 		// scan (two instructions per edge: load + null/gen test).
 		h.stream.Load(o.addr)
-		h.stream.Ops(isa.ALU, 8)
-		h.stream.Ops(isa.Store, 1)
+		h.stream.Block(markBlock)
 		h.stream.Indirect(siteGCTrace.PC()+4, o.Shape.VTableAddr)
 		h.stream.Ops(isa.Load, len(o.Fields)+len(o.Elems))
 		h.stream.Ops(isa.ALU, len(o.Fields)+len(o.Elems))
@@ -198,8 +203,7 @@ func (h *Heap) major(reason uint64) {
 	var liveBytes uint64
 	liveOld := h.old[:0]
 	for _, o := range h.old {
-		h.stream.Ops(isa.Load, 1)
-		h.stream.Ops(isa.ALU, 1)
+		h.stream.Block(sweepBlock)
 		if o.mark == h.epoch {
 			liveOld = append(liveOld, o)
 			liveBytes += o.size

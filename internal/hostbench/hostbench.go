@@ -1,0 +1,330 @@
+// Package hostbench measures the host-side performance of the Go
+// simulator itself — the cost of simulating one guest instruction, not
+// the simulated VM's own performance. Every other number in this repo is
+// about the *simulated* stack; hostbench is the perf trajectory of the
+// simulator as a Go program: wall nanoseconds per simulated instruction,
+// host allocations per kilo-instruction, and ns/op for the dispatch-loop
+// micro-operations (cpu.Machine's retire methods).
+//
+// Measurements serialize to a stable JSON baseline (BENCH_host.json at
+// the repo root, written by `make perf-baseline`) and a fresh run can be
+// diffed against a committed baseline with Compare (`make perf-compare`),
+// failing on regressions beyond a threshold. See EXPERIMENTS.md, "Host
+// performance baseline".
+package hostbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+// Schema identifies the baseline JSON format.
+const Schema = "metajit-hostbench/v1"
+
+// Entry is one measured workload.
+//
+// Macro entries (Layer "interp", "jit", "tiered", "suite") run real
+// benchmark cells through the harness and normalize wall time by the
+// number of simulated instructions retired, so the metric is independent
+// of workload length. Micro entries (Layer "micro") time one simulator
+// hot-path operation (a cpu.Machine retire call) per op.
+type Entry struct {
+	Name  string `json:"name"`
+	Layer string `json:"layer"`
+	Runs  int    `json:"runs"`
+
+	// Macro metrics.
+	WallNsPerRun  float64 `json:"wall_ns_per_run,omitempty"`
+	SimInstrs     uint64  `json:"sim_instrs_per_run,omitempty"`
+	NsPerSimInstr float64 `json:"ns_per_sim_instr,omitempty"`
+	AllocsPerKI   float64 `json:"allocs_per_kinstr,omitempty"`
+	BytesPerKI    float64 `json:"bytes_per_kinstr,omitempty"`
+
+	// Micro metrics.
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the serialized measurement set.
+type Baseline struct {
+	Schema  string  `json:"schema"`
+	Go      string  `json:"go"`
+	OSArch  string  `json:"os_arch"`
+	Entries []Entry `json:"entries"`
+}
+
+// Config tunes a measurement pass.
+type Config struct {
+	// Quick halves the repetition budget (CI smoke vs. recording a
+	// committed baseline).
+	Quick bool
+	// SkipSuite skips the full -exp all regeneration (the slowest entry
+	// by far) — useful while iterating on micro-level changes.
+	SkipSuite bool
+	// Log, when non-nil, receives one line per finished entry.
+	Log io.Writer
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Measure runs the full measurement set and returns the baseline.
+func Measure(cfg Config) (*Baseline, error) {
+	b := &Baseline{
+		Schema: Schema,
+		Go:     runtime.Version(),
+		OSArch: runtime.GOOS + "/" + runtime.GOARCH,
+	}
+
+	for _, m := range macroCells() {
+		e, err := measureCell(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("%-28s %8.2f ns/sim-instr  %6.2f allocs/kinstr  (%d runs)",
+			e.Name, e.NsPerSimInstr, e.AllocsPerKI, e.Runs)
+		b.Entries = append(b.Entries, *e)
+	}
+
+	if !cfg.SkipSuite {
+		e, err := measureSuite(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("%-28s %8.2f ns/sim-instr  %6.2f allocs/kinstr  (%d runs)",
+			e.Name, e.NsPerSimInstr, e.AllocsPerKI, e.Runs)
+		b.Entries = append(b.Entries, *e)
+	}
+
+	for _, e := range measureMicro(cfg) {
+		cfg.logf("%-28s %8.2f ns/op          %6.3f allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		b.Entries = append(b.Entries, e)
+	}
+	return b, nil
+}
+
+// macroCell is one representative (benchmark, VM) simulation, labeled by
+// the simulator layer it exercises.
+type macroCell struct {
+	name  string
+	layer string
+	bench string
+	vm    harness.VMKind
+}
+
+// macroCells lists the per-layer breakdown: one cell per execution tier,
+// chosen so each cell's instruction stream is dominated by that tier's
+// host code path.
+func macroCells() []macroCell {
+	return []macroCell{
+		{"interp-reference/richards", "interp", "richards", harness.VMCPython},
+		{"interp-framework/crypto_pyaes", "interp", "crypto_pyaes", harness.VMPyPyNoJIT},
+		{"jit/richards", "jit", "richards", harness.VMPyPyJIT},
+		{"jit/crypto_pyaes", "jit", "crypto_pyaes", harness.VMPyPyJIT},
+		{"tiered/richards", "tiered", "richards", harness.VMPyPyTiered},
+	}
+}
+
+// measureCell times repeated fresh simulations of one cell.
+func measureCell(m macroCell, cfg Config) (*Entry, error) {
+	p := bench.ByName(m.bench)
+	if p == nil {
+		return nil, fmt.Errorf("hostbench: unknown benchmark %q", m.bench)
+	}
+	// Warm up once (first run pays lazy init and cold caches).
+	r, err := harness.Run(p, m.vm, harness.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("hostbench: %s: %w", m.name, err)
+	}
+	runs := 4
+	if cfg.Quick {
+		runs = 2
+	}
+	wall, allocs, bytes, err := timeRuns(runs, func() error {
+		r2, err := harness.Run(p, m.vm, harness.Options{})
+		if err == nil {
+			r = r2
+		}
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hostbench: %s: %w", m.name, err)
+	}
+	return macroEntry(m.name, m.layer, runs, wall, allocs, bytes, r.Instrs), nil
+}
+
+// measureSuite times one full `-exp all` regeneration on a fresh
+// memoizing Runner — the exact hot path of cmd/experiments — and
+// normalizes by the total simulated instructions across every unique
+// cell.
+func measureSuite(cfg Config) (*Entry, error) {
+	runs := 1
+	_ = cfg
+	var instrs uint64
+	wall, allocs, bytes, err := timeRuns(runs, func() error {
+		r := harness.NewRunner(0)
+		pypy := bench.PyPySuite()
+		clbg := bench.CLBG()
+		harness.Table1(r, pypy)
+		harness.Table2(r, clbg)
+		harness.Fig2(r, pypy)
+		harness.Fig3(r, "crypto_pyaes", "meteor_contest")
+		harness.Fig4(r, clbg)
+		harness.Table3(r, pypy)
+		harness.Fig5(r, pypy)
+		harness.Fig6(r, pypy)
+		harness.Fig7(r, pypy)
+		harness.Fig8(r, pypy)
+		harness.Fig9(r, pypy)
+		harness.Fig10(r, pypy)
+		harness.Table4(r, pypy)
+		if errs := r.Errs(); len(errs) > 0 {
+			return errs[0]
+		}
+		instrs = r.TotalSimInstrs()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hostbench: exp-all: %w", err)
+	}
+	return macroEntry("exp-all", "suite", runs, wall, allocs, bytes, instrs), nil
+}
+
+func macroEntry(name, layer string, runs int, wall time.Duration, allocs, bytes uint64, instrs uint64) *Entry {
+	e := &Entry{
+		Name:         name,
+		Layer:        layer,
+		Runs:         runs,
+		WallNsPerRun: round3(float64(wall.Nanoseconds()) / float64(runs)),
+		SimInstrs:    instrs,
+	}
+	if instrs > 0 {
+		e.NsPerSimInstr = round3(e.WallNsPerRun / float64(instrs))
+		e.AllocsPerKI = round3(float64(allocs) / float64(runs) / float64(instrs) * 1000)
+		e.BytesPerKI = round3(float64(bytes) / float64(runs) / float64(instrs) * 1000)
+	}
+	return e
+}
+
+// timeRuns times n executions of f, returning total wall time and the
+// host allocation deltas (mallocs, bytes) across them.
+func timeRuns(n int, f func() error) (time.Duration, uint64, uint64, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+}
+
+func round3(v float64) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	// Three decimal places is enough resolution for ns-scale metrics and
+	// keeps committed baselines diffable.
+	return math.Round(v*1000) / 1000
+}
+
+// Regression is one entry whose fresh measurement exceeds the committed
+// baseline beyond the threshold.
+type Regression struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+	Ratio  float64 // New/Old
+	Limit  float64 // allowed New/Old
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.3f -> %.3f (%.2fx, limit %.2fx)",
+		r.Name, r.Metric, r.Old, r.New, r.Ratio, r.Limit)
+}
+
+// Thresholds configures Compare. Ratios are fractional slack: 0.35
+// allows the fresh run to be up to 1.35x the baseline.
+type Thresholds struct {
+	// Time is the slack on wall-time metrics (ns/sim-instr, ns/op); it
+	// must absorb host and CI machine noise, so it is generous.
+	Time float64
+	// Alloc is the slack on allocation metrics, which are nearly
+	// deterministic and can be held much tighter.
+	Alloc float64
+}
+
+// DefaultThresholds returns the slack used by `make perf-compare`.
+func DefaultThresholds() Thresholds { return Thresholds{Time: 0.35, Alloc: 0.25} }
+
+// Compare diffs a fresh measurement set against a committed baseline.
+// Every baseline entry must be present in the fresh set (a vanished
+// workload is itself a regression in coverage); entries only in the
+// fresh set are ignored, so adding workloads does not invalidate old
+// baselines. Returns the regressions, worst first.
+func Compare(baseline, fresh *Baseline, t Thresholds) ([]Regression, error) {
+	if baseline.Schema != Schema {
+		return nil, fmt.Errorf("hostbench: baseline schema %q, want %q", baseline.Schema, Schema)
+	}
+	byName := map[string]Entry{}
+	for _, e := range fresh.Entries {
+		byName[e.Name] = e
+	}
+	var regs []Regression
+	check := func(name, metric string, old, new, slack float64) {
+		if old <= 0 {
+			return
+		}
+		limit := 1 + slack
+		if ratio := new / old; ratio > limit {
+			regs = append(regs, Regression{
+				Name: name, Metric: metric,
+				Old: old, New: new, Ratio: ratio, Limit: limit,
+			})
+		}
+	}
+	for _, old := range baseline.Entries {
+		e, ok := byName[old.Name]
+		if !ok {
+			return nil, fmt.Errorf("hostbench: baseline entry %q missing from fresh run", old.Name)
+		}
+		check(old.Name, "ns/sim-instr", old.NsPerSimInstr, e.NsPerSimInstr, t.Time)
+		check(old.Name, "ns/op", old.NsPerOp, e.NsPerOp, t.Time)
+		check(old.Name, "allocs/kinstr", old.AllocsPerKI, e.AllocsPerKI, t.Alloc)
+		check(old.Name, "allocs/op", old.AllocsPerOp, e.AllocsPerOp, t.Alloc)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, nil
+}
+
+// Encode writes the baseline as stable, indented JSON.
+func Encode(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Decode reads a baseline written by Encode.
+func Decode(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("hostbench: decode baseline: %w", err)
+	}
+	return &b, nil
+}

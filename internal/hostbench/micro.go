@@ -1,0 +1,83 @@
+package hostbench
+
+import (
+	"testing"
+
+	"metajit/internal/core"
+	"metajit/internal/cpu"
+	"metajit/internal/isa"
+)
+
+// measureMicro times the cpu.Machine retire methods — the simulator's
+// innermost dispatch path, entered once (or once per small batch) for
+// every simulated instruction. These are the host-level analogues of the
+// per-instruction costs the simulated CPU model charges the guest.
+func measureMicro(cfg Config) []Entry {
+	_ = cfg
+	var out []Entry
+	for _, m := range microBenches() {
+		r := testing.Benchmark(m.fn)
+		out = append(out, Entry{
+			Name:        m.name,
+			Layer:       "micro",
+			Runs:        r.N,
+			NsPerOp:     round3(float64(r.T.Nanoseconds()) / float64(r.N)),
+			AllocsPerOp: round3(float64(r.AllocsPerOp())),
+		})
+	}
+	return out
+}
+
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func microBenches() []microBench {
+	return []microBench{
+		{"cpu-ops", func(b *testing.B) {
+			m := cpu.NewDefault()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Ops(isa.ALU, 1)
+			}
+		}},
+		{"cpu-load", func(b *testing.B) {
+			m := cpu.NewDefault()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Load(isa.RegionHeap + uint64(i)*8)
+			}
+		}},
+		{"cpu-store", func(b *testing.B) {
+			m := cpu.NewDefault()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Store(isa.RegionHeap + uint64(i)*8)
+			}
+		}},
+		{"cpu-branch", func(b *testing.B) {
+			m := cpu.NewDefault()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Branch(isa.RegionVMText+uint64(i%64)*4, i%3 == 0)
+			}
+		}},
+		{"cpu-annot", func(b *testing.B) {
+			// One registered no-op observer, as every harness run has at
+			// least the phase tracker attached: this path pays the
+			// machine-total computation per annotation.
+			m := cpu.NewDefault()
+			m.Observe(core.ObserverFunc(func(core.Annotation, uint64, uint64) {}))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Annot(core.TagDispatch, 1)
+			}
+		}},
+	}
+}

@@ -1,0 +1,46 @@
+package isa
+
+import "testing"
+
+func TestNewBlockDropsZeroCounts(t *testing.T) {
+	b := NewBlock(CC(ALU, 3), CC(Load, 0), CC(Store, 2))
+	if len(b.Mix) != 2 {
+		t.Fatalf("Mix has %d entries, want 2 (zero counts dropped)", len(b.Mix))
+	}
+	if b.Total != 5 {
+		t.Fatalf("Total = %d, want 5", b.Total)
+	}
+}
+
+func TestNewBlockAllowsJump(t *testing.T) {
+	b := NewBlock(CC(ALU, 1), CC(Jump, 2))
+	if b.Total != 3 {
+		t.Fatalf("Total = %d, want 3", b.Total)
+	}
+}
+
+func TestNewBlockRejectsPredictedClasses(t *testing.T) {
+	for _, c := range []Class{Branch, IndirectJump, Call, IndirectCall, Ret} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBlock accepted predicted class %v", c)
+				}
+			}()
+			NewBlock(CC(c, 1))
+		}()
+	}
+}
+
+func TestCountingStreamBlock(t *testing.T) {
+	var s CountingStream
+	b := NewBlock(CC(ALU, 4), CC(Store, 2))
+	s.Block(b)
+	s.Block(b)
+	if s.Counts[ALU] != 8 || s.Counts[Store] != 4 {
+		t.Fatalf("counts = alu:%d store:%d, want 8/4", s.Counts[ALU], s.Counts[Store])
+	}
+	if s.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", s.Total())
+	}
+}

@@ -61,6 +61,49 @@ func (c Class) IsBranch() bool {
 	return false
 }
 
+// ClassCount is one (class, count) component of a Block.
+type ClassCount struct {
+	Class Class
+	N     uint32
+}
+
+// CC builds a ClassCount; it exists so Block construction sites stay
+// one-line: isa.NewBlock(isa.CC(isa.ALU, 3), isa.CC(isa.Store, 2)).
+func CC(c Class, n int) ClassCount { return ClassCount{Class: c, N: uint32(n)} }
+
+// Block is a precomputed mix of straight-line instructions retired
+// through one Stream.Block call instead of one Ops call per class. Hot
+// emitters (dispatch loops, guest-call overhead, trace-exit stubs) build
+// their fixed mixes once and retire them with a single dynamic call —
+// the host-side analogue of threaded code replacing switch dispatch.
+//
+// Blocks carry no predicted-branch classes and no addresses: loads and
+// stores in a block are class-accounted only, exactly like Ops(Load, n),
+// and unconditional direct jumps are allowed because they carry no
+// predictor state. Zero counts are dropped at construction.
+type Block struct {
+	Mix   []ClassCount
+	Total uint64
+}
+
+// NewBlock builds a Block from its components, panicking on classes that
+// need per-instruction outcomes or predictor/RAS state (those must go
+// through the dedicated Stream methods).
+func NewBlock(mix ...ClassCount) *Block {
+	b := &Block{}
+	for _, cc := range mix {
+		if cc.Class.IsBranch() && cc.Class != Jump {
+			panic("isa: predicted class " + cc.Class.String() + " in Block")
+		}
+		if cc.N == 0 {
+			continue
+		}
+		b.Mix = append(b.Mix, cc)
+		b.Total += uint64(cc.N)
+	}
+	return b
+}
+
 // Stream is the instruction sink every simulated component emits into.
 // internal/cpu.Machine is the canonical implementation; tests use
 // CountingStream.
@@ -68,6 +111,9 @@ type Stream interface {
 	// Ops retires n straight-line instructions of class c. c must not be
 	// a branch class.
 	Ops(c Class, n int)
+	// Block retires a precomputed straight-line instruction mix in one
+	// call (see Block).
+	Block(b *Block)
 	// Load retires one load from the simulated address addr.
 	Load(addr uint64)
 	// Store retires one store to the simulated address addr.
@@ -110,6 +156,13 @@ func (s *CountingStream) Total() uint64 {
 
 // Ops implements Stream.
 func (s *CountingStream) Ops(c Class, n int) { s.Counts[c] += uint64(n) }
+
+// Block implements Stream.
+func (s *CountingStream) Block(b *Block) {
+	for _, cc := range b.Mix {
+		s.Counts[cc.Class] += uint64(cc.N)
+	}
+}
 
 // Load implements Stream.
 func (s *CountingStream) Load(addr uint64) { s.Counts[Load]++ }

@@ -90,14 +90,23 @@ const (
 	TierTrace
 )
 
+// Fixed tier-transition instruction mixes, retired as single blocks:
+// these sit on every loop-header crossing and every baseline
+// enter/leave, which makes them interpreter-loop-hot.
+var (
+	headerCountBlock   = isa.NewBlock(isa.CC(isa.ALU, 2), isa.CC(isa.Load, 1))
+	enterBaselineBlock = isa.NewBlock(isa.CC(isa.ALU, 3), isa.CC(isa.Store, 2))
+	leaveBaselineBlock = isa.NewBlock(isa.CC(isa.ALU, 2), isa.CC(isa.Load, 1))
+	baselineDeoptBlock = isa.NewBlock(isa.CC(isa.ALU, 8), isa.CC(isa.Store, 4))
+)
+
 // CountAtHeader bumps the loop-header counter for key and reports which
 // tier the header just became eligible for. The counter check costs a
 // couple of instructions per crossing, as in RPython. With
 // BaselineThreshold == 0 (the default) this is exactly the single-tier
 // CountAndMaybeTrace behavior.
 func (e *Engine) CountAtHeader(key GreenKey) TierEvent {
-	e.S.Ops(isa.ALU, 2)
-	e.S.Ops(isa.Load, 1)
+	e.S.Block(headerCountBlock)
 	if e.tracing != nil {
 		return TierNone
 	}
@@ -198,15 +207,13 @@ func (e *Engine) EnterBaseline(bc *BaselineCode) {
 	e.S.Annot(core.TagBaselineEnter, uint64(bc.ID))
 	bc.EnterCount++
 	e.stats.BaselineEnters++
-	e.S.Ops(isa.ALU, 3)
-	e.S.Ops(isa.Store, 2)
+	e.S.Block(enterBaselineBlock)
 }
 
 // LeaveBaseline accounts a transfer out of tier-1 code back to the
 // interpreter (loop exit, call, or invalidation).
 func (e *Engine) LeaveBaseline(bc *BaselineCode) {
-	e.S.Ops(isa.ALU, 2)
-	e.S.Ops(isa.Load, 1)
+	e.S.Block(leaveBaselineBlock)
 	e.S.Annot(core.TagBaselineLeave, uint64(bc.ID))
 }
 
@@ -221,8 +228,7 @@ func (e *Engine) BaselineDeopt(bc *BaselineCode) {
 		m.baselineDeopts.Inc()
 	}
 	e.S.Annot(core.TagBaselineDeopt, uint64(bc.ID))
-	e.S.Ops(isa.ALU, 8)
-	e.S.Ops(isa.Store, 4)
+	e.S.Block(baselineDeoptBlock)
 }
 
 // invalidateBaseline kills one baseline compilation: it is unlinked from

@@ -18,14 +18,33 @@ type DirectMachine struct {
 	P  *CostProfile
 
 	dispatchSeq uint64
+
+	// Per-profile instruction mixes, precomputed so the hottest
+	// fixed-shape overheads retire through one Block call each. Held per
+	// machine (not on the shared CostProfile) so concurrent cells never
+	// share mutable state.
+	callBlock *isa.Block // guest-call frame setup
+	faddBlock *isa.Block // float add/sub/cmp-style: PrimALU + one FPU op
+	fmulBlock *isa.Block
+	fdivBlock *isa.Block
 }
 
 var _ Machine = (*DirectMachine)(nil)
 
+// guestReturnBlock is the fixed frame-teardown overhead of GuestReturn.
+var guestReturnBlock = isa.NewBlock(isa.CC(isa.ALU, 2), isa.CC(isa.Load, 2))
+
 // NewDirectMachine returns a machine over the given heap/runtime with the
 // given cost profile.
 func NewDirectMachine(rt *aot.Runtime, p *CostProfile) *DirectMachine {
-	return &DirectMachine{H: rt.H, RT: rt, S: rt.H.Stream(), P: p}
+	return &DirectMachine{
+		H: rt.H, RT: rt, S: rt.H.Stream(), P: p,
+		callBlock: isa.NewBlock(isa.CC(isa.ALU, p.CallALU),
+			isa.CC(isa.Load, p.CallLoads), isa.CC(isa.Store, p.CallStores)),
+		faddBlock: isa.NewBlock(isa.CC(isa.ALU, p.PrimALU), isa.CC(isa.FPU, 1)),
+		fmulBlock: isa.NewBlock(isa.CC(isa.ALU, p.PrimALU), isa.CC(isa.FMul, 1)),
+		fdivBlock: isa.NewBlock(isa.CC(isa.ALU, p.PrimALU), isa.CC(isa.FDiv, 1)),
+	}
 }
 
 // Heap implements Machine.
@@ -287,14 +306,13 @@ func intCmp(opc Opcode, a, b int64) bool {
 
 // FloatArith implements Machine for add/sub/mul/div.
 func (m *DirectMachine) FloatArith(opc Opcode, a, b TV) TV {
-	m.S.Ops(isa.ALU, m.P.PrimALU)
 	switch opc {
 	case OpFloatMul:
-		m.S.Ops(isa.FMul, 1)
+		m.S.Block(m.fmulBlock)
 	case OpFloatTruediv:
-		m.S.Ops(isa.FDiv, 1)
+		m.S.Block(m.fdivBlock)
 	default:
-		m.S.Ops(isa.FPU, 1)
+		m.S.Block(m.faddBlock)
 	}
 	return Concrete(heap.FloatVal(floatArith(opc, a.V.F, b.V.F)))
 }
@@ -315,8 +333,7 @@ func floatArith(opc Opcode, a, b float64) float64 {
 
 // FloatCmp implements Machine for OpFloatLt..OpFloatGe.
 func (m *DirectMachine) FloatCmp(opc Opcode, a, b TV) TV {
-	m.S.Ops(isa.ALU, m.P.PrimALU)
-	m.S.Ops(isa.FPU, 1)
+	m.S.Block(m.faddBlock)
 	return Concrete(heap.BoolVal(floatCmp(opc, a.V.F, b.V.F)))
 }
 
@@ -440,15 +457,12 @@ func (m *DirectMachine) CallAOT(fn *aot.Func, thunk func(args []heap.Value) heap
 
 // GuestCall implements Machine.
 func (m *DirectMachine) GuestCall(site uint64) {
-	m.S.Ops(isa.ALU, m.P.CallALU)
-	m.S.Ops(isa.Load, m.P.CallLoads)
-	m.S.Ops(isa.Store, m.P.CallStores)
+	m.S.Block(m.callBlock)
 	m.S.CallDirect(site)
 }
 
 // GuestReturn implements Machine.
 func (m *DirectMachine) GuestReturn() {
-	m.S.Ops(isa.ALU, 2)
-	m.S.Ops(isa.Load, 2)
+	m.S.Block(guestReturnBlock)
 	m.S.Return()
 }

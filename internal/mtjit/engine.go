@@ -107,7 +107,14 @@ type Engine struct {
 	lastOvf bool
 
 	activeRegs []*[]heap.Value
-	stats      EngineStats
+	// regsPool recycles trace register files: every loop entry from the
+	// interpreter and every bridge transfer needs one, so Execute would
+	// otherwise allocate on each — a measurable share of the simulator's
+	// host allocation pressure on JIT-heavy cells. Pooled slices are not
+	// in activeRegs and are zeroed on reuse, so they are invisible to the
+	// simulated GC.
+	regsPool [][]heap.Value
+	stats    EngineStats
 }
 
 // NewEngine returns an engine over the runtime with default thresholds.
@@ -140,6 +147,29 @@ func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
 	}
 	rt.H.AddRoots(e)
 	return e
+}
+
+// getRegs returns a zeroed register file of length n, reusing a pooled
+// slice when one is big enough (same semantics as make).
+func (e *Engine) getRegs(n int) []heap.Value {
+	if k := len(e.regsPool); k > 0 {
+		r := e.regsPool[k-1]
+		e.regsPool = e.regsPool[:k-1]
+		if cap(r) >= n {
+			r = r[:n]
+			for i := range r {
+				r[i] = heap.Value{}
+			}
+			return r
+		}
+	}
+	return make([]heap.Value, n)
+}
+
+// putRegs returns a register file to the pool. The caller must have
+// removed it from activeRegs (or replaced its slot) first.
+func (e *Engine) putRegs(r []heap.Value) {
+	e.regsPool = append(e.regsPool, r[:0])
 }
 
 // Roots implements heap.RootProvider: live JIT register files and trace
@@ -193,6 +223,10 @@ func (e *Engine) nextGuardID() uint32 {
 	return e.guardSeq
 }
 
+// beginTraceBlock is the fixed cost of entering recording mode (tracer
+// state setup), shared by loop and bridge recordings.
+var beginTraceBlock = isa.NewBlock(isa.CC(isa.ALU, 60), isa.CC(isa.Store, 20))
+
 // BeginTracing starts recording the loop at key. The frame's slots are
 // seeded with input refs; snap captures resume metadata at guards. The
 // returned TracingMachine replaces the driver's Machine until the loop
@@ -218,8 +252,7 @@ func (e *Engine) BeginTracing(key GreenKey, fr FrameAdapter, snap SnapshotFn) *T
 		Ctor:      fr.IsCtor(),
 	}}}
 	e.tracing = tm
-	e.S.Ops(isa.ALU, 60)
-	e.S.Ops(isa.Store, 20)
+	e.S.Block(beginTraceBlock)
 	return tm
 }
 
@@ -255,8 +288,7 @@ func (e *Engine) BeginBridge(guardID uint32, resume *ResumeState, frames []Frame
 		panic("mtjit: bridge frame chain does not match guard resume")
 	}
 	e.tracing = tm
-	e.S.Ops(isa.ALU, 60)
-	e.S.Ops(isa.Store, 20)
+	e.S.Block(beginTraceBlock)
 	return tm
 }
 

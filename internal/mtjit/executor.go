@@ -35,6 +35,19 @@ type ExitState struct {
 	GuardID uint32
 }
 
+// Fixed executor instruction mixes (loop closing, trace epilogues,
+// blackhole decode), retired as single blocks — these sit on every
+// compiled-loop iteration or every deopt slot.
+var (
+	jumpBlock    = isa.NewBlock(isa.CC(isa.ALU, 2), isa.CC(isa.Jump, 2))
+	finishBlock  = isa.NewBlock(isa.CC(isa.ALU, 3), isa.CC(isa.Store, 2))
+	callAsmBlock = isa.NewBlock(isa.CC(isa.ALU, 12), isa.CC(isa.Store, 8), isa.CC(isa.Load, 8))
+	bhSlotBlock  = isa.NewBlock(isa.CC(isa.Load, 3), isa.CC(isa.ALU, 5))
+	bhExitBlock  = isa.NewBlock(isa.CC(isa.ALU, 40), isa.CC(isa.Load, 18), isa.CC(isa.Store, 10))
+	mulOvfBlock  = isa.NewBlock(isa.CC(isa.Mul, 1), isa.CC(isa.ALU, 1))
+	divModBlock  = isa.NewBlock(isa.CC(isa.Div, 1), isa.CC(isa.ALU, 2))
+)
+
 // Execute runs a compiled loop trace against the interpreter frame until a
 // guard without an attached bridge fails (deoptimization) or the trace
 // finishes. Hot guard failures transfer into bridges without leaving
@@ -43,9 +56,19 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 	if len(t.Entry.Frames) != 1 {
 		panic("mtjit: loop trace entry must have exactly one frame")
 	}
-	regs := make([]heap.Value, t.NumRegs)
+	regs := e.getRegs(t.NumRegs)
 	e.activeRegs = append(e.activeRegs, &regs)
-	defer func() { e.activeRegs = e.activeRegs[:len(e.activeRegs)-1] }()
+	defer func() {
+		e.activeRegs = e.activeRegs[:len(e.activeRegs)-1]
+		e.putRegs(regs)
+	}()
+
+	// Scratch buffers reused across iterations: loop-closing jumps and
+	// residual calls marshal their operands here instead of allocating
+	// per iteration. Consumers copy the values out (or only read them)
+	// before the next use, and every value also lives in regs, which is
+	// what the simulated GC scans.
+	var jumpTmp, callArgs []heap.Value
 
 	entry := t.Entry.Frames[0]
 	if len(entry.Slots) != fr.NumSlots() {
@@ -77,9 +100,11 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 
 		case OpJump:
 			// Close the loop: remap jump args onto entry slots.
-			s.Ops(isa.ALU, 2)
-			s.Ops(isa.Jump, 2)
-			tmp := make([]heap.Value, len(op.Args))
+			s.Block(jumpBlock)
+			if cap(jumpTmp) < len(op.Args) {
+				jumpTmp = make([]heap.Value, len(op.Args))
+			}
+			tmp := jumpTmp[:len(op.Args)]
 			for i, a := range op.Args {
 				tmp[i] = e.val(cur, regs, a)
 			}
@@ -92,10 +117,11 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			if cur != target {
 				// Bridge jumping back into a loop: switch register
 				// files.
-				regs2 := make([]heap.Value, target.NumRegs)
+				regs2 := e.getRegs(target.NumRegs)
 				for i, ref := range target.Entry.Frames[0].Slots {
 					regs2[ref] = tmp[i]
 				}
+				e.putRegs(regs)
 				regs = regs2
 				e.activeRegs[len(e.activeRegs)-1] = &regs
 				cur = target
@@ -111,16 +137,13 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			continue
 
 		case OpFinish:
-			s.Ops(isa.ALU, 3)
-			s.Ops(isa.Store, 2)
+			s.Block(finishBlock)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
 			s.Annot(core.TagJITLeave, uint64(cur.ID))
 			return &ExitState{Frames: frames}
 
 		case OpCallAssembler:
-			s.Ops(isa.ALU, 12)
-			s.Ops(isa.Store, 8)
-			s.Ops(isa.Load, 8)
+			s.Block(callAsmBlock)
 			s.CallIndirect(opPC, op.Target.AsmBase)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
 			s.Annot(core.TagJITLeave, uint64(cur.ID))
@@ -149,13 +172,17 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			// Transfer into the bridge.
 			cur = newTrace
 			ops = cur.Ops
+			e.putRegs(regs)
 			regs = newRegs
 			e.activeRegs[len(e.activeRegs)-1] = &regs
 			pc = -1
 			continue
 
 		case OpCall, OpCallMayForce, OpCondCall:
-			args := make([]heap.Value, len(op.Args))
+			if cap(callArgs) < len(op.Args) {
+				callArgs = make([]heap.Value, len(op.Args))
+			}
+			args := callArgs[:len(op.Args)]
 			for i, a := range op.Args {
 				args[i] = e.val(cur, regs, a)
 			}
@@ -232,8 +259,9 @@ func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Tr
 	if bridge := e.bridges[op.GuardID]; bridge != nil {
 		s.Annot(core.TagBridgeEnter, uint64(bridge.ID))
 		// Compute the slot values of the resume state and feed them to
-		// the bridge's entry mapping; virtuals are materialized.
-		newRegs := make([]heap.Value, bridge.NumRegs)
+		// the bridge's entry mapping; virtuals are materialized. The
+		// caller releases the old register file after the transfer.
+		newRegs := e.getRegs(bridge.NumRegs)
 		virt := e.materializeVirtuals(t, op.Resume, regs)
 		if len(bridge.Entry.Frames) != len(op.Resume.Frames) {
 			panic("mtjit: bridge entry does not match guard resume shape")
@@ -323,8 +351,7 @@ func (e *Engine) materializeFrames(t *Trace, r *ResumeState, regs []heap.Value, 
 			if blackhole {
 				// Resume-data decode: chase the compressed encoding,
 				// dispatch on the tag, store the slot.
-				s.Ops(isa.Load, 3)
-				s.Ops(isa.ALU, 5)
+				s.Block(bhSlotBlock)
 				s.Indirect(e.bhSite.PC(), uint64(ref&15)*32+isa.RegionVMText+0x60_0000)
 				s.Store(isa.RegionStack + uint64(fi)*512 + uint64(si)*8)
 			}
@@ -332,9 +359,7 @@ func (e *Engine) materializeFrames(t *Trace, r *ResumeState, regs []heap.Value, 
 		out[fi] = fv
 	}
 	if blackhole {
-		s.Ops(isa.ALU, 40)
-		s.Ops(isa.Load, 18)
-		s.Ops(isa.Store, 10)
+		s.Block(bhExitBlock)
 	}
 	return out
 }
@@ -360,8 +385,7 @@ func (e *Engine) execSimple(t *Trace, op *Op, opPC uint64, regs []heap.Value) {
 		r, ovf := mulOvf(a.I, b.I)
 		e.lastOvf = ovf
 		regs[op.Res] = heap.IntVal(r)
-		s.Ops(isa.Mul, 1)
-		s.Ops(isa.ALU, 1)
+		s.Block(mulOvfBlock)
 
 	case OpGetfieldGC:
 		o := e.val(t, regs, op.A).O
@@ -427,8 +451,7 @@ func (e *Engine) execSimple(t *Trace, op *Op, opPC uint64, regs []heap.Value) {
 			if op.Opc == OpIntMul {
 				s.Ops(isa.Mul, 1)
 			} else if op.Opc == OpIntFloorDiv || op.Opc == OpIntMod {
-				s.Ops(isa.Div, 1)
-				s.Ops(isa.ALU, 2)
+				s.Block(divModBlock)
 			} else {
 				s.Ops(isa.ALU, op.Opc.AsmLen())
 			}

@@ -100,6 +100,16 @@ type VM struct {
 	baseFrame *Frame
 
 	frames []*Frame
+	// framePool recycles popped guest frames with their Locals/Stack
+	// backing arrays: one frame per guest call makes frames the
+	// interpreter's dominant host allocation. Pooled frames are reset on
+	// reuse; nothing retains popped frames (resume data copies values).
+	framePool []*Frame
+	// argScratch marshals BCCall arguments. A single buffer is safe:
+	// builtins never re-enter guest code, so no nested BCCall can run
+	// while pushCall still reads the scratch, and every consumer copies
+	// the TVs before the next call instruction.
+	argScratch []mtjit.TV
 
 	globals  map[string]heap.Value
 	codes    []*Code

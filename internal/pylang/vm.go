@@ -72,6 +72,44 @@ func (f *Frame) SlotRef(i int) mtjit.Ref {
 	return f.Stack[i-len(f.Locals)].R
 }
 
+// newFrame returns a frame with numLocals zeroed locals, reusing a
+// pooled frame when one is available.
+func (vm *VM) newFrame(code *Code, numLocals int, ctor bool) *Frame {
+	if k := len(vm.framePool); k > 0 {
+		f := vm.framePool[k-1]
+		vm.framePool = vm.framePool[:k-1]
+		f.Code = code
+		f.PC = 0
+		f.ctor = ctor
+		f.snapPC = 0
+		f.Stack = f.Stack[:0]
+		f.snapStack = f.snapStack[:0]
+		if cap(f.Locals) >= numLocals {
+			f.Locals = f.Locals[:numLocals]
+			for i := range f.Locals {
+				f.Locals[i] = mtjit.TV{}
+			}
+		} else {
+			f.Locals = make([]mtjit.TV, numLocals)
+		}
+		return f
+	}
+	return &Frame{Code: code, Locals: make([]mtjit.TV, numLocals), ctor: ctor}
+}
+
+// releaseFrame returns a popped frame to the pool. The caller must not
+// touch f afterwards. Frames that unwind through guest errors simply
+// miss the pool.
+func (vm *VM) releaseFrame(f *Frame) {
+	if f == vm.baseFrame {
+		// Tier-1 residency still compares against this pointer at the
+		// next dispatch; let it drop instead of risking pointer reuse.
+		return
+	}
+	f.Code = nil
+	vm.framePool = append(vm.framePool, f)
+}
+
 func (f *Frame) push(v mtjit.TV) { f.Stack = append(f.Stack, v) }
 
 func (f *Frame) pop() mtjit.TV {
@@ -165,13 +203,16 @@ func (vm *VM) snapshot() []mtjit.FrameSnap {
 
 // applyExit rebuilds interpreter frames after a trace exits.
 func (vm *VM) applyExit(exit *mtjit.ExitState) {
+	old := vm.frames[len(vm.frames)-1]
 	vm.frames = vm.frames[:len(vm.frames)-1]
+	vm.releaseFrame(old)
 	for _, fv := range exit.Frames {
 		code := vm.codeByID[fv.CodeID]
 		if code == nil {
 			panic(fmt.Sprintf("pylang: deopt to unknown code %d", fv.CodeID))
 		}
-		nf := &Frame{Code: code, PC: fv.PC, Locals: make([]mtjit.TV, fv.NumLocals), ctor: fv.Ctor}
+		nf := vm.newFrame(code, fv.NumLocals, fv.Ctor)
+		nf.PC = fv.PC
 		for i := 0; i < fv.NumLocals; i++ {
 			nf.Locals[i] = mtjit.Concrete(fv.Vals[i])
 		}
@@ -340,7 +381,10 @@ func (vm *VM) run(base int) heap.Value {
 			}
 		case BCCall:
 			n := int(in.Arg)
-			args := make([]mtjit.TV, n)
+			if cap(vm.argScratch) < n {
+				vm.argScratch = make([]mtjit.TV, n)
+			}
+			args := vm.argScratch[:n]
 			for i := n - 1; i >= 0; i-- {
 				args[i] = f.pop()
 			}
@@ -356,6 +400,7 @@ func (vm *VM) run(base int) heap.Value {
 				m = vm.m
 			}
 			if len(vm.frames) == base {
+				vm.releaseFrame(f)
 				return res.V
 			}
 			m.GuestReturn()
@@ -364,6 +409,7 @@ func (vm *VM) run(base int) heap.Value {
 				// already on the caller's stack.
 				vm.frames[len(vm.frames)-1].push(res)
 			}
+			vm.releaseFrame(f)
 		case BCPop:
 			f.pop()
 		case BCDup:
@@ -439,9 +485,7 @@ func (vm *VM) run(base int) heap.Value {
 // lookupGlobal resolves name against the module globals with builtin
 // fallback, charging the module-dict lookup cost.
 func (vm *VM) lookupGlobal(name string) heap.Value {
-	s := vm.H.Stream()
-	s.Ops(isa.ALU, 6)
-	s.Ops(isa.Load, 3)
+	vm.H.Stream().Block(globalReadBlock)
 	v, ok := vm.globals[name]
 	if !ok {
 		bo, ok2 := vm.builtins[name]
@@ -489,16 +533,20 @@ func (vm *VM) storeGlobal(m mtjit.Machine, name string, v mtjit.TV) {
 	vm.setGlobal(name, v.V)
 }
 
+// Module-dict access instruction mixes (hash, probe, compare), retired
+// as single blocks.
+var (
+	globalReadBlock  = isa.NewBlock(isa.CC(isa.ALU, 6), isa.CC(isa.Load, 3))
+	globalWriteBlock = isa.NewBlock(isa.CC(isa.ALU, 6), isa.CC(isa.Load, 3), isa.CC(isa.Store, 2))
+)
+
 // setGlobal is the store slow path shared by the interpreter and
 // residual store calls executing inside traces: it writes the module
 // dict, marks the name mutated (definition-time stores in the module
 // body don't count), and invalidates every trace that constant-folded
 // the old value.
 func (vm *VM) setGlobal(name string, v heap.Value) {
-	s := vm.H.Stream()
-	s.Ops(isa.ALU, 6)
-	s.Ops(isa.Load, 3)
-	s.Ops(isa.Store, 2)
+	vm.H.Stream().Block(globalWriteBlock)
 	vm.globals[name] = v
 	if vm.inModuleInit {
 		return
@@ -522,7 +570,7 @@ func (vm *VM) pushCall(m mtjit.Machine, callee mtjit.TV, args []mtjit.TV, ctor b
 			vm.throw("%s() takes %d arguments (%d given)", fn.Name, code.NumParams, len(args))
 		}
 		m.GuestCall(code.Site(0))
-		nf := &Frame{Code: code, Locals: make([]mtjit.TV, code.NumLocals), ctor: ctor}
+		nf := vm.newFrame(code, code.NumLocals, ctor)
 		copy(nf.Locals, args)
 		vm.frames = append(vm.frames, nf)
 	case vm.BoundShape:
