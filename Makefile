@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench experiments serve fuzz perf-baseline perf-compare
+.PHONY: all build test check vet fmt race bench experiments serve fuzz traces perf-baseline perf-compare
 
 all: build
 
@@ -29,7 +29,7 @@ fmt:
 # and differential oracle are single-threaded but ride along under
 # -short to catch races introduced by future parallelism.
 race:
-	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/... ./internal/profile/...
+	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/... ./internal/profile/... ./internal/trace/...
 	$(GO) test -race -short -timeout 30m ./internal/mtjit/... ./internal/difftest/...
 
 # -run '^$' keeps `go test` from running the whole unit-test suite
@@ -65,3 +65,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzSklangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzTieredPromotion -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzAnnotStream -fuzztime=$(FUZZTIME) ./internal/profile
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
+
+# traces re-records the committed workload fixtures under
+# internal/bench/testdata/traces (needed when instruction accounting or
+# the trace wire format changes; bump trace.FormatVersion for the
+# latter) and refreshes the tracefmt golden that renders one of them.
+traces:
+	$(GO) test ./internal/bench -run TestTraceFixtures -update
+	$(GO) test ./cmd/tracefmt -update

@@ -24,6 +24,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..4, fig2..10, all)")
 	jobs := flag.Int("j", 0, "max concurrent cell simulations (0 = NumCPU)")
 	profileDir := flag.String("profile", "", "also run the PyPy suite under the streaming profiler, writing Chrome traces, folded flamegraphs, and interval series to this directory")
+	recordDir := flag.String("record", "", "also record the PyPy suite as workload traces (.mtt) into this directory")
+	tracesDir := flag.String("traces", "", "replay every committed trace fixture (*.mtt) in this directory, verifying each against its recorded summary")
 	stats := flag.Bool("stats", false, "print memo-cache statistics to stderr after the run")
 	flag.Parse()
 
@@ -101,6 +103,60 @@ func main() {
 				fmt.Fprintf(os.Stderr, "profiled %s/%s: %d spans, %d artifacts\n",
 					p.Name, kind, res.Profile.Stream.Spans, len(res.ProfileFiles))
 			}
+		}
+	}
+
+	// Recorded cells follow the same pattern as profiled ones: they run
+	// after the tables on the warmed pool (Record is part of the cell
+	// key, so recording never perturbs a memoized unrecorded cell), the
+	// trace files land in -record as a side effect, and the summary goes
+	// to stderr.
+	if *recordDir != "" {
+		for _, kind := range []harness.VMKind{harness.VMPyPyJIT, harness.VMPyPyTiered} {
+			for i := range pypy {
+				p := &pypy[i]
+				res, err := runner.Get(p, kind, harness.Options{RecordDir: *recordDir})
+				if err != nil {
+					runner.Fail(err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "recorded %s/%s: %d events -> %s\n",
+					p.Name, kind, res.Trace.Summary.Events, res.TraceFile)
+			}
+		}
+	}
+
+	// Fixture replay: load every committed recording and re-drive it
+	// under the configuration sealed in its header, demanding the
+	// recorded summary bit-exactly. This is the CI-facing face of
+	// difftest.CheckReplay — a table of verified fixtures on stdout,
+	// non-zero exit if any diverges.
+	if *tracesDir != "" {
+		progs, err := bench.LoadTraceDir(*tracesDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Recorded workload fixtures (%s)\n", *tracesDir)
+		fmt.Printf("%-24s %-12s %10s %12s  %s\n", "fixture", "vm", "events", "instrs", "replay")
+		for i := range progs {
+			p := &progs[i]
+			tr := p.Trace
+			ropt := harness.ReplayOptions(tr)
+			ropt.Record = true
+			res, err := runner.Get(p, harness.VMKind(tr.Header.VM), ropt)
+			status := "verified"
+			if err != nil {
+				runner.Fail(err)
+				status = "ERROR"
+			} else if s := &res.Trace.Summary; s.Checksum != tr.Summary.Checksum ||
+				s.HeapChecksum != tr.Summary.HeapChecksum ||
+				s.Instrs != tr.Summary.Instrs || s.CyclesBits != tr.Summary.CyclesBits {
+				runner.Fail(fmt.Errorf("%s: replay diverged from recorded summary", p.Name))
+				status = "DIVERGED"
+			}
+			fmt.Printf("%-24s %-12s %10d %12d  %s\n",
+				p.Name, tr.Header.VM, tr.Summary.Events, tr.Summary.Instrs, status)
 		}
 	}
 

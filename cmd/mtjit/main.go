@@ -7,9 +7,20 @@
 //	mtjit -bench richards -vm pypy
 //	mtjit -vm cpython -file prog.py
 //	mtjit -bench binarytrees -vm pypy -jitlog
+//	mtjit -bench telco -vm pypy-tiered -record traces/
+//	mtjit -replay traces/telco-pypy-tiered.mtt
+//	mtjit -replay traces/telco-pypy-tiered.mtt -replay-alloc
+//
+// -record writes the run's recorded workload trace (internal/trace)
+// into the given directory. -replay loads a trace file and re-drives
+// it: by default as a guest re-execution under the configuration
+// sealed in the trace header, verified against the recorded summary
+// (non-zero exit on divergence); with -replay-alloc, as a pure
+// allocation replay driving only the GC (the dj_trace mode).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +34,7 @@ import (
 	"metajit/internal/pintool"
 	"metajit/internal/pylang"
 	"metajit/internal/telemetry"
+	"metajit/internal/trace"
 )
 
 func main() {
@@ -34,6 +46,9 @@ func main() {
 	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
 	profileDir := flag.String("profile", "", "write streaming-profiler artifacts (Chrome trace, folded flamegraph, interval series) to this directory")
 	teleDump := flag.Bool("telemetry-dump", false, "print a final telemetry snapshot (Prometheus text format) to stderr")
+	recordDir := flag.String("record", "", "record the run as a workload trace (.mtt) into this directory")
+	replayFile := flag.String("replay", "", "replay a recorded workload trace file and verify it against its recorded summary")
+	replayAlloc := flag.Bool("replay-alloc", false, "with -replay: drive only the heap/GC from the recorded allocation stream (dj_trace mode)")
 	flag.Parse()
 
 	// Telemetry attaches before any guest work and dumps to stderr at
@@ -59,6 +74,18 @@ func main() {
 		return
 	}
 
+	if *replayFile != "" {
+		vmExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "vm" {
+				vmExplicit = true
+			}
+		})
+		code := runReplay(*replayFile, *vmName, vmExplicit, *replayAlloc, *profileDir, *recordDir, *dumpLog)
+		dumpTelemetry(reg)
+		os.Exit(code)
+	}
+
 	if *file != "" {
 		runFile(*file, *vmName)
 		dumpTelemetry(reg)
@@ -72,6 +99,7 @@ func main() {
 	r, err := harness.Run(p, harness.VMKind(*vmName), harness.Options{
 		Threshold:  *threshold,
 		ProfileDir: *profileDir,
+		RecordDir:  *recordDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -79,6 +107,74 @@ func main() {
 	}
 	report(r, *dumpLog)
 	dumpTelemetry(reg)
+}
+
+// runReplay loads a recorded workload trace and re-drives it. Guest
+// re-drive runs under the configuration sealed in the trace header
+// (unless -vm explicitly overrides the VM, which disables
+// verification: a different tier structure legitimately changes the
+// counters) and is verified bit-exactly against the recorded summary
+// and event stream. Alloc replay applies the recorded allocation/free
+// stream straight to a fresh heap.
+func runReplay(path, vmName string, vmExplicit, allocOnly bool, profileDir, recordDir string, dumpLog bool) int {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	p := bench.FromTrace(tr)
+	kind := harness.VMKind(tr.Header.VM)
+	if vmExplicit {
+		kind = harness.VMKind(vmName)
+	}
+	opt := harness.ReplayOptions(tr)
+	opt.ProfileDir = profileDir
+	opt.RecordDir = recordDir
+	fmt.Printf("replaying %s: %s (guest %s) recorded on %s, %d events\n",
+		path, tr.Header.Name, tr.Header.Guest, tr.Header.VM, tr.Summary.Events)
+
+	if allocOnly {
+		opt.ReplayAlloc = true
+		r, err := harness.Run(&p, kind, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("alloc replay: %d allocations applied\n", r.Checksum)
+		fmt.Printf("gc: %d minor, %d major, %d objects allocated (%d bytes)\n",
+			r.GC.Minor, r.GC.Major, r.GC.AllocObjects, r.GC.AllocBytes)
+		fmt.Printf("gc work: %d instrs, %.0f cycles\n", r.Instrs, r.Cycles)
+		return 0
+	}
+
+	opt.Record = true // re-record so the event streams can be compared
+	r, err := harness.Run(&p, kind, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	report(r, dumpLog)
+	if vmExplicit && kind != harness.VMKind(tr.Header.VM) {
+		fmt.Printf("replay: ran on %s, recorded on %s — verification skipped\n", kind, tr.Header.VM)
+		return 0
+	}
+	got, want := &r.Trace.Summary, &tr.Summary
+	switch {
+	case got.Checksum != want.Checksum:
+		fmt.Fprintf(os.Stderr, "replay DIVERGED: checksum %d, recorded %d\n", got.Checksum, want.Checksum)
+	case got.HeapChecksum != want.HeapChecksum:
+		fmt.Fprintf(os.Stderr, "replay DIVERGED: heap checksum %#x, recorded %#x\n", got.HeapChecksum, want.HeapChecksum)
+	case got.Instrs != want.Instrs || got.CyclesBits != want.CyclesBits:
+		fmt.Fprintf(os.Stderr, "replay DIVERGED: %d instrs / %.1f cycles, recorded %d / %.1f\n",
+			got.Instrs, got.Cycles(), want.Instrs, want.Cycles())
+	case !bytes.Equal(r.Trace.EventData, tr.EventData):
+		fmt.Fprintf(os.Stderr, "replay DIVERGED: event stream differs (%d vs %d bytes)\n",
+			len(r.Trace.EventData), len(tr.EventData))
+	default:
+		fmt.Printf("replay verified: summary and event stream reproduce the recording bit-exactly\n")
+		return 0
+	}
+	return 1
 }
 
 // dumpTelemetry writes the registry's final exposition snapshot to

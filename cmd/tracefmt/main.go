@@ -1,0 +1,152 @@
+// Command tracefmt inspects recorded workload traces (internal/trace,
+// the .mtt files under internal/bench/testdata/traces and any directory
+// written by -record). The dump subcommand renders a trace
+// human-readably: header, recording configuration, event schema,
+// sealed summary, per-phase counters, and the event stream with tag
+// and kind names resolved.
+//
+// Usage:
+//
+//	tracefmt dump [-events N] [-all] file.mtt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"metajit/internal/core"
+	"metajit/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(errw, "usage: tracefmt dump [-events N] [-all] <file.mtt>")
+		return 2
+	}
+	switch args[0] {
+	case "dump":
+		return runDump(args[1:], out, errw)
+	default:
+		fmt.Fprintf(errw, "tracefmt: unknown subcommand %q (want dump)\n", args[0])
+		return 2
+	}
+}
+
+func runDump(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("tracefmt dump", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	nEvents := fs.Int("events", 20, "cap on dumped events (0 disables the event dump)")
+	all := fs.Bool("all", false, "dump every event, ignoring -events")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: tracefmt dump [-events N] [-all] <file.mtt>")
+		return 2
+	}
+	path := fs.Arg(0)
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errw, "tracefmt: %v\n", err)
+		return 1
+	}
+	cap := *nEvents
+	if *all {
+		cap = int(t.Summary.Events)
+	}
+	if err := dump(out, t, cap); err != nil {
+		fmt.Fprintf(errw, "tracefmt: %s: %v\n", path, err)
+		return 1
+	}
+	return 0
+}
+
+func dump(w io.Writer, t *trace.Trace, nEvents int) error {
+	h := &t.Header
+	fmt.Fprintf(w, "trace: %s (guest %s) recorded on %s\n", h.Name, h.Guest, h.VM)
+	fmt.Fprintf(w, "format: v%d, %d event bytes, hash %s\n", h.Version, len(t.EventData), t.Hash()[:16])
+	if h.Seed != 0 {
+		fmt.Fprintf(w, "seed: %d\n", h.Seed)
+	}
+	fmt.Fprintf(w, "source: %d bytes\n", len(h.Source))
+	c := h.Config
+	fmt.Fprintf(w, "config: threshold=%d bridge=%d baseline=%d nursery=%d major=%d growth=%g\n",
+		c.Threshold, c.BridgeThreshold, c.BaselineThreshold,
+		c.NurserySize, c.MajorThreshold, c.MajorGrowth())
+	fmt.Fprintf(w, "schema:")
+	for _, d := range h.Schema {
+		fmt.Fprintf(w, " %s/%d", d.Name, d.NArgs)
+	}
+	fmt.Fprintln(w)
+	s := &t.Summary
+	fmt.Fprintf(w, "summary:\n")
+	fmt.Fprintf(w, "  checksum       %d\n", s.Checksum)
+	fmt.Fprintf(w, "  heap checksum  %#x\n", s.HeapChecksum)
+	fmt.Fprintf(w, "  instrs         %d\n", s.Instrs)
+	fmt.Fprintf(w, "  cycles         %.1f\n", s.Cycles())
+	fmt.Fprintf(w, "  events         %d\n", s.Events)
+	fmt.Fprintf(w, "  gc             minor=%d major=%d objects=%d bytes=%d promoted=%d skipped=%d\n",
+		s.GC.Minor, s.GC.Major, s.GC.AllocObjects, s.GC.AllocBytes, s.GC.PromotedBytes, s.GC.Skipped)
+	fmt.Fprintf(w, "phases:\n")
+	for i, p := range s.Phases {
+		if p.Instrs == 0 {
+			continue
+		}
+		name := fmt.Sprintf("phase%d", i)
+		if i < int(core.NumPhases) {
+			name = core.Phase(i).String()
+		}
+		fmt.Fprintf(w, "  %-14s instrs=%d\n", name, p.Instrs)
+	}
+	if nEvents == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "events (%d of %d):\n", min(nEvents, int(s.Events)), s.Events)
+	i := 0
+	err := t.WalkEvents(func(e trace.Event) error {
+		if i >= nEvents {
+			return errStop
+		}
+		fmt.Fprintf(w, "  [%d] %s\n", i, formatEvent(t, e))
+		i++
+		return nil
+	})
+	if err == errStop {
+		err = nil
+	}
+	return err
+}
+
+var errStop = fmt.Errorf("stop")
+
+var allocKinds = [...]string{"obj", "bytes", "elems"}
+
+func formatEvent(t *trace.Trace, e trace.Event) string {
+	switch e.Kind {
+	case trace.EvShape:
+		return fmt.Sprintf("shape id=%d fields=%d", e.Args[0], e.Args[1])
+	case trace.EvAlloc:
+		kind := fmt.Sprintf("%d", e.Args[1])
+		if e.Args[1] < uint64(len(allocKinds)) {
+			kind = allocKinds[e.Args[1]]
+		}
+		return fmt.Sprintf("alloc shape=%d kind=%s fields=%d payload=%d size=%d",
+			e.Args[0], kind, e.Args[2], e.Args[3], e.Args[4])
+	case trace.EvFree:
+		return fmt.Sprintf("free age=%d", e.Args[0])
+	case trace.EvAnnot:
+		return fmt.Sprintf("annot %s arg=%d +instrs=%d",
+			core.TagName(core.Tag(e.Args[0])), e.Args[1], e.Args[2])
+	case trace.EvDispatch:
+		return fmt.Sprintf("dispatch ticks=%d bytecodes=%d +instrs=%d",
+			e.Args[0], e.Args[1], e.Args[2])
+	default:
+		return fmt.Sprintf("%s args=%v", t.SchemaName(e.Kind), e.Args)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+const fixture = "../../internal/bench/testdata/traces/telco_small-pypy-tiered.mtt"
+
+// TestDumpGolden pins tracefmt's dump output for a committed fixture
+// byte-for-byte. The simulator and the trace encoding are both
+// deterministic, so any drift — format change, schema change,
+// accounting change — surfaces as a diff here. Regenerate with:
+//
+//	go test ./cmd/tracefmt -update
+//
+// (after re-recording fixtures with `go test ./internal/bench -run
+// TestTraceFixtures -update` if the accounting itself moved).
+func TestDumpGolden(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"dump", "-events", "12", fixture}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	golden := filepath.Join("testdata", "dump_telco_small.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("dump output drifted from golden file:\n--- golden\n%s\n--- got\n%s", want, out.Bytes())
+	}
+}
+
+// TestDumpErrors pins the CLI's failure modes: bad subcommand, missing
+// file, and non-trace input all exit non-zero with a diagnostic.
+func TestDumpErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"frobnicate"}, &out, &errw); code == 0 {
+		t.Error("unknown subcommand exited 0")
+	}
+	errw.Reset()
+	if code := run([]string{"dump", "no-such-file.mtt"}, &out, &errw); code == 0 {
+		t.Error("missing file exited 0")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.mtt")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errw.Reset()
+	if code := run([]string{"dump", bad}, &out, &errw); code == 0 {
+		t.Error("non-trace input exited 0")
+	}
+	if !strings.Contains(errw.String(), "magic") {
+		t.Errorf("diagnostic does not name the decode failure: %q", errw.String())
+	}
+}

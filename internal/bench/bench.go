@@ -1,13 +1,17 @@
 // Package bench holds the workload corpus: guest-language implementations
 // modeled on the PyPy Benchmark Suite and the Computer Language Benchmarks
-// Game (Section III). Every program defines main() returning an integer
-// checksum so results can be compared across VM configurations.
+// Game (Section III), plus recorded workloads (trace benchmarks, see
+// trace.go) loaded from committed trace fixtures. Every program defines
+// main() returning an integer checksum so results can be compared across
+// VM configurations.
 package bench
+
+import "metajit/internal/trace"
 
 // Program is one benchmark.
 type Program struct {
 	Name string
-	// Suite is "pypy" or "clbg".
+	// Suite is "pypy", "clbg", or SuiteTrace.
 	Suite string
 	// Source is the Python-guest implementation.
 	Source string
@@ -18,6 +22,11 @@ type Program struct {
 	// Static reports whether a statically-compiled kernel exists in
 	// internal/static for the C/C++ reference row.
 	Static bool
+	// Trace is the recording backing a trace benchmark (nil for the
+	// synthetic suites); TraceHash is its content hash, part of the
+	// harness memo key so distinct recordings never share a cell.
+	Trace     *trace.Trace
+	TraceHash string
 }
 
 // ByName returns the program with the given name, or nil.

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"metajit/internal/trace"
+)
+
+// This file adds the trace-benchmark kind: recorded workloads
+// (internal/trace) promoted to first-class suite members. A trace
+// embeds the guest program and the configuration it was recorded
+// under, so a trace benchmark flows through the harness, the
+// differential oracle, and the profiler exactly like a synthetic one —
+// with the extra property that its recorded Summary pins the outcome a
+// replay must reproduce.
+
+// SuiteTrace is the Suite value of trace-backed programs.
+const SuiteTrace = "trace"
+
+// FromTrace builds a runnable Program from a decoded trace. The name
+// carries a content-hash suffix and TraceHash the full hash, so the
+// harness memo key distinguishes any two distinct recordings even when
+// they were recorded from the same benchmark.
+func FromTrace(t *trace.Trace) Program {
+	p := Program{
+		Name:      fmt.Sprintf("%s@%s", t.Header.Name, t.Hash()[:8]),
+		Suite:     SuiteTrace,
+		Trace:     t,
+		TraceHash: t.Hash(),
+	}
+	if t.Header.Guest == trace.GuestSk {
+		p.SkSource = t.Header.Source
+	} else {
+		p.Source = t.Header.Source
+	}
+	return p
+}
+
+// IsTrace reports whether the program is a recorded workload.
+func (p *Program) IsTrace() bool { return p.Trace != nil }
+
+// LoadTraceDir loads every *.mtt file under dir (sorted by file name,
+// so suite order is stable) as trace benchmarks. The committed fixture
+// set lives in internal/bench/testdata/traces.
+func LoadTraceDir(dir string) ([]Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), trace.FileExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]Program, 0, len(names))
+	for _, name := range names {
+		t, err := trace.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FromTrace(t))
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package difftest
+
+import (
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+	"metajit/internal/trace"
+)
+
+// replayKinds is the VM column set of the record→replay equivalence
+// sweep: the meta-tracing JIT, the two-tier configuration (most moving
+// parts: baseline compilation, promotion, tracing), and the Scheme
+// guest on the framework. Interpreter-only kinds add nothing — every
+// JIT kind already interprets during warmup.
+var replayKinds = []harness.VMKind{harness.VMPyPyJIT, harness.VMPyPyTiered, harness.VMPycket}
+
+// TestRecordReplayEquivalence runs CheckReplay — record, wire
+// round-trip, replay, compare summaries and event streams bit-exactly —
+// for every benchmark under every replay kind. In -short mode a
+// three-benchmark subset keeps the sweep fast while still covering all
+// three kinds and both guests.
+func TestRecordReplayEquivalence(t *testing.T) {
+	short := map[string]bool{"telco": true, "nbody": true, "richards": true}
+	for _, p := range bench.All() {
+		p := p
+		if testing.Short() && !short[p.Name] {
+			continue
+		}
+		for _, kind := range replayKinds {
+			kind := kind
+			if kind == harness.VMPycket && p.SkSource == "" {
+				continue
+			}
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				if err := CheckReplay(&p, kind, harness.Options{}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayDetectsTamper proves the invariant has teeth: a trace whose
+// recorded summary was altered must fail CheckReplay's comparison path.
+// (CheckReplay re-records internally, so tampering is staged through
+// diffSummaries directly plus a decode-level corruption.)
+func TestReplayDetectsTamper(t *testing.T) {
+	p := bench.ByName("telco")
+	if p == nil {
+		t.Fatal("telco benchmark missing")
+	}
+	r, err := harness.Run(p, harness.VMPyPyJIT, harness.Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Trace.Summary
+	tampered := sum
+	tampered.HeapChecksum ^= 1
+	if err := diffSummaries(&sum, &tampered); err == nil {
+		t.Error("heap checksum tamper not detected")
+	}
+	tampered = sum
+	if len(sum.Phases) == 0 {
+		t.Fatal("recorded summary has no phase counters")
+	}
+	tampered.Phases = append([]trace.PhaseSum(nil), sum.Phases...)
+	tampered.Phases[0].Instrs++
+	if err := diffSummaries(&sum, &tampered); err == nil {
+		t.Error("phase counter tamper not detected")
+	}
+
+	// Decode-level: flipping a bit in the encoding must not yield a
+	// trace that silently replays differently — it must not decode.
+	enc := r.Trace.Encode()
+	enc[len(enc)/2] ^= 1
+	if _, err := trace.Decode(enc); err == nil {
+		t.Error("corrupted encoding decoded successfully")
+	}
+}

@@ -40,6 +40,17 @@ type CellKey struct {
 	Profile       bool
 	ProfileDir    string
 	ProfileWindow uint64
+
+	// TraceHash is the content hash of a trace benchmark's recording
+	// (empty for synthetic programs). Two distinct recordings can carry
+	// the same benchmark name (bench.FromTrace appends only a hash
+	// prefix), so the full hash — not the name, never a file path — is
+	// what keeps replay memoization sound.
+	TraceHash string
+
+	Record      bool
+	RecordDir   string
+	ReplayAlloc bool
 }
 
 // Key fingerprints a cell.
@@ -54,9 +65,13 @@ func Key(p *bench.Program, kind VMKind, opt Options) CellKey {
 		Profile:           opt.Profile,
 		ProfileDir:        opt.ProfileDir,
 		ProfileWindow:     opt.ProfileWindow,
+		Record:            opt.Record,
+		RecordDir:         opt.RecordDir,
+		ReplayAlloc:       opt.ReplayAlloc,
 	}
 	if p != nil {
 		k.Bench = p.Name
+		k.TraceHash = p.TraceHash
 	}
 	if opt.HeapConfig != nil {
 		k.HasHeap = true
@@ -103,6 +118,15 @@ func (k CellKey) String() string {
 	}
 	if k.Profile || k.ProfileDir != "" {
 		s += "+profile"
+	}
+	if k.TraceHash != "" {
+		s += "+trace=" + k.TraceHash[:min(8, len(k.TraceHash))]
+	}
+	if k.Record || k.RecordDir != "" {
+		s += "+record"
+	}
+	if k.ReplayAlloc {
+		s += "+replay-alloc"
 	}
 	return s
 }

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -23,6 +24,7 @@ import (
 	"metajit/internal/pylang"
 	"metajit/internal/sklang"
 	"metajit/internal/static"
+	"metajit/internal/trace"
 )
 
 // VMKind selects one of the paper's VM configurations.
@@ -83,6 +85,20 @@ type Options struct {
 	// without perturbing the simulation, so a tracked run's Result is
 	// identical to an untracked one.
 	Live *LiveTracker
+	// Record attaches the trace recorder (internal/trace): every
+	// cross-layer annotation and heap allocation/free event is captured
+	// into Result.Trace, with the run's outcome sealed into the trace
+	// Summary. Nothing is attached when false and RecordDir is empty,
+	// so an unrecorded run is bit-identical to a pre-recorder one.
+	Record bool
+	// RecordDir, when non-empty, implies Record and writes the trace
+	// file (<bench>-<vm>.mtt) there, creating the directory if needed.
+	RecordDir string
+	// ReplayAlloc replays the benchmark's recorded allocation/free
+	// event stream directly against a fresh heap (trace.ReplayAllocs,
+	// the dj_trace mode) instead of executing guest code. Requires a
+	// trace benchmark (bench.FromTrace / bench.LoadTraceDir).
+	ReplayAlloc bool
 }
 
 // DefaultProfileWindow is the time-series window (in retired
@@ -119,6 +135,16 @@ type Result struct {
 	// paths written under Options.ProfileDir.
 	Profile      *profile.Profiler
 	ProfileFiles []string
+
+	// HeapChecksum is the structural hash of the final guest-visible
+	// heap (pylang.VM.HeapChecksum); 0 for static-kernel and
+	// alloc-replay runs, which have no guest heap state.
+	HeapChecksum uint64
+	// Trace is the finished recording (nil unless Options.Record or
+	// RecordDir enabled it); TraceFile is the path written under
+	// Options.RecordDir.
+	Trace     *trace.Trace
+	TraceFile string
 }
 
 type aotInfo struct {
@@ -165,6 +191,9 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	defer lr.end()
 
 	if kind == VMC {
+		if opt.Record || opt.RecordDir != "" || opt.ReplayAlloc {
+			return nil, fmt.Errorf("harness: trace record/replay unsupported for %s", kind)
+		}
 		k := static.ByName(p.Name)
 		if k == nil {
 			return nil, fmt.Errorf("harness: no static kernel for %s", p.Name)
@@ -179,6 +208,10 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	wm := pintool.NewWorkMeter(mach, opt.SampleInterval)
 	att := pintool.NewAOTAttributor(mach)
 	events := pintool.NewTraceEventCounter(mach)
+
+	if opt.ReplayAlloc {
+		return runAllocReplay(p, kind, opt, mach, res)
+	}
 
 	cfg := pylang.Config{}
 	src := p.Source
@@ -214,15 +247,8 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	cfg.Threshold = opt.Threshold
 	cfg.BridgeThreshold = opt.BridgeThreshold
 	cfg.Opts = opt.Opts
-	if opt.HeapConfig != nil {
-		cfg.HeapConfig = opt.HeapConfig
-	} else {
-		cfg.HeapConfig = &heap.Config{
-			NurserySize:    32 << 10,
-			MajorThreshold: 384 << 10,
-			MajorGrowth:    1.82,
-		}
-	}
+	hcfg := heapConfigOf(opt)
+	cfg.HeapConfig = &hcfg
 
 	// The profiler attaches after the pintool observers — PhaseTracker
 	// must run first so barrier checks see the post-switch phase — and
@@ -291,8 +317,30 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 		}()
 	}
 
+	// The recorder attaches after the profiler, so both see the same
+	// annotation stream; the heap tracer attaches right after the VM's
+	// heap exists, before any guest code (module init included) runs.
+	var rec *trace.Recorder
+	if opt.Record || opt.RecordDir != "" {
+		guest := trace.GuestPy
+		if scheme {
+			guest = trace.GuestSk
+		}
+		rec = trace.NewRecorder(trace.Header{
+			Guest:  guest,
+			Name:   p.Name,
+			VM:     string(kind),
+			Source: src,
+			Config: snapshotConfig(opt, hcfg),
+		})
+		mach.Observe(rec)
+	}
+
 	vm := pylang.New(mach, cfg)
 	profVM = vm
+	if rec != nil {
+		vm.H.SetTracer(rec)
+	}
 	var log *jitlog.Log
 	if cfg.JIT {
 		log = jitlog.Attach(vm.Eng)
@@ -350,6 +398,197 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	res.AOTNames = map[uint32]aotInfo{}
 	for _, f := range vm.RT.Funcs() {
 		res.AOTNames[f.ID] = aotInfo{Name: f.Name, Src: f.Src.String()}
+	}
+	// The heap checksum is a pure Go walk (no simulated instructions),
+	// so computing it here perturbs nothing; it feeds the recorded
+	// summary and the record→replay equivalence checks.
+	res.HeapChecksum = vm.HeapChecksum()
+	if rec != nil {
+		if err := finishRecording(rec, res, opt, mach, res.HeapChecksum, res.GC); err != nil {
+			return nil, err
+		}
+	}
+	res.finish(mach)
+	return res, nil
+}
+
+// heapConfigOf resolves the effective heap geometry of a run: the
+// explicit override, or the benchmark default that scales the paper's
+// testbed down to simulator workload sizes.
+func heapConfigOf(opt Options) heap.Config {
+	if opt.HeapConfig != nil {
+		return *opt.HeapConfig
+	}
+	return heap.Config{
+		NurserySize:    32 << 10,
+		MajorThreshold: 384 << 10,
+		MajorGrowth:    1.82,
+	}
+}
+
+// snapshotConfig pins the replay-affecting options into a trace header.
+func snapshotConfig(opt Options, hcfg heap.Config) trace.ConfigSnapshot {
+	return trace.ConfigSnapshot{
+		Threshold:         int64(opt.Threshold),
+		BridgeThreshold:   int64(opt.BridgeThreshold),
+		BaselineThreshold: int64(opt.BaselineThreshold),
+		NurserySize:       hcfg.NurserySize,
+		MajorThreshold:    hcfg.MajorThreshold,
+		MajorGrowthBits:   math.Float64bits(hcfg.MajorGrowth),
+	}
+}
+
+// ReplayOptions reconstructs the Options a trace was recorded under:
+// tier thresholds and heap geometry come from the header's config
+// snapshot. Recordings made under custom Params/Opts overrides must be
+// replayed with the same overrides passed explicitly; the snapshot
+// covers the options a recording changes by default.
+func ReplayOptions(t *trace.Trace) Options {
+	c := t.Header.Config
+	hc := heap.Config{
+		NurserySize:    c.NurserySize,
+		MajorThreshold: c.MajorThreshold,
+		MajorGrowth:    c.MajorGrowth(),
+	}
+	return Options{
+		Threshold:         int(c.Threshold),
+		BridgeThreshold:   int(c.BridgeThreshold),
+		BaselineThreshold: int(c.BaselineThreshold),
+		HeapConfig:        &hc,
+	}
+}
+
+// finishRecording seals the recorder with the run's outcome and writes
+// the trace file when RecordDir asks for one.
+func finishRecording(rec *trace.Recorder, res *Result, opt Options, mach *cpu.Machine, heapCk uint64, gc heap.Stats) error {
+	sum := trace.Summary{
+		Checksum:     res.Checksum,
+		HeapChecksum: heapCk,
+		Instrs:       mach.TotalInstrs(),
+		CyclesBits:   math.Float64bits(mach.TotalCycles()),
+		Phases:       make([]trace.PhaseSum, core.NumPhases),
+		GC: trace.GCSum{
+			Minor:         gc.Minor,
+			Major:         gc.Major,
+			AllocObjects:  gc.AllocObjects,
+			AllocBytes:    gc.AllocBytes,
+			PromotedBytes: gc.PromotedBytes,
+			Skipped:       gc.Skipped,
+		},
+	}
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		c := mach.PhaseCounters(ph)
+		sum.Phases[ph] = trace.PhaseSum{Instrs: c.Instrs, CyclesBits: math.Float64bits(c.Cycles)}
+	}
+	tr := rec.Finish(sum)
+	res.Trace = tr
+	if opt.RecordDir != "" {
+		path := filepath.Join(opt.RecordDir, trace.FileName(res.Bench, string(res.VM)))
+		if err := trace.WriteFile(path, tr); err != nil {
+			return fmt.Errorf("harness: record: %w", err)
+		}
+		res.TraceFile = path
+	}
+	return nil
+}
+
+// runAllocReplay is the dj_trace execution mode: no guest code runs;
+// the trace's allocation/free event stream drives a fresh heap (and
+// through it the generational collector) directly. The phase tracker,
+// profiler, and recorder all work unchanged — the annotation stream
+// simply contains only GC activity.
+func runAllocReplay(p *bench.Program, kind VMKind, opt Options, mach *cpu.Machine, res *Result) (*Result, error) {
+	if p.Trace == nil {
+		return nil, fmt.Errorf("harness: %s: replay-alloc needs a trace benchmark (bench.FromTrace)", p.Name)
+	}
+	hcfg := heapConfigOf(opt)
+
+	var (
+		prof       *profile.Profiler
+		chromeFile *os.File
+		chromeBuf  *bufio.Writer
+		chromePath string
+	)
+	if opt.Profile || opt.ProfileDir != "" {
+		pcfg := profile.Config{Window: opt.ProfileWindow, ClockHz: mach.Params().ClockHz}
+		if pcfg.Window == 0 {
+			pcfg.Window = DefaultProfileWindow
+		}
+		if opt.ProfileDir != "" {
+			if err := os.MkdirAll(opt.ProfileDir, 0o755); err != nil {
+				return nil, fmt.Errorf("harness: profile dir: %w", err)
+			}
+			chromePath = filepath.Join(opt.ProfileDir, fmt.Sprintf("%s-%s.trace.json", p.Name, kind))
+			f, err := os.Create(chromePath)
+			if err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			chromeFile = f
+			chromeBuf = bufio.NewWriter(f)
+			pcfg.Chrome = chromeBuf
+		}
+		prof = profile.Attach(mach, pcfg)
+		defer func() {
+			if chromeFile != nil {
+				chromeFile.Close()
+			}
+		}()
+	}
+
+	var rec *trace.Recorder
+	if opt.Record || opt.RecordDir != "" {
+		rec = trace.NewRecorder(trace.Header{
+			Guest:  p.Trace.Header.Guest,
+			Name:   p.Name,
+			VM:     string(kind),
+			Source: p.Trace.Header.Source,
+			Config: snapshotConfig(opt, hcfg),
+		})
+		mach.Observe(rec)
+	}
+
+	h := heap.New(mach, hcfg)
+	if rec != nil {
+		h.SetTracer(rec)
+	}
+	stats, err := trace.ReplayAllocs(h, p.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", p.Name, err)
+	}
+	// The replay's checksum is its applied-allocation count: a stable,
+	// config-independent fingerprint of how much of the stream ran.
+	res.Checksum = int64(stats.Allocs)
+	res.GC = h.Stats()
+
+	if prof != nil {
+		prof.Finish()
+		res.Profile = prof
+		if opt.ProfileDir != "" {
+			if err := chromeBuf.Flush(); err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			if err := chromeFile.Close(); err != nil {
+				return nil, fmt.Errorf("harness: profile trace: %w", err)
+			}
+			chromeFile = nil
+			res.ProfileFiles = append(res.ProfileFiles, chromePath)
+			base := fmt.Sprintf("%s-%s", p.Name, kind)
+			folded := filepath.Join(opt.ProfileDir, base+".folded")
+			if err := writeArtifact(folded, prof.Stream.WriteFolded); err != nil {
+				return nil, fmt.Errorf("harness: profile flamegraph: %w", err)
+			}
+			res.ProfileFiles = append(res.ProfileFiles, folded)
+			series := filepath.Join(opt.ProfileDir, base+".series.txt")
+			if err := writeArtifact(series, prof.Stream.WriteSeries); err != nil {
+				return nil, fmt.Errorf("harness: profile series: %w", err)
+			}
+			res.ProfileFiles = append(res.ProfileFiles, series)
+		}
+	}
+	if rec != nil {
+		if err := finishRecording(rec, res, opt, mach, 0, res.GC); err != nil {
+			return nil, err
+		}
 	}
 	res.finish(mach)
 	return res, nil

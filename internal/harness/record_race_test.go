@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"metajit/internal/bench"
+)
+
+// TestParallelRecordingDeterministic runs recorded cells through the
+// memoizing Runner at full parallelism and compares every trace against
+// a serial (-j1) run: the recordings must be byte-identical. This is
+// both the recorder's race test (under `make race` the Runner's workers
+// exercise concurrent recording) and the determinism contract that
+// makes committed fixtures meaningful — a recording must not depend on
+// scheduling.
+func TestParallelRecordingDeterministic(t *testing.T) {
+	benches := []string{"telco", "nbody", "binarytrees"}
+	kinds := []VMKind{VMPyPyJIT, VMPyPyTiered}
+
+	runAll := func(workers int) map[string]*Result {
+		r := NewRunner(workers)
+		for _, b := range benches {
+			for _, k := range kinds {
+				r.Prefetch(bench.ByName(b), k, Options{Record: true})
+			}
+		}
+		out := map[string]*Result{}
+		for _, b := range benches {
+			for _, k := range kinds {
+				res, err := r.Get(bench.ByName(b), k, Options{Record: true})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", b, k, err)
+				}
+				if res.Trace == nil {
+					t.Fatalf("%s/%s: no trace recorded", b, k)
+				}
+				out[b+"/"+string(k)] = res
+			}
+		}
+		return out
+	}
+
+	serial := runAll(1)
+	parallel := runAll(4)
+	for cell, want := range serial {
+		got := parallel[cell]
+		if !bytes.Equal(got.Trace.Encode(), want.Trace.Encode()) {
+			t.Errorf("%s: parallel recording differs from serial", cell)
+		}
+		if got.Trace.Hash() != want.Trace.Hash() {
+			t.Errorf("%s: content hash differs across worker counts", cell)
+		}
+	}
+
+	// Alloc replay through the parallel Runner: replayed cells must be
+	// scheduling-independent too (the replayer's root table is ordered,
+	// not map-iterated — this breaks if that ever regresses).
+	tp := bench.FromTrace(serial["telco/pypy"].Trace)
+	r := NewRunner(4)
+	r.Prefetch(&tp, VMPyPyJIT, Options{ReplayAlloc: true})
+	r.Prefetch(&tp, VMPyPyJIT, Options{})
+	rr, err := r.Get(&tp, VMPyPyJIT, Options{ReplayAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.GC.Minor == 0 {
+		t.Error("alloc replay of telco recording drove no minor GC")
+	}
+	rd, err := r.Get(&tp, VMPyPyJIT, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Checksum != serial["telco/pypy"].Checksum {
+		t.Errorf("guest re-drive checksum %d, recorded run %d", rd.Checksum, serial["telco/pypy"].Checksum)
+	}
+}

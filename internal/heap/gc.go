@@ -86,6 +86,9 @@ func (h *Heap) minor(reason uint64) {
 		if o.gen == 0 && o.mark != h.epoch {
 			o.live = false
 			h.stats.CollectedYoung++
+			if h.tracer != nil {
+				h.tracer.TraceFree(o)
+			}
 		}
 	}
 	// Nursery reset: the collector re-zeroes the nursery for the next
@@ -209,6 +212,9 @@ func (h *Heap) major(reason uint64) {
 			liveBytes += o.size
 		} else {
 			o.live = false
+			if h.tracer != nil {
+				h.tracer.TraceFree(o)
+			}
 		}
 	}
 	h.old = liveOld

@@ -55,6 +55,34 @@ type NativeSized interface {
 	NativeSize() uint64
 }
 
+// AllocKind distinguishes the three allocation entry points for trace
+// recording (internal/trace): plain objects, bytes payloads (strings),
+// and objects with an array part.
+type AllocKind uint8
+
+// The allocation entry points, in AllocKind order.
+const (
+	AllocObjKind AllocKind = iota
+	AllocBytesKind
+	AllocElemsKind
+)
+
+// Tracer observes allocator and collector object events. A tracer is
+// attached by the trace recorder; detached (the default) the hooks cost
+// one nil pointer test per allocation and none per field access, so an
+// untraced run is bit-identical to a pre-hook one.
+type Tracer interface {
+	// TraceAlloc fires after an object is allocated (address, UID, and
+	// size assigned; a triggered minor collection already finished).
+	TraceAlloc(o *Obj, kind AllocKind)
+	// TraceFree fires when a collection finds an object dead. Objects
+	// still live at VM exit never see TraceFree.
+	TraceFree(o *Obj)
+}
+
+// SetTracer attaches (or, with nil, detaches) the allocation tracer.
+func (h *Heap) SetTracer(t Tracer) { h.tracer = t }
+
 // Stats accumulates collector statistics for EXPERIMENTS.md reporting.
 type Stats struct {
 	Minor          uint64
@@ -87,6 +115,7 @@ type Heap struct {
 	stats   Stats
 
 	shapes   []*Shape
+	tracer   Tracer
 	gcActive bool
 	inMajor  bool
 }
@@ -157,6 +186,9 @@ func (h *Heap) AllocObj(shape *Shape, nFields int) *Obj {
 	}
 	o.recomputeSize()
 	h.allocate(o)
+	if h.tracer != nil {
+		h.tracer.TraceAlloc(o, AllocObjKind)
+	}
 	return o
 }
 
@@ -165,6 +197,9 @@ func (h *Heap) AllocBytes(shape *Shape, b []byte) *Obj {
 	o := &Obj{Shape: shape, Bytes: b, live: true}
 	o.recomputeSize()
 	h.allocate(o)
+	if h.tracer != nil {
+		h.tracer.TraceAlloc(o, AllocBytesKind)
+	}
 	return o
 }
 
@@ -179,6 +214,9 @@ func (h *Heap) AllocElems(shape *Shape, nFields, n int) *Obj {
 	h.allocate(o)
 	o.elemsAddr = h.bump(8 * uint64(max(n, 1)))
 	o.recomputeSize()
+	if h.tracer != nil {
+		h.tracer.TraceAlloc(o, AllocElemsKind)
+	}
 	return o
 }
 

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FileExt is the trace file extension.
+const FileExt = ".mtt"
+
+// ReadFile loads and decodes one trace file.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to path, creating parent directories.
+func WriteFile(path string, t *Trace) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, t.Encode(), 0o644)
+}
+
+// FileName returns the canonical trace file name for a (benchmark, VM)
+// pair: "<bench>-<vm>.mtt" with path-hostile runes flattened.
+func FileName(bench, vm string) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch r {
+			case '/', '\\', ':', ' ':
+				return '-'
+			}
+			return r
+		}, s)
+	}
+	return clean(bench) + "-" + clean(vm) + FileExt
+}

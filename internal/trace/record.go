@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"metajit/internal/core"
+	"metajit/internal/heap"
+)
+
+// Recorder captures a run's guest-program and heap events into the
+// trace wire format. It plugs into the two existing observation points
+// of the stack with no new per-event machinery:
+//
+//   - as a core.Observer on the machine's annotation stream (the same
+//     fan-out the pintool and the streaming profiler ride), recording
+//     every cross-layer annotation — dispatch ticks run-length
+//     compressed, everything else verbatim with instruction deltas;
+//   - as a heap.Tracer, recording each allocation (shape, kind, size)
+//     and each collector-observed death as dj_trace-style alloc/free
+//     events with allocation-index lifetimes.
+//
+// A Recorder is single-run and single-goroutine, like the profiler: it
+// appends encoded bytes directly, so recording cost is a few appends
+// per event and detached cost is zero (nothing is attached).
+type Recorder struct {
+	hdr     Header
+	events  []byte
+	nEvents uint64
+
+	// Annotation-stream state: lastInstr anchors instruction deltas;
+	// a pending run of dispatch ticks is flushed when any other event
+	// (annotation or heap) interleaves, preserving stream order.
+	lastInstr  uint64
+	pendTicks  uint64
+	pendBC     uint64
+	pendInstr  uint64
+	pendCycles uint64
+
+	// Heap state: allocIdx numbers allocations; liveIdx maps an
+	// object's UID to its allocation index so deaths can be emitted as
+	// compact backward distances.
+	allocIdx   uint64
+	liveIdx    map[uint64]uint64
+	shapesSeen map[uint32]bool
+
+	finished bool
+}
+
+var (
+	_ core.Observer = (*Recorder)(nil)
+	_ heap.Tracer   = (*Recorder)(nil)
+)
+
+// NewRecorder returns a recorder for one run. The header's Version and
+// Schema are forced to the current format; everything else (identity,
+// source, config snapshot) is the caller's.
+func NewRecorder(hdr Header) *Recorder {
+	hdr.Version = FormatVersion
+	hdr.Schema = DefaultSchema()
+	return &Recorder{
+		hdr:        hdr,
+		liveIdx:    map[uint64]uint64{},
+		shapesSeen: map[uint32]bool{},
+	}
+}
+
+func (r *Recorder) emit(kind uint64, args ...uint64) {
+	r.events = appendUvarint(r.events, kind)
+	for _, a := range args {
+		r.events = appendUvarint(r.events, a)
+	}
+	r.nEvents++
+}
+
+func (r *Recorder) flushDispatch() {
+	if r.pendTicks == 0 {
+		return
+	}
+	r.emit(EvDispatch, r.pendTicks, r.pendBC, r.pendInstr-r.lastInstr)
+	r.lastInstr = r.pendInstr
+	r.pendTicks, r.pendBC = 0, 0
+}
+
+// OnAnnotation implements core.Observer.
+func (r *Recorder) OnAnnotation(a core.Annotation, instrs, cycles uint64) {
+	if a.Tag == core.TagDispatch {
+		r.pendTicks++
+		r.pendBC += a.Arg
+		r.pendInstr = instrs
+		return
+	}
+	r.flushDispatch()
+	r.emit(EvAnnot, uint64(a.Tag), a.Arg, instrs-r.lastInstr)
+	r.lastInstr = instrs
+}
+
+// TraceAlloc implements heap.Tracer.
+func (r *Recorder) TraceAlloc(o *heap.Obj, kind heap.AllocKind) {
+	r.flushDispatch()
+	if s := o.Shape; s != nil && !r.shapesSeen[s.ID] {
+		r.shapesSeen[s.ID] = true
+		r.emit(EvShape, uint64(s.ID), uint64(s.NumFields))
+	}
+	var shapeID uint64
+	if o.Shape != nil {
+		shapeID = uint64(o.Shape.ID)
+	}
+	payload := len(o.Elems)
+	if kind == heap.AllocBytesKind {
+		payload = len(o.Bytes)
+	}
+	r.emit(EvAlloc, shapeID, uint64(kind), uint64(len(o.Fields)), uint64(payload), o.Size())
+	r.liveIdx[o.UID()] = r.allocIdx
+	r.allocIdx++
+}
+
+// TraceFree implements heap.Tracer. Deaths of objects allocated before
+// the recorder attached (VM bootstrap objects) are skipped: they have
+// no allocation index in this trace.
+func (r *Recorder) TraceFree(o *heap.Obj) {
+	idx, ok := r.liveIdx[o.UID()]
+	if !ok {
+		return
+	}
+	delete(r.liveIdx, o.UID())
+	r.flushDispatch()
+	r.emit(EvFree, r.allocIdx-idx)
+}
+
+// Events returns how many events have been recorded so far (pending
+// dispatch runs count as one).
+func (r *Recorder) Events() uint64 {
+	n := r.nEvents
+	if r.pendTicks > 0 {
+		n++
+	}
+	return n
+}
+
+// Finish seals the recording: pending dispatch runs are flushed, the
+// summary (the replay ground truth, filled in by the harness from the
+// finished run) is attached, and the complete Trace is returned. The
+// recorder must not observe further events afterwards.
+func (r *Recorder) Finish(sum Summary) *Trace {
+	if r.finished {
+		panic("trace: Recorder.Finish called twice")
+	}
+	r.finished = true
+	r.flushDispatch()
+	sum.Events = r.nEvents
+	return &Trace{Header: r.hdr, Summary: sum, EventData: r.events}
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+
+	"metajit/internal/heap"
+)
+
+// AllocStats summarizes one allocation replay.
+type AllocStats struct {
+	Allocs  uint64 // allocation events applied
+	Frees   uint64 // free events applied (object released for collection)
+	Shapes  uint64 // shapes declared
+	Skipped uint64 // events of other kinds (annotations) passed over
+	Bytes   uint64 // simulated bytes allocated
+}
+
+// ReplayAllocs drives a heap directly from a trace's recorded
+// allocation/free event stream — the dj_trace idea: no guest code runs,
+// but the generational collector sees the recorded object demography
+// (shapes, sizes, allocation order, lifetimes) and collects under real
+// pressure. Replayed objects stay reachable through a root table until
+// their recorded death, then become garbage for the next collection.
+//
+// Fidelity note: allocation sites are replayed exactly (shape, kind,
+// field/payload counts); post-allocation growth (list resizes, dict
+// rehashes) is not in the event stream, so total allocated bytes can
+// undercount the recording. The exact-reproduction path is guest
+// re-drive (bench.FromTrace through the harness); this path exists to
+// stress the collector with recorded patterns in isolation.
+func ReplayAllocs(h *heap.Heap, t *Trace) (AllocStats, error) {
+	var stats AllocStats
+	shapes := map[uint64]*heap.Shape{}
+	// live is indexed by allocation order; a freed slot goes nil. The
+	// slice (not a map) keeps root enumeration deterministic, which the
+	// memoizing runner depends on (-j1 and -jN must be byte-identical).
+	var live []*heap.Obj
+	h.AddRoots(heap.RootFunc(func(visit func(*heap.Obj)) {
+		for _, o := range live {
+			if o != nil {
+				visit(o)
+			}
+		}
+	}))
+	shapeFor := func(id, nFields uint64) *heap.Shape {
+		s, ok := shapes[id]
+		if !ok {
+			s = h.NewShape(fmt.Sprintf("trace.shape%d", id), int(nFields))
+			shapes[id] = s
+		}
+		return s
+	}
+	err := t.WalkEvents(func(e Event) error {
+		switch e.Kind {
+		case EvShape:
+			shapeFor(e.Args[0], e.Args[1])
+			stats.Shapes++
+		case EvAlloc:
+			shapeID, kind := e.Args[0], heap.AllocKind(e.Args[1])
+			nFields, payload := int(e.Args[2]), int(e.Args[3])
+			var o *heap.Obj
+			switch kind {
+			case heap.AllocBytesKind:
+				o = h.AllocBytes(shapeFor(shapeID, uint64(nFields)), make([]byte, payload))
+			case heap.AllocElemsKind:
+				o = h.AllocElems(shapeFor(shapeID, uint64(nFields)), nFields, payload)
+			default:
+				o = h.AllocObj(shapeFor(shapeID, uint64(nFields)), nFields)
+			}
+			live = append(live, o)
+			stats.Allocs++
+			stats.Bytes += o.Size()
+		case EvFree:
+			age := e.Args[0]
+			idx := uint64(len(live))
+			if age == 0 || age > idx {
+				return fmt.Errorf("%w: free with age %d at allocation index %d",
+					ErrCorrupt, age, idx)
+			}
+			if live[idx-age] != nil {
+				live[idx-age] = nil
+				stats.Frees++
+			}
+		default:
+			stats.Skipped++
+		}
+		return nil
+	})
+	return stats, err
+}
