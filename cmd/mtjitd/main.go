@@ -1,8 +1,20 @@
-// Command mtjitd is the long-running introspection daemon: it executes
-// benchmark requests over HTTP through the memoizing harness runner and
-// exposes live telemetry for the whole simulator stack.
+// Command mtjitd is the simulation-serving daemon. It runs in three
+// modes:
 //
-// Endpoints:
+//	-mode single    (default) the original single-process introspection
+//	                daemon: memoizing runner, /metrics, live /vm views.
+//	-mode worker    one shard of a cluster: simulates the cells routed
+//	                to it, persists results in the shared
+//	                content-addressed store (-store), sheds load with
+//	                429 past -max-pending, and drains gracefully on
+//	                SIGTERM (finish in-flight, 503 new requests so the
+//	                frontend fails over, then exit).
+//	-mode frontend  the routing tier: consistent-hashes cells across
+//	                -peers workers, dedups identical in-flight cells,
+//	                retries/fails over along the ring, and propagates
+//	                worker 429 backpressure to clients.
+//
+// Single-mode endpoints:
 //
 //	POST /run          {"bench":"telco","vm":"pypy-tiered"} — run (memoized)
 //	GET  /metrics      Prometheus text exposition
@@ -12,11 +24,16 @@
 //	GET  /vm/warmup    per-tier work-fraction progress (SSE stream)
 //	GET  /debug/pprof  Go runtime profiling
 //
+// Worker adds /drain (POST); frontend serves /run, /metrics, /healthz,
+// /ring. See EXPERIMENTS.md "Cluster serving" for topology and failure
+// semantics, and cmd/mtjitload for driving a cluster at saturation.
+//
 // Usage:
 //
 //	mtjitd -addr :8077
-//	curl -s -X POST localhost:8077/run -d '{"bench":"telco","vm":"pypy"}'
-//	curl -s localhost:8077/metrics | grep ^mtjit_
+//	mtjitd -mode worker -addr :8101 -store /var/mtjit/store
+//	mtjitd -mode frontend -addr :8100 -peers http://127.0.0.1:8101,http://127.0.0.1:8102
+//	curl -s -X POST localhost:8100/run -d '{"bench":"telco","vm":"pypy"}'
 package main
 
 import (
@@ -27,31 +44,92 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"metajit/internal/cluster"
 	"metajit/internal/mtjitd"
 )
 
 func main() {
+	mode := flag.String("mode", "single", "single | worker | frontend")
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 0, "concurrent simulations (0: NumCPU)")
 	maxPending := flag.Int("max-pending", 0, "run requests accepted at once before shedding with 429 (0: 4x workers)")
-	liveInterval := flag.Int("live-interval", 0, "live-snapshot publish cadence in machine annotations (0: default)")
+	liveInterval := flag.Int("live-interval", 0, "live-snapshot publish cadence in machine annotations (0: default; single mode)")
+	storeDir := flag.String("store", "", "content-addressed result store directory (worker mode; empty: no persistence)")
+	traceDir := flag.String("traces", "", "recorded-trace benchmark directory served in addition to the built-ins")
+	name := flag.String("name", "", "worker name for telemetry (worker mode; default: addr)")
+	peers := flag.String("peers", "", "comma-separated worker base URLs (frontend mode)")
+	replicas := flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0: default)")
+	attempts := flag.Int("attempts", 0, "distinct workers tried per request before giving up (0: all)")
+	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight requests")
 	flag.Parse()
 
-	srv := mtjitd.New(mtjitd.Config{
-		Workers:      *workers,
-		MaxPending:   *maxPending,
-		LiveInterval: *liveInterval,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler
+	var onShutdown func()
+	switch *mode {
+	case "single":
+		srv := mtjitd.New(mtjitd.Config{
+			Workers:      *workers,
+			MaxPending:   *maxPending,
+			LiveInterval: *liveInterval,
+		})
+		handler = srv.Handler()
+	case "worker":
+		catalog, err := cluster.NewCatalog(*traceDir)
+		if err != nil {
+			fatal(err)
+		}
+		var store *cluster.Store
+		if *storeDir != "" {
+			if store, err = cluster.OpenStore(*storeDir); err != nil {
+				fatal(err)
+			}
+		}
+		wname := *name
+		if wname == "" {
+			wname = *addr
+		}
+		w := cluster.NewWorker(cluster.WorkerConfig{
+			Name:                  wname,
+			Workers:               *workers,
+			MaxPending:            *maxPending,
+			Store:                 store,
+			Catalog:               catalog,
+			InstallStackTelemetry: true,
+		})
+		handler = w.Handler()
+		// Drain before Shutdown: new requests 503 immediately (the
+		// frontend fails them over) while Shutdown waits out in-flight
+		// ones — the "finish in-flight, stop accepting, hand off" step.
+		onShutdown = w.Drain
+	case "frontend":
+		if *peers == "" {
+			fatal(errors.New("frontend mode needs -peers"))
+		}
+		catalog, err := cluster.NewCatalog(*traceDir)
+		if err != nil {
+			fatal(err)
+		}
+		f := cluster.NewFrontend(cluster.FrontendConfig{
+			Workers:  strings.Split(*peers, ","),
+			Replicas: *replicas,
+			Attempts: *attempts,
+			Catalog:  catalog,
+		})
+		handler = f.Handler()
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
 
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "mtjitd: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "mtjitd: %s mode, listening on %s\n", *mode, *addr)
 
 	select {
 	case err := <-errc:
@@ -60,10 +138,18 @@ func main() {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "mtjitd: shutting down")
-	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if onShutdown != nil {
+		onShutdown()
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "mtjitd: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mtjitd: %v\n", err)
+	os.Exit(1)
 }

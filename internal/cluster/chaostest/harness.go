@@ -1,0 +1,260 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"metajit/internal/bench"
+	"metajit/internal/cluster"
+	"metajit/internal/harness"
+)
+
+// ExecFunc is a simulation executor — the same signature the harness
+// runner's SetSimulate hook takes. nil means the real simulator.
+type ExecFunc = func(*bench.Program, harness.VMKind, harness.Options) (*harness.Result, error)
+
+// Cluster is an in-process frontend + N workers sharing one store
+// directory, wired through a chaos Transport. Kill marks a worker's
+// host unreachable; Restart replaces it with a brand-new Worker over
+// the same store — modelling exactly what a process restart loses (the
+// in-RAM memo) and what it keeps (the disk store).
+type Cluster struct {
+	t       testing.TB
+	dir     string
+	tr      *Transport
+	fe      *cluster.Frontend
+	catalog *cluster.Catalog
+	exec    ExecFunc
+	hosts   []string
+
+	mu       sync.Mutex
+	workers  map[string]*cluster.Worker
+	retired  []*cluster.Worker
+	oracles  map[string][]byte
+	oracleRn *harness.Runner
+}
+
+// New builds a chaos cluster of n workers with the given seed and
+// fault plan. exec replaces the simulator on every worker (including
+// restarted ones); pass nil to run real simulations.
+func New(t testing.TB, n int, seed int64, plan Plan, exec ExecFunc) *Cluster {
+	t.Helper()
+	catalog, err := cluster.NewCatalog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Cluster{
+		t:       t,
+		dir:     t.TempDir(),
+		tr:      NewTransport(seed, plan),
+		catalog: catalog,
+		exec:    exec,
+		workers: map[string]*cluster.Worker{},
+		oracles: map[string][]byte{},
+	}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("w%d", i)
+		c.hosts = append(c.hosts, host)
+		urls[i] = "http://" + host
+		c.start(host)
+	}
+	c.fe = cluster.NewFrontend(cluster.FrontendConfig{
+		Workers:        urls,
+		Backoff:        time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+		Client:         &http.Client{Transport: c.tr},
+		Catalog:        catalog,
+	})
+	return c
+}
+
+// start builds a worker for host over the shared store directory and
+// registers it with the transport. Each worker opens its own store
+// handle, like separate processes sharing a disk.
+func (c *Cluster) start(host string) {
+	c.t.Helper()
+	store, err := cluster.OpenStore(c.dir)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Name:       host,
+		Workers:    4,
+		MaxPending: 1024, // chaos tests exercise faults, not shedding
+		Store:      store,
+		Catalog:    c.catalog,
+	})
+	if c.exec != nil {
+		w.Runner().SetSimulate(c.exec)
+	}
+	c.mu.Lock()
+	if old := c.workers[host]; old != nil {
+		c.retired = append(c.retired, old)
+	}
+	c.workers[host] = w
+	c.mu.Unlock()
+	c.tr.Register(host, w.Handler())
+}
+
+// Hosts lists the worker host names.
+func (c *Cluster) Hosts() []string { return c.hosts }
+
+// Frontend exposes the frontend under test.
+func (c *Cluster) Frontend() *cluster.Frontend { return c.fe }
+
+// Kill makes host unreachable (connection refused) until Restart.
+func (c *Cluster) Kill(host string) { c.tr.Kill(host) }
+
+// Restart replaces host with a fresh worker: empty memo, same store.
+func (c *Cluster) Restart(host string) { c.start(host) }
+
+// Simulations totals real executor invocations across every worker
+// that ever lived in this cluster.
+func (c *Cluster) Simulations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, w := range c.workers {
+		total += w.Runner().Simulations()
+	}
+	for _, w := range c.retired {
+		total += w.Runner().Simulations()
+	}
+	return total
+}
+
+// CorruptRandomBlob flips one bit in one stored blob chosen by rng,
+// returning the path ("" if the store is empty). Quarantined blobs are
+// not candidates.
+func (c *Cluster) CorruptRandomBlob(rng *rand.Rand) string {
+	c.t.Helper()
+	var blobs []string
+	_ = filepath.WalkDir(c.dir, func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(p, ".mtjs") {
+			blobs = append(blobs, p)
+		}
+		return err
+	})
+	if len(blobs) == 0 {
+		return ""
+	}
+	sort.Strings(blobs)
+	p := blobs[rng.Intn(len(blobs))]
+	b, err := os.ReadFile(p)
+	if err != nil || len(b) == 0 {
+		return ""
+	}
+	b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(8))
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		c.t.Fatal(err)
+	}
+	return p
+}
+
+// Post drives one request through the frontend handler in-process and
+// returns the status code and raw body.
+func (c *Cluster) Post(body string) (int, []byte) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "http://frontend/run", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	c.fe.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// Oracle returns the canonical result bytes the single-process
+// memoizer would produce for this request body — the ground truth every
+// accepted cluster response is compared against. Computed once per
+// cell on a private runner that sees no chaos.
+func (c *Cluster) Oracle(body string) []byte {
+	c.t.Helper()
+	var req cluster.Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		c.t.Fatal(err)
+	}
+	p, kind, opt, id, err := c.catalog.Cell(&req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.oracles[id.Hex()]; ok {
+		return b
+	}
+	var res *harness.Result
+	if c.exec != nil {
+		res, err = c.exec(p, kind, opt)
+	} else {
+		if c.oracleRn == nil {
+			c.oracleRn = harness.NewRunner(2)
+		}
+		res, err = c.oracleRn.Get(p, kind, opt)
+	}
+	if err != nil {
+		c.t.Fatalf("oracle simulation failed: %v", err)
+	}
+	b := cluster.FromResult(res).Encode()
+	c.oracles[id.Hex()] = b
+	return b
+}
+
+// CheckAccepted enforces the chaos invariant on one response: an
+// accepted (200) reply must decode and carry exactly the oracle's
+// bytes. Non-200 responses are legitimate under chaos and return
+// false, nil.
+func (c *Cluster) CheckAccepted(status int, raw []byte, body string) (accepted bool, err error) {
+	if status != http.StatusOK {
+		return false, nil
+	}
+	var rr struct {
+		Source string          `json:"source"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return true, fmt.Errorf("accepted response does not parse: %v", err)
+	}
+	var wres cluster.WireResult
+	if err := json.Unmarshal(rr.Result, &wres); err != nil {
+		return true, fmt.Errorf("accepted result does not parse: %v", err)
+	}
+	got := wres.Encode()
+	want := c.Oracle(body)
+	if string(got) != string(want) {
+		return true, fmt.Errorf("accepted response (source %s) differs from single-process oracle for %s", rr.Source, body)
+	}
+	return true, nil
+}
+
+// MustEventually retries body through the frontend until it is
+// accepted (verifying the invariant on every acceptance along the way)
+// or attempts run out — under a chaos plan with drops, individual
+// requests may legitimately fail, but the cluster must converge.
+func (c *Cluster) MustEventually(body string, attempts int) {
+	c.t.Helper()
+	var lastStatus int
+	var lastBody []byte
+	for i := 0; i < attempts; i++ {
+		status, raw := c.Post(body)
+		accepted, err := c.CheckAccepted(status, raw, body)
+		if err != nil {
+			c.t.Fatalf("invariant violated: %v", err)
+		}
+		if accepted {
+			return
+		}
+		lastStatus, lastBody = status, raw
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.t.Fatalf("request never accepted after %d attempts: %s → %d %s", attempts, body, lastStatus, lastBody)
+}

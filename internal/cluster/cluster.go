@@ -1,0 +1,160 @@
+// Package cluster shards the mtjitd memoizer across processes: a
+// frontend consistent-hashes experiment cells over N worker daemons, a
+// disk-backed content-addressed store shares finished results between
+// workers and across restarts, and in-flight deduplication
+// (singleflight) collapses identical concurrent cells into one
+// simulation cluster-wide.
+//
+// The whole design leans on one property the single-process harness
+// already guarantees: a cell — a (benchmark, VM configuration, options)
+// triple, fingerprinted by harness.CellKey — simulates to a
+// bit-identical Result no matter where or when it runs. That makes
+// results content-addressable: the SHA-256 of the canonical CellKey
+// encoding names the result forever, so any worker may serve any cell,
+// a restarted worker re-serves what it computed in a previous life, and
+// a frontend may fail a request over to the ring successor without
+// risking a wrong answer. The chaostest subpackage turns that property
+// into the cluster's correctness oracle: under seeded fault schedules
+// (worker kill/restart, RPC drop/delay, store corruption) every
+// accepted request must return a result byte-identical to the
+// single-process memoizer's.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+// CellID is the content address of one experiment cell: the SHA-256 of
+// the canonical encoding of its harness.CellKey. Everything in the
+// cluster — ring placement, store paths, in-flight dedup — keys on it.
+type CellID [sha256.Size]byte
+
+// Hex renders the id as lowercase hex (store filenames, logs).
+func (id CellID) Hex() string { return hex.EncodeToString(id[:]) }
+
+// Short renders the first 8 hex digits for human-facing output.
+func (id CellID) Short() string { return hex.EncodeToString(id[:4]) }
+
+// IDOf content-addresses a cell. The canonical encoding walks the
+// CellKey struct reflectively (see canonicalAppend), so a field added
+// to CellKey in a future PR enters the address automatically — the same
+// property the harness's reflection audit enforces for memoization.
+func IDOf(key harness.CellKey) CellID {
+	return sha256.Sum256(canonicalBytes(key))
+}
+
+// Request is the cluster's wire form of one cell: the subset of
+// harness.Options a remote client may set, plus identity. It is the
+// body of POST /run on both the frontend and the workers. Zero-valued
+// tuning fields keep harness defaults, exactly like mtjitd.
+type Request struct {
+	Bench             string `json:"bench"`
+	VM                string `json:"vm"`
+	Threshold         int    `json:"threshold,omitempty"`
+	BridgeThreshold   int    `json:"bridge_threshold,omitempty"`
+	BaselineThreshold int    `json:"baseline_threshold,omitempty"`
+	SampleInterval    uint64 `json:"sample_interval,omitempty"`
+	MaxInstrs         uint64 `json:"max_instrs,omitempty"`
+	// Fresh forces re-simulation: the worker evicts its memoized cell
+	// and bypasses (but still refreshes) the content store.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// Options maps the request onto harness run options.
+func (r *Request) Options() harness.Options {
+	return harness.Options{
+		Threshold:         r.Threshold,
+		BridgeThreshold:   r.BridgeThreshold,
+		BaselineThreshold: r.BaselineThreshold,
+		SampleInterval:    r.SampleInterval,
+		MaxInstrs:         r.MaxInstrs,
+	}
+}
+
+var vmKinds = map[string]harness.VMKind{
+	string(harness.VMCPython):    harness.VMCPython,
+	string(harness.VMPyPyNoJIT):  harness.VMPyPyNoJIT,
+	string(harness.VMPyPyJIT):    harness.VMPyPyJIT,
+	string(harness.VMRacket):     harness.VMRacket,
+	string(harness.VMPycket):     harness.VMPycket,
+	string(harness.VMC):          harness.VMC,
+	string(harness.VMPyPyTiered): harness.VMPyPyTiered,
+}
+
+// VMKind validates and resolves the request's VM field.
+func (r *Request) VMKind() (harness.VMKind, error) {
+	kind, ok := vmKinds[r.VM]
+	if !ok {
+		return "", fmt.Errorf("unknown vm %q", r.VM)
+	}
+	return kind, nil
+}
+
+// Catalog resolves benchmark names to programs: the 21 built-in
+// benchmarks plus any recorded-trace benchmarks loaded from a fixture
+// directory. Frontend and workers must share a catalog — the CellID
+// covers the program's TraceHash, so both sides have to resolve a name
+// to the same recording for routing and storage to agree.
+type Catalog struct {
+	traces map[string]*bench.Program
+	names  []string
+}
+
+// NewCatalog builds a catalog; traceDir optionally adds recorded-trace
+// benchmarks (bench.LoadTraceDir), "" loads none.
+func NewCatalog(traceDir string) (*Catalog, error) {
+	c := &Catalog{traces: map[string]*bench.Program{}}
+	if traceDir != "" {
+		progs, err := bench.LoadTraceDir(traceDir)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: trace catalog: %w", err)
+		}
+		for i := range progs {
+			p := &progs[i]
+			c.traces[p.Name] = p
+			c.names = append(c.names, p.Name)
+		}
+		sort.Strings(c.names)
+	}
+	return c, nil
+}
+
+// Resolve returns the program for a benchmark name, or nil.
+func (c *Catalog) Resolve(name string) *bench.Program {
+	if p := bench.ByName(name); p != nil {
+		return p
+	}
+	if c == nil {
+		return nil
+	}
+	return c.traces[name]
+}
+
+// TraceNames lists the catalog's recorded-trace benchmarks, sorted.
+func (c *Catalog) TraceNames() []string {
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c.names...)
+}
+
+// Cell resolves a request against the catalog into its program, VM
+// kind, options, and content address.
+func (c *Catalog) Cell(r *Request) (*bench.Program, harness.VMKind, harness.Options, CellID, error) {
+	p := c.Resolve(r.Bench)
+	if p == nil {
+		return nil, "", harness.Options{}, CellID{}, fmt.Errorf("unknown benchmark %q", r.Bench)
+	}
+	kind, err := r.VMKind()
+	if err != nil {
+		return nil, "", harness.Options{}, CellID{}, err
+	}
+	opt := r.Options()
+	return p, kind, opt, IDOf(harness.Key(p, kind, opt)), nil
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"metajit/internal/telemetry"
+)
+
+// FrontendConfig tunes the cluster frontend.
+type FrontendConfig struct {
+	// Workers are the worker base URLs (e.g. http://127.0.0.1:8101) —
+	// the ring members. Order is irrelevant: placement depends only on
+	// the sorted member set.
+	Workers []string
+	// Replicas is the virtual-node count per worker (<= 0:
+	// DefaultReplicas).
+	Replicas int
+	// Attempts bounds how many distinct workers a request may try
+	// (primary + failovers). <= 0 tries every worker once.
+	Attempts int
+	// Backoff is the wait before each failover attempt, growing
+	// linearly: attempt k waits k×Backoff (<= 0: 25ms). Failover never
+	// re-tries a worker that already answered this request.
+	Backoff time.Duration
+	// RequestTimeout bounds one upstream attempt (<= 0: 2m — cells are
+	// whole simulations, not microservice calls).
+	RequestTimeout time.Duration
+	// Client issues upstream requests; nil uses http.DefaultTransport.
+	// chaostest swaps in a fault-injecting transport here.
+	Client *http.Client
+	// Catalog resolves benchmark names; must agree with the workers'.
+	Catalog *Catalog
+}
+
+// Frontend is the cluster's routing tier: it consistent-hashes each
+// cell to its owning worker, coalesces identical concurrent requests
+// into one upstream call (singleflight — the cluster-wide dedup point),
+// fails over along the ring with backoff when a worker is dead or
+// draining, and propagates a saturated owner's 429 + Retry-After to the
+// client rather than retrying — backpressure must reach the edge, not
+// turn into a retry storm on a worker that just said "stop".
+type Frontend struct {
+	cfg    FrontendConfig
+	ring   *Ring
+	client *http.Client
+	sf     Group
+	reg    *telemetry.Registry
+
+	reqOK     *telemetry.Counter
+	reqShed   *telemetry.Counter
+	reqBad    *telemetry.Counter
+	reqFail   *telemetry.Counter
+	dedup     *telemetry.Counter
+	failovers *telemetry.Counter
+	latency   *telemetry.Histogram
+	started   time.Time
+}
+
+// NewFrontend builds a frontend over the configured workers.
+func NewFrontend(cfg FrontendConfig) *Frontend {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = len(cfg.Workers)
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	f := &Frontend{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Workers, cfg.Replicas),
+		client:  client,
+		reg:     telemetry.NewRegistry(),
+		started: time.Now(),
+	}
+	help := "Frontend run requests by outcome (ok, shed, client_error, upstream_error)."
+	f.reqOK = f.reg.Counter("cluster_frontend_requests_total", help, "outcome", "ok")
+	f.reqShed = f.reg.Counter("cluster_frontend_requests_total", help, "outcome", "shed")
+	f.reqBad = f.reg.Counter("cluster_frontend_requests_total", help, "outcome", "client_error")
+	f.reqFail = f.reg.Counter("cluster_frontend_requests_total", help, "outcome", "upstream_error")
+	f.dedup = f.reg.Counter("cluster_frontend_dedup_total", "Requests coalesced onto an identical in-flight cell (singleflight).")
+	f.failovers = f.reg.Counter("cluster_frontend_failovers_total", "Upstream attempts that moved to a ring successor after a worker failure or drain.")
+	f.latency = f.reg.Histogram("cluster_frontend_latency_micros", "End-to-end /run latency in microseconds.")
+	f.reg.GaugeFunc("cluster_frontend_inflight_cells", "Distinct cells currently in flight upstream.", func() float64 {
+		return float64(f.sf.Inflight())
+	})
+	f.reg.Gauge("cluster_frontend_workers", "Configured ring members.").Set(int64(len(f.ring.Members())))
+	return f
+}
+
+// Registry exposes the frontend's telemetry registry.
+func (f *Frontend) Registry() *telemetry.Registry { return f.reg }
+
+// Ring exposes the routing ring (tests pin shard layouts against it).
+func (f *Frontend) Ring() *Ring { return f.ring }
+
+// Handler returns the frontend's HTTP mux.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", f.handleRun)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/ring", f.handleRing)
+	return mux
+}
+
+// upstream is the outcome of one routed request: enough to replay the
+// worker's answer to every coalesced client byte-identically.
+type upstream struct {
+	status     int
+	retryAfter string
+	body       []byte
+}
+
+func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		f.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	_, _, _, id, err := f.cfg.Catalog.Cell(&req)
+	if err != nil {
+		f.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		f.reqBad.Inc()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	start := time.Now()
+	var (
+		up     *upstream
+		shared bool
+	)
+	if req.Fresh {
+		// Fresh forces a re-simulation; coalescing it with an ordinary
+		// request would silently drop the forcing.
+		up, err = f.dispatch(r.Context(), id, body)
+	} else {
+		var v any
+		v, shared, err = f.sf.Do(r.Context(), id.Hex(), func() (any, error) {
+			// The dispatch context is the singleflight's, not any one
+			// client's: a canceled client must not kill the shared call.
+			return f.dispatch(context.Background(), id, body)
+		})
+		if err == nil {
+			up = v.(*upstream)
+		}
+	}
+	if shared {
+		f.dedup.Inc()
+	}
+	if err != nil {
+		f.reqFail.Inc()
+		code := http.StatusBadGateway
+		if r.Context().Err() != nil {
+			code = 499 // client closed request (nginx convention)
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	f.latency.Observe(uint64(time.Since(start).Microseconds()))
+	switch {
+	case up.status == http.StatusOK:
+		f.reqOK.Inc()
+	case up.status == http.StatusTooManyRequests:
+		f.reqShed.Inc()
+	default:
+		f.reqFail.Inc()
+	}
+	if up.retryAfter != "" {
+		w.Header().Set("Retry-After", up.retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(up.status)
+	_, _ = w.Write(up.body)
+}
+
+// dispatch routes one cell along its ring successor list.
+//
+// Failure policy, in order of what the upstream said:
+//   - transport error, 5xx, or drain 503: the worker is gone or going —
+//     fail over to the next distinct successor after a linear backoff.
+//     The shared store makes this safe and cheap: if the dead primary
+//     already finished the cell in a previous life, the successor serves
+//     it from the store without re-simulating.
+//   - 429: the owner is saturated. Propagated to the client verbatim
+//     (with Retry-After); never retried — not on the same worker (that
+//     is the regression the tests pin) and not on a successor, because
+//     routing shed load to non-owners would recompute cells that the
+//     owner will have memoized moments later.
+//   - any other status (200, 400...): authoritative; returned as-is.
+func (f *Frontend) dispatch(ctx context.Context, id CellID, body []byte) (*upstream, error) {
+	succ := f.ring.Successors(id, f.cfg.Attempts)
+	if len(succ) == 0 {
+		return nil, fmt.Errorf("no workers configured")
+	}
+	var lastErr error
+	for attempt, wkr := range succ {
+		if attempt > 0 {
+			f.failovers.Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * f.cfg.Backoff):
+			}
+		}
+		up, err := f.tryWorker(ctx, wkr, body)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", wkr, err)
+			continue
+		}
+		if up.status >= 500 {
+			lastErr = fmt.Errorf("%s: upstream status %d", wkr, up.status)
+			continue
+		}
+		return up, nil
+	}
+	return nil, fmt.Errorf("all %d workers failed, last: %w", len(succ), lastErr)
+}
+
+func (f *Frontend) tryWorker(ctx context.Context, worker string, body []byte) (*upstream, error) {
+	actx, cancel := context.WithTimeout(ctx, f.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, strings.TrimSuffix(worker, "/")+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &upstream{
+		status:     resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After"),
+		body:       b,
+	}, nil
+}
+
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = f.reg.WritePrometheus(w)
+}
+
+func (f *Frontend) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(f.started).Seconds(),
+		"workers":        f.ring.Members(),
+		"inflight_cells": f.sf.Inflight(),
+	})
+}
+
+// handleRing answers "who owns this cell": the full failover sequence
+// for a (bench, vm) pair — an operator's routing debugger.
+func (f *Frontend) handleRing(w http.ResponseWriter, r *http.Request) {
+	req := Request{Bench: r.URL.Query().Get("bench"), VM: r.URL.Query().Get("vm")}
+	_, _, _, id, err := f.cfg.Catalog.Cell(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"cell_id":    id.Hex(),
+		"owner":      f.ring.Lookup(id),
+		"successors": f.ring.Successors(id, len(f.ring.Members())),
+	})
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per ring member. 128 points
+// per worker keeps the load spread within a few percent of uniform for
+// small clusters while keeping Lookup a binary search over a small
+// sorted slice.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker names. Placement is a pure
+// function of the sorted member set and the replica count — no
+// process-local state, no randomness — so every frontend (and every
+// test) that builds a ring from the same members routes every CellID to
+// the same worker. Adding or removing one member moves only the keys
+// whose arc the member's virtual nodes owned: ~K/N of K keys for an
+// N-member ring (bounded movement), which is what makes scale-out and
+// worker replacement cheap — the content store absorbs the remapped
+// keys as misses exactly once.
+type Ring struct {
+	replicas int
+	members  []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring; replicas <= 0 means DefaultReplicas. Member
+// names are deduplicated and sorted, so construction order never
+// affects placement.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, m := range members {
+		if m != "" && !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, members: uniq}
+	for mi, m := range uniq {
+		for v := 0; v < replicas; v++ {
+			h := sha256.Sum256([]byte(m + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(h[:8]), member: mi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit point collision between members is vanishingly rare
+		// but must still order deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's member names, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// keyPoint maps a cell onto the ring's hash space.
+func keyPoint(id CellID) uint64 { return binary.BigEndian.Uint64(id[:8]) }
+
+// Lookup returns the member owning a cell: the first virtual node at or
+// clockwise after the cell's point. Empty ring returns "".
+func (r *Ring) Lookup(id CellID) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.search(id)].member]
+}
+
+func (r *Ring) search(id CellID) int {
+	h := keyPoint(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the cell's owner — the frontend's failover sequence. Every frontend
+// computes the same sequence, so a dead primary's cells land on the
+// same stand-in everywhere (and on the primary again once it returns).
+func (r *Ring) Successors(id CellID, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := map[int]bool{}
+	for i := r.search(id); len(out) < n; i = (i + 1) % len(r.points) {
+		p := r.points[i]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

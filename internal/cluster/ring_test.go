@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// randomIDs derives a deterministic key population from a seed.
+func randomIDs(n int, seed int64) []CellID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]CellID, n)
+	for i := range out {
+		var b [16]byte
+		binary.BigEndian.PutUint64(b[:8], rng.Uint64())
+		binary.BigEndian.PutUint64(b[8:], rng.Uint64())
+		out[i] = sha256.Sum256(b[:])
+	}
+	return out
+}
+
+func workerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%02d:8101", i)
+	}
+	return out
+}
+
+// TestRingDeterministic pins that placement is a pure function of the
+// member set: shuffled construction order and repeated builds route
+// every key identically — the property that lets every frontend (and
+// every future process) agree on ownership with no coordination.
+func TestRingDeterministic(t *testing.T) {
+	members := workerNames(5)
+	shuffled := append([]string(nil), members...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a, b := NewRing(members, 0), NewRing(shuffled, 0)
+	for _, id := range randomIDs(2000, 1) {
+		if a.Lookup(id) != b.Lookup(id) {
+			t.Fatalf("member order changed placement for %s", id.Short())
+		}
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing contract: adding or
+// removing one of N workers remaps only the keys on the changed arcs —
+// ~K/N of K keys, bounded here at 2×K/N (the vnode count keeps the
+// variance well inside that).
+func TestRingBoundedMovement(t *testing.T) {
+	const K = 4000
+	ids := randomIDs(K, 2)
+	for _, n := range []int{3, 5, 8} {
+		members := workerNames(n)
+		before := NewRing(members, 0)
+		grown := NewRing(append(workerNames(n), "http://worker-99:8101"), 0)
+		shrunk := NewRing(members[:n-1], 0)
+		moveGrow, moveShrink := 0, 0
+		for _, id := range ids {
+			if before.Lookup(id) != grown.Lookup(id) {
+				moveGrow++
+			}
+			if before.Lookup(id) != shrunk.Lookup(id) {
+				moveShrink++
+			}
+		}
+		boundGrow := 2 * K / (n + 1)
+		boundShrink := 2 * K / n
+		if moveGrow > boundGrow {
+			t.Errorf("N=%d: grow remapped %d/%d keys, bound %d", n, moveGrow, K, boundGrow)
+		}
+		if moveGrow == 0 {
+			t.Errorf("N=%d: grow remapped nothing — new worker owns no keys", n)
+		}
+		if moveShrink > boundShrink {
+			t.Errorf("N=%d: shrink remapped %d/%d keys, bound %d", n, moveShrink, K, boundShrink)
+		}
+		// Every key that moved on shrink must have belonged to the
+		// removed member — survivors' keys never move.
+		removed := members[n-1]
+		for _, id := range ids {
+			if b, s := before.Lookup(id), shrunk.Lookup(id); b != s && b != removed {
+				t.Fatalf("N=%d: key %s moved %s→%s though %s was the one removed", n, id.Short(), b, s, removed)
+			}
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the vnode spread: no worker owns more
+// than ~2× its fair share of a large random key set.
+func TestRingBalance(t *testing.T) {
+	const K = 8000
+	members := workerNames(4)
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	for _, id := range randomIDs(K, 3) {
+		counts[r.Lookup(id)]++
+	}
+	for _, m := range members {
+		if c := counts[m]; c > 2*K/len(members) || c < K/len(members)/2 {
+			t.Errorf("%s owns %d/%d keys (fair share %d)", m, c, K, K/len(members))
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(workerNames(4), 0)
+	for _, id := range randomIDs(200, 4) {
+		succ := r.Successors(id, 4)
+		if len(succ) != 4 {
+			t.Fatalf("want 4 successors, got %v", succ)
+		}
+		if succ[0] != r.Lookup(id) {
+			t.Fatalf("successor list does not start at the owner: %v vs %s", succ, r.Lookup(id))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %s in %v", s, succ)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors(randomIDs(1, 5)[0], 99); len(got) != 4 {
+		t.Fatalf("successor count not clamped to members: %d", len(got))
+	}
+	empty := NewRing(nil, 0)
+	if empty.Lookup(CellID{}) != "" || empty.Successors(CellID{}, 3) != nil {
+		t.Fatal("empty ring must return no owners")
+	}
+}
+
+// TestRingGoldenAssignments pins the shard layout of the real cell
+// population — the 21-benchmark suite × 3 VM kinds over 3 workers — to
+// a golden file. Any change to the point hash, the canonical CellKey
+// encoding, or the vnode scheme shows up here as a diff: all three are
+// cross-process contracts, so changing them must be a deliberate,
+// reviewed act (it invalidates every deployed ring's agreement).
+func TestRingGoldenAssignments(t *testing.T) {
+	kinds := []harness.VMKind{harness.VMPyPyJIT, harness.VMPyPyTiered, harness.VMPycket}
+	workers := []string{"w0", "w1", "w2"}
+	r := NewRing(workers, 0)
+	var sb strings.Builder
+	for _, p := range bench.All() {
+		p := p
+		for _, kind := range kinds {
+			id := IDOf(harness.Key(&p, kind, harness.Options{}))
+			fmt.Fprintf(&sb, "%-20s %-12s %s %s\n", p.Name, kind, id.Short(), r.Lookup(id))
+		}
+	}
+	golden := filepath.Join("testdata", "ring_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("shard assignment drifted from golden (run with -update if intentional):\n%s", diffFirst(sb.String(), string(want)))
+	}
+}
+
+// diffFirst returns the first differing line pair for a readable error.
+func diffFirst(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n got: %s\nwant: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("got %d lines, want %d", len(g), len(w))
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Group collapses concurrent calls with the same key into one
+// execution — the cluster's in-flight dedup. It is a from-scratch
+// singleflight (the container bakes in no external modules) with two
+// properties the cluster needs beyond the classic design:
+//
+//   - Detached execution: fn runs on its own goroutine, not under any
+//     single caller's context. A caller that cancels while in flight
+//     gets its ctx error immediately, but the shared work keeps running
+//     for the remaining waiters — and its result is still delivered and
+//     counted once. (A simulation is never wasted because the first
+//     client hung up.)
+//
+//   - Leader-death containment: if fn panics ("leader dies mid-flight"),
+//     the panic is converted to an error delivered to every waiter, the
+//     key is forgotten, and the group stays usable — the next identical
+//     request simply elects a new leader and re-executes. Errors also
+//     forget the key, so a transient failure is never memoized.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	waiters atomic.Int64 // callers that joined after the leader
+	val     any
+	err     error
+}
+
+// Do returns the result of fn for key, executing fn only if no call for
+// key is already in flight; otherwise it waits for the in-flight one.
+// shared reports whether this caller coalesced onto an existing
+// in-flight call (the dedup count is the number of shared returns). If
+// ctx is done before the result is ready, Do returns ctx.Err() without
+// disturbing the in-flight work.
+func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.waiters.Add(1)
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				f.err = fmt.Errorf("cluster: singleflight leader died: %v", p)
+			}
+			g.mu.Lock()
+			// Forget on failure so the next call re-executes instead of
+			// inheriting a transient error; keep success registered only
+			// while in flight — completed results live in the store and
+			// the memoizer, not here.
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+		f.val, f.err = fn()
+	}()
+
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Inflight reports the number of keys currently executing (tests).
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// waiters reports how many callers have joined the in-flight call for
+// key (0 if none is in flight) — a test synchronization hook.
+func (g *Group) waiters(key string) int64 {
+	g.mu.Lock()
+	f := g.m[key]
+	g.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f.waiters.Load()
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightDedup is the core dedup table: M identical concurrent
+// calls execute fn exactly once, every caller sees the same value, and
+// exactly M-1 callers report shared (the dedup count).
+func TestSingleflightDedup(t *testing.T) {
+	for _, m := range []int{2, 8, 32} {
+		var g Group
+		var execs atomic.Int64
+		var sharedCount atomic.Int64
+		release := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < m; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, shared, err := g.Do(context.Background(), "cell", func() (any, error) {
+					execs.Add(1)
+					<-release
+					return "result", nil
+				})
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if v.(string) != "result" {
+					t.Errorf("got %v", v)
+				}
+				if shared {
+					sharedCount.Add(1)
+				}
+			}()
+		}
+		// Release only after every non-leader caller has demonstrably
+		// joined the in-flight call — no sleeps, no flakes.
+		for g.waiters("cell") != int64(m-1) {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+		wg.Wait()
+		if n := execs.Load(); n != 1 {
+			t.Fatalf("M=%d: fn executed %d times, want 1", m, n)
+		}
+		if sc := sharedCount.Load(); sc != int64(m-1) {
+			t.Fatalf("M=%d: %d shared returns, want %d", m, sc, m-1)
+		}
+		if g.Inflight() != 0 {
+			t.Fatal("group left a key registered after completion")
+		}
+	}
+}
+
+// TestSingleflightCancelWhileInflight: a caller that cancels gets its
+// context error immediately, but the shared work keeps running and its
+// result is still delivered to the patient callers — a canceled client
+// never kills (or re-triggers) the simulation.
+func TestSingleflightCancelWhileInflight(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	start := make(chan struct{})
+	leadDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "cell", func() (any, error) {
+			execs.Add(1)
+			close(start)
+			<-release
+			return 42, nil
+		})
+		leadDone <- err
+	}()
+	<-start
+
+	ctx, cancel := context.WithCancel(context.Background())
+	impatient := make(chan error, 1)
+	go func() {
+		_, shared, err := g.Do(ctx, "cell", func() (any, error) {
+			t.Error("waiter executed fn")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("waiter did not report shared")
+		}
+		impatient <- err
+	}()
+	cancel()
+	if err := <-impatient; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+	if g.Inflight() != 1 {
+		t.Fatal("cancel tore down the in-flight call")
+	}
+
+	close(release)
+	if err := <-leadDone; err != nil {
+		t.Fatalf("patient caller got %v", err)
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("fn executed %d times, want 1", execs.Load())
+	}
+}
+
+// TestSingleflightLeaderDies: a panicking fn ("leader dies mid-flight")
+// is contained — every waiter gets an error instead of a deadlock, the
+// key is forgotten, and the next identical call elects a fresh leader
+// and succeeds.
+func TestSingleflightLeaderDies(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const m = 6
+	errs := make(chan error, m)
+	for i := 0; i < m; i++ {
+		go func() {
+			_, _, err := g.Do(context.Background(), "cell", func() (any, error) {
+				execs.Add(1)
+				<-release
+				panic("worker lost mid-request")
+			})
+			errs <- err
+		}()
+	}
+	for g.waiters("cell") != int64(m-1) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < m; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("a caller got a nil error from a dead leader")
+		}
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("fn executed %d times before recovery, want 1", execs.Load())
+	}
+
+	// The group recovered: a new call re-executes cleanly.
+	v, _, err := g.Do(context.Background(), "cell", func() (any, error) {
+		execs.Add(1)
+		return "recovered", nil
+	})
+	if err != nil || v.(string) != "recovered" {
+		t.Fatalf("post-death call: %v %v", v, err)
+	}
+	if execs.Load() != 2 {
+		t.Fatalf("recovery did not elect a new leader (execs=%d)", execs.Load())
+	}
+}
+
+// TestSingleflightErrorNotMemoized: transient failures must never
+// stick — the key is forgotten on error, so the next call retries.
+func TestSingleflightErrorNotMemoized(t *testing.T) {
+	var g Group
+	calls := 0
+	boom := errors.New("boom")
+	if _, _, err := g.Do(context.Background(), "k", func() (any, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	v, _, err := g.Do(context.Background(), "k", func() (any, error) { calls++; return "ok", nil })
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after error: %v %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls=%d, want 2", calls)
+	}
+}
+
+// TestSingleflightDistinctKeys: different cells never coalesce.
+func TestSingleflightDistinctKeys(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), k, func() (any, error) {
+				execs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return k, nil
+			})
+			if err != nil || v.(string) != k || shared {
+				t.Errorf("key %s: v=%v shared=%v err=%v", k, v, shared, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if execs.Load() != 3 {
+		t.Fatalf("execs=%d, want 3", execs.Load())
+	}
+}

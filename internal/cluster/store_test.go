@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func id(b byte) CellID { return sha256.Sum256([]byte{b}) }
+
+func TestStoreRoundTripAndRestart(t *testing.T) {
+	s := testStore(t)
+	payload := sampleResult().Encode()
+	if err := s.Put(id(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(id(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mutated by the store")
+	}
+	// Surviving restarts is the store's whole point: a fresh handle
+	// over the same directory (a restarted worker) serves the blob.
+	s2, err := OpenStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(id(1)); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("restart lost the blob: %v", err)
+	}
+	if _, err := s.Get(id(2)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing cell: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestStorePutIdempotent(t *testing.T) {
+	s := testStore(t)
+	payload := sampleResult().Encode()
+	if err := s.Put(id(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent double-compute writes the same bytes again; the
+	// second write must be a harmless no-op.
+	if err := s.Put(id(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("store holds %d blobs, want 1", n)
+	}
+}
+
+// corrupt applies fn to the stored blob bytes of the given cell.
+func corrupt(t *testing.T, s *Store, cid CellID, fn func([]byte) []byte) {
+	t.Helper()
+	p := s.path(cid)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, fn(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreCorruptionSuite is the satellite corruption matrix:
+// truncated, bit-flipped, and wrong-identity blobs must be detected on
+// read, quarantined, and reported as ErrCorrupt — never served. After
+// quarantine the cell reads as a plain miss, so the caller re-simulates
+// and the fresh Put repairs the store.
+func TestStoreCorruptionSuite(t *testing.T) {
+	payload := sampleResult().Encode()
+	cases := map[string]func([]byte) []byte{
+		"truncated-head":    func(b []byte) []byte { return b[:10] },
+		"truncated-tail":    func(b []byte) []byte { return b[:len(b)-3] },
+		"empty":             func(b []byte) []byte { return nil },
+		"bit-flip-payload":  func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b },
+		"bit-flip-id":       func(b []byte) []byte { b[7] ^= 0x01; return b },
+		"bit-flip-crc":      func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b },
+		"bad-magic":         func(b []byte) []byte { b[0] = 'X'; return b },
+		"length-lies-short": func(b []byte) []byte { b[5+32+7] ^= 0x01; return b },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := testStore(t)
+			if err := s.Put(id(1), payload); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, s, id(1), fn)
+			if got, err := s.Get(id(1)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corrupted blob served (err=%v, %d bytes)", err, len(got))
+			}
+			q, err := s.Quarantined()
+			if err != nil || len(q) != 1 {
+				t.Fatalf("want 1 quarantined blob, got %v (%v)", q, err)
+			}
+			// After quarantine: a miss, not an error — re-simulate path.
+			if _, err := s.Get(id(1)); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("post-quarantine read: got %v, want ErrNotFound", err)
+			}
+			// The repair write must land and serve cleanly.
+			if err := s.Put(id(1), payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Get(id(1)); err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("repaired blob unreadable: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreWrongIdentityBlob covers the cross-written-blob case: a blob
+// whose internal framing is fully self-consistent but which sits at
+// another cell's address (operator rsync mistake, path collision bug).
+// The embedded CellID catches what the CRC cannot.
+func TestStoreWrongIdentityBlob(t *testing.T) {
+	s := testStore(t)
+	if err := s.Put(id(1), sampleResult().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Copy cell 1's (internally valid!) blob to cell 2's address.
+	b, err := os.ReadFile(s.path(id(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(id(2))), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(id(2)), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id(2)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("cross-written blob served: %v", err)
+	}
+	// Cell 1 itself is untouched.
+	if _, err := s.Get(id(1)); err != nil {
+		t.Fatalf("original blob damaged: %v", err)
+	}
+}
+
+// TestStoreStaleVersionIsMiss pins the versioning policy: an old-format
+// blob is superseded (miss + removal), not corruption — upgrades must
+// not flood the quarantine.
+func TestStoreStaleVersionIsMiss(t *testing.T) {
+	s := testStore(t)
+	if err := s.Put(id(1), sampleResult().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, id(1), func(b []byte) []byte { b[4] = storeVersion + 1; return b })
+	if _, err := s.Get(id(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale version: got %v, want ErrNotFound", err)
+	}
+	if q, _ := s.Quarantined(); len(q) != 0 {
+		t.Fatalf("stale version quarantined: %v", q)
+	}
+	// Superseded blob is gone, so the rewrite is not blocked.
+	if err := s.Put(id(1), sampleResult().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id(1)); err != nil {
+		t.Fatalf("rewrite after supersede: %v", err)
+	}
+}

@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"metajit/internal/harness"
+	"metajit/internal/telemetry"
+)
+
+// WorkerConfig tunes one cluster worker.
+type WorkerConfig struct {
+	// Name identifies the worker in telemetry and drain logs.
+	Name string
+	// Workers bounds concurrent simulations (<= 0: NumCPU).
+	Workers int
+	// MaxPending bounds /run requests in flight; beyond it the worker
+	// sheds with 429 + Retry-After (<= 0: 4×Workers). The frontend
+	// propagates the 429 to the client instead of retrying — a saturated
+	// owner must not be hammered with duplicates.
+	MaxPending int
+	// Store persists finished results; nil disables persistence (the
+	// in-memory memoizer still dedups within the process).
+	Store *Store
+	// Catalog resolves benchmark names; nil means built-ins only.
+	Catalog *Catalog
+	// InstallStackTelemetry wires the whole simulator stack
+	// (harness.InstallTelemetry — process-global) into this worker's
+	// registry. Set it for real daemons (one worker per process); leave
+	// it off for in-process test clusters, where N workers would fight
+	// over the global hook.
+	InstallStackTelemetry bool
+}
+
+// Worker is one shard of the cluster: an HTTP daemon that simulates the
+// cells routed to it through the memoizing Runner, serves previously
+// computed cells from the shared content store, and sheds load past its
+// pending bound. On drain it finishes in-flight requests and refuses
+// new ones with 503 — the frontend's ring failover hands its cells to
+// the successor, and the shared store means the successor never
+// recomputes what this worker already finished.
+type Worker struct {
+	cfg      WorkerConfig
+	reg      *telemetry.Registry
+	runner   *harness.Runner
+	store    *Store
+	catalog  *Catalog
+	started  time.Time
+	pending  atomic.Int64
+	draining atomic.Bool
+
+	runSim   *telemetry.Counter
+	runMemo  *telemetry.Counter
+	runStore *telemetry.Counter
+	runErr   *telemetry.Counter
+	runShed  *telemetry.Counter
+	runDrain *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// NewWorker builds a worker and registers its metrics on a fresh
+// registry.
+func NewWorker(cfg WorkerConfig) *Worker {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4 * workers
+	}
+	w := &Worker{
+		cfg:     cfg,
+		reg:     telemetry.NewRegistry(),
+		runner:  harness.NewRunner(workers),
+		store:   cfg.Store,
+		catalog: cfg.Catalog,
+		started: time.Now(),
+	}
+	if cfg.InstallStackTelemetry {
+		harness.InstallTelemetry(w.reg)
+	}
+	help := "Cell requests by outcome (simulated, memo, store, error, shed, draining)."
+	w.runSim = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "simulated")
+	w.runMemo = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "memo")
+	w.runStore = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "store")
+	w.runErr = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "error")
+	w.runShed = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "shed")
+	w.runDrain = w.reg.Counter("cluster_worker_requests_total", help, "outcome", "draining")
+	w.latency = w.reg.Histogram("cluster_worker_latency_micros", "Wall-clock /run latency in microseconds.")
+	w.reg.Gauge("cluster_worker_max_pending", "Load-shedding threshold for concurrent run requests.").Set(int64(cfg.MaxPending))
+	w.reg.GaugeFunc("cluster_worker_pending_runs", "Run requests currently being processed.", func() float64 {
+		return float64(w.pending.Load())
+	})
+	w.reg.GaugeFunc("cluster_worker_draining", "1 while the worker is draining.", func() float64 {
+		if w.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	if w.store != nil {
+		w.store.InstallTelemetry(w.reg)
+	}
+	return w
+}
+
+// Registry exposes the worker's telemetry registry.
+func (w *Worker) Registry() *telemetry.Registry { return w.reg }
+
+// Runner exposes the memoizing runner (tests swap its executor).
+func (w *Worker) Runner() *harness.Runner { return w.runner }
+
+// Drain flips the worker into drain mode: new /run requests get 503
+// "draining" (the frontend fails them over), in-flight ones finish.
+// The caller (cmd/mtjitd on SIGTERM, or a test) then waits for the
+// HTTP server's graceful shutdown.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Draining reports drain mode.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// Pending reports requests currently being processed (tests).
+func (w *Worker) Pending() int64 { return w.pending.Load() }
+
+// Handler returns the worker's HTTP mux.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", w.handleRun)
+	mux.HandleFunc("/metrics", w.handleMetrics)
+	mux.HandleFunc("/healthz", w.handleHealthz)
+	mux.HandleFunc("/drain", w.handleDrain)
+	return mux
+}
+
+// RunResponse is the worker's POST /run reply (and, passed through
+// verbatim, the frontend's). Result is the deterministic payload — for
+// one cell its JSON bytes are identical no matter which worker served
+// it, from which source, at what time. Source and ElapsedMS describe
+// this particular serving and sit outside Result for exactly that
+// reason.
+type RunResponse struct {
+	CellID    string      `json:"cell_id"`
+	Source    string      `json:"source"` // "simulated", "memo", "store"
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Result    *WireResult `json:"result"`
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(rw, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if w.draining.Load() {
+		w.runDrain.Inc()
+		httpError(rw, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	// Admission control before any work, like mtjitd: a flood degrades
+	// to fast 429s, and the frontend propagates them instead of
+	// retrying into the saturation.
+	if n := w.pending.Add(1); n > int64(w.cfg.MaxPending) {
+		w.pending.Add(-1)
+		w.runShed.Inc()
+		rw.Header().Set("Retry-After", "1")
+		httpError(rw, http.StatusTooManyRequests, "run queue full")
+		return
+	}
+	defer w.pending.Add(-1)
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		w.runErr.Inc()
+		httpError(rw, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	p, kind, opt, id, err := w.catalog.Cell(&req)
+	if err != nil {
+		w.runErr.Inc()
+		httpError(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	start := time.Now()
+	if req.Fresh {
+		w.runner.Evict(p, kind, opt)
+	}
+	src := "simulated"
+	var wres *WireResult
+	if !req.Fresh {
+		if w.runner.Has(p, kind, opt) {
+			src = "memo"
+		} else if wres = w.fromStore(id); wres != nil {
+			src = "store"
+		}
+	}
+	if wres == nil {
+		res, err := w.runner.Get(p, kind, opt)
+		if err != nil {
+			w.runErr.Inc()
+			httpError(rw, http.StatusInternalServerError, err.Error())
+			return
+		}
+		wres = FromResult(res)
+		if w.store != nil {
+			// A failed write only costs the next restart a re-simulation.
+			_ = w.store.Put(id, wres.Encode())
+		}
+	}
+	switch src {
+	case "simulated":
+		w.runSim.Inc()
+	case "memo":
+		w.runMemo.Inc()
+	case "store":
+		w.runStore.Inc()
+	}
+	w.latency.Observe(uint64(time.Since(start).Microseconds()))
+	rw.Header().Set("X-Cell-Id", id.Hex())
+	writeJSON(rw, RunResponse{
+		CellID:    id.Hex(),
+		Source:    src,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:    wres,
+	})
+}
+
+// fromStore fetches and decodes a stored result; any corruption (blob
+// or payload level) has already been quarantined by the store — the
+// caller transparently falls back to re-simulation, which repairs the
+// store on the way out.
+func (w *Worker) fromStore(id CellID) *WireResult {
+	if w.store == nil {
+		return nil
+	}
+	payload, err := w.store.Get(id)
+	if err != nil {
+		return nil
+	}
+	res, err := DecodeResult(payload)
+	if err != nil {
+		// CRC passed but the payload doesn't parse (e.g. a stale wire
+		// version would have been a miss; this is a true collision-class
+		// event). Treat like corruption: never serve it.
+		return nil
+	}
+	return res
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = w.reg.WritePrometheus(rw)
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+	}
+	stats := w.runner.CacheStats()
+	writeJSON(rw, map[string]any{
+		"ok":             !w.draining.Load(),
+		"name":           w.cfg.Name,
+		"draining":       w.draining.Load(),
+		"uptime_seconds": time.Since(w.started).Seconds(),
+		"pending":        w.pending.Load(),
+		"cache": map[string]any{
+			"requests": stats.Requests,
+			"hits":     stats.Hits,
+			"misses":   stats.Misses,
+		},
+	})
+}
+
+// handleDrain lets an operator (or the frontend during a planned
+// rebalance) start a drain remotely.
+func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(rw, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	w.Drain()
+	writeJSON(rw, map[string]any{"draining": true, "pending": w.pending.Load()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Client hung up mid-write; headers are gone, nothing to report.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg})
+}

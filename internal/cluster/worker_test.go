@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+)
+
+// fakeSimulate is a deterministic stand-in for harness.Run: the result
+// is a pure function of the cell, including floats with fractional
+// parts (the encoding's hard case). Cluster plumbing tests use it so a
+// "simulation" costs nanoseconds; the chaos suite's real-run tests keep
+// the true harness in the loop.
+func fakeSimulate(p *bench.Program, kind harness.VMKind, opt harness.Options) (*harness.Result, error) {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d",
+		p.Name, kind, opt.Threshold, opt.BridgeThreshold, opt.BaselineThreshold, opt.SampleInterval, opt.MaxInstrs)))
+	res := &harness.Result{Bench: p.Name, VM: kind}
+	res.Checksum = int64(binary.BigEndian.Uint64(h[:8]))
+	res.Instrs = binary.BigEndian.Uint64(h[8:16])%1e9 + 1
+	res.Cycles = float64(res.Instrs) * 1.3337
+	res.Bytecodes = res.Instrs / 7
+	res.HeapChecksum = binary.BigEndian.Uint64(h[16:24])
+	res.GC.Minor = uint64(h[24])
+	res.GC.AllocBytes = uint64(binary.BigEndian.Uint32(h[25:29]))
+	res.Total.Instrs = res.Instrs
+	res.Total.Cycles = res.Cycles
+	res.Phases[1].Instrs = res.Instrs / 2
+	res.EngStats.LoopsCompiled = int(h[29] % 8)
+	res.EngStats.GuardFailures = uint64(h[30])
+	return res, nil
+}
+
+// newFakeWorker builds a worker on a fake simulator with an optional
+// shared store.
+func newFakeWorker(t *testing.T, store *Store) *Worker {
+	t.Helper()
+	catalog, err := NewCatalog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(WorkerConfig{Name: "test", Workers: 4, MaxPending: 64, Store: store, Catalog: catalog})
+	w.Runner().SetSimulate(fakeSimulate)
+	return w
+}
+
+func postWorkerRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, RunResponse, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &rr); err != nil {
+			t.Fatalf("bad run response: %v\n%s", err, raw)
+		}
+	}
+	return resp, rr, raw
+}
+
+// resultBytes extracts the raw result sub-object — the byte-identity
+// unit of the whole cluster.
+func resultBytes(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var rr struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr.Result
+}
+
+// TestWorkerServingSources walks one cell through all three serving
+// paths — fresh simulation, in-process memo, cross-restart store — and
+// pins that the result payload is byte-identical on every one.
+func TestWorkerServingSources(t *testing.T) {
+	store := testStore(t)
+	w1 := newFakeWorker(t, store)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+
+	body := `{"bench":"telco","vm":"pypy"}`
+	resp, rr, raw1 := postWorkerRun(t, ts1, body)
+	if resp.StatusCode != http.StatusOK || rr.Source != "simulated" {
+		t.Fatalf("first request: status %d source %q", resp.StatusCode, rr.Source)
+	}
+	_, rr2, raw2 := postWorkerRun(t, ts1, body)
+	if rr2.Source != "memo" {
+		t.Fatalf("second request source %q, want memo", rr2.Source)
+	}
+	if !bytes.Equal(resultBytes(t, raw1), resultBytes(t, raw2)) {
+		t.Fatal("memo result differs from simulated result")
+	}
+
+	// A "restarted" worker: fresh process state, same store directory.
+	w2 := newFakeWorker(t, store)
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+	_, rr3, raw3 := postWorkerRun(t, ts2, body)
+	if rr3.Source != "store" {
+		t.Fatalf("restarted worker source %q, want store", rr3.Source)
+	}
+	if !bytes.Equal(resultBytes(t, raw1), resultBytes(t, raw3)) {
+		t.Fatal("store result differs from simulated result")
+	}
+	if w2.Runner().Simulations() != 0 {
+		t.Fatal("restarted worker re-simulated a stored cell")
+	}
+	if rr.CellID != rr3.CellID {
+		t.Fatal("cell id changed across processes")
+	}
+}
+
+// TestWorkerCorruptionFallback: a corrupted store blob is detected,
+// quarantined, transparently re-simulated, and the fresh write repairs
+// the store — and the re-simulated result is byte-identical to the
+// original. The satellite invariant "a corrupted blob is never served"
+// falls out of the byte comparison.
+func TestWorkerCorruptionFallback(t *testing.T) {
+	store := testStore(t)
+	w1 := newFakeWorker(t, store)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	body := `{"bench":"chaos","vm":"pypy-tiered"}`
+	_, _, raw1 := postWorkerRun(t, ts1, body)
+
+	// Flip one payload bit in the only stored blob.
+	var blobPath string
+	err := filepath.WalkDir(store.Dir(), func(p string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(p) == ".mtjs" {
+			blobPath = p
+		}
+		return err
+	})
+	if err != nil || blobPath == "" {
+		t.Fatalf("no blob written: %v", err)
+	}
+	b, err := os.ReadFile(blobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(blobPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := newFakeWorker(t, store)
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+	_, rr2, raw2 := postWorkerRun(t, ts2, body)
+	if rr2.Source != "simulated" {
+		t.Fatalf("corrupt-blob request source %q, want simulated (re-run)", rr2.Source)
+	}
+	if !bytes.Equal(resultBytes(t, raw1), resultBytes(t, raw2)) {
+		t.Fatal("re-simulated result differs from pre-corruption result")
+	}
+	if q, _ := store.Quarantined(); len(q) != 1 {
+		t.Fatalf("want 1 quarantined blob, got %d", len(q))
+	}
+	// Repaired: a third process serves from the store again.
+	w3 := newFakeWorker(t, store)
+	ts3 := httptest.NewServer(w3.Handler())
+	defer ts3.Close()
+	if _, rr3, _ := postWorkerRun(t, ts3, body); rr3.Source != "store" {
+		t.Fatalf("post-repair source %q, want store", rr3.Source)
+	}
+}
+
+// TestWorkerFresh: fresh=true forces a re-simulation even when memo and
+// store could serve, and still yields identical bytes.
+func TestWorkerFresh(t *testing.T) {
+	store := testStore(t)
+	w := newFakeWorker(t, store)
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+	_, _, raw1 := postWorkerRun(t, ts, `{"bench":"telco","vm":"pypy"}`)
+	_, rr2, raw2 := postWorkerRun(t, ts, `{"bench":"telco","vm":"pypy","fresh":true}`)
+	if rr2.Source != "simulated" {
+		t.Fatalf("fresh source %q, want simulated", rr2.Source)
+	}
+	if w.Runner().Simulations() != 2 {
+		t.Fatalf("simulations=%d, want 2", w.Runner().Simulations())
+	}
+	if !bytes.Equal(resultBytes(t, raw1), resultBytes(t, raw2)) {
+		t.Fatal("fresh re-simulation diverged")
+	}
+}
+
+// TestWorkerShedding: past MaxPending the worker sheds with 429 +
+// Retry-After before doing any work, like mtjitd.
+func TestWorkerShedding(t *testing.T) {
+	catalog, _ := NewCatalog("")
+	w := NewWorker(WorkerConfig{Name: "shed", Workers: 1, MaxPending: 1, Catalog: catalog})
+	block := make(chan struct{})
+	w.Runner().SetSimulate(func(p *bench.Program, kind harness.VMKind, opt harness.Options) (*harness.Result, error) {
+		<-block
+		return fakeSimulate(p, kind, opt)
+	})
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postWorkerRun(t, ts, `{"bench":"telco","vm":"pypy"}`)
+	}()
+	for w.Pending() == 0 {
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(`{"bench":"chaos","vm":"pypy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	close(block)
+	wg.Wait()
+	if got := metricValue(t, ts.URL, "cluster_worker_requests_total", `outcome="shed"`); got != 1 {
+		t.Fatalf("shed counter = %v, want 1", got)
+	}
+}
+
+// TestWorkerDrain: a draining worker 503s new runs (the frontend's
+// failover signal) while reporting drain state on /healthz.
+func TestWorkerDrain(t *testing.T) {
+	w := newFakeWorker(t, nil)
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !w.Draining() {
+		t.Fatal("drain did not latch")
+	}
+	resp, err = http.Post(ts.URL+"/run", "application/json", strings.NewReader(`{"bench":"telco","vm":"pypy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(b), "draining") {
+		t.Fatalf("draining run: status %d body %s", resp.StatusCode, b)
+	}
+	if hr, err := http.Get(ts.URL + "/healthz"); err != nil || hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status: %v", err)
+	} else {
+		hr.Body.Close()
+	}
+}
+
+func TestWorkerBadRequests(t *testing.T) {
+	w := newFakeWorker(t, nil)
+	ts := httptest.NewServer(w.Handler())
+	defer ts.Close()
+	for name, body := range map[string]string{
+		"unknown bench": `{"bench":"nope","vm":"pypy"}`,
+		"unknown vm":    `{"bench":"telco","vm":"jvm"}`,
+		"bad json":      `{`,
+		"unknown field": `{"bench":"telco","vm":"pypy","frehs":true}`,
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// metricValue scrapes one sample value from a /metrics endpoint.
+func metricValue(t *testing.T, base, family, labelFrag string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, family) && (labelFrag == "" || strings.Contains(line, labelFrag)) {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
