@@ -64,6 +64,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPylangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzSklangDifferential -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzTieredPromotion -fuzztime=$(FUZZTIME) ./internal/difftest
+	$(GO) test -fuzz=FuzzAmalgamatedTiering -fuzztime=$(FUZZTIME) ./internal/difftest
 	$(GO) test -fuzz=FuzzAnnotStream -fuzztime=$(FUZZTIME) ./internal/profile
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
 

@@ -138,3 +138,47 @@ func TestTieredWarmupRegression(t *testing.T) {
 		t.Errorf("tiered warmup faster on only %d/%d programs; want >= 3", faster, total)
 	}
 }
+
+// TestTierShootoutRegression is the headline acceptance check for the
+// adaptive tier controller: over the full PyPy suite (Figure 10's
+// shootout data), the adaptive configuration must reach 25% of the
+// run's guest work in no more cycles than the static tiered
+// configuration on all but at most 3 benchmarks, and must never be more
+// than 5% slower on any. Fig10Data already cross-checks checksums and
+// work totals across the four strategies, so this test only has to
+// judge warmup.
+func TestTierShootoutRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite shootout comparison is slow")
+	}
+	// Column indexes into TierRow arrays, in TierStrategies order.
+	const tiered, adaptive = 1, 3
+	runner := harness.NewRunner(0)
+	progs := bench.PyPySuite()
+	rows := harness.Fig10Data(runner, progs)
+	if errs := runner.Errs(); len(errs) > 0 {
+		t.Fatalf("runner errors: %v", errs)
+	}
+	noWorse, total := 0, 0
+	for _, row := range rows {
+		if row.Err {
+			t.Fatalf("%s: shootout row errored", row.Bench)
+		}
+		total++
+		a, s := row.W25[adaptive], row.W25[tiered]
+		if a <= s {
+			noWorse++
+		} else {
+			t.Logf("%s: adaptive warmup slower (%.2fM vs %.2fM cycles to 25%% work)",
+				row.Bench, a/1e6, s/1e6)
+		}
+		if a > s*1.05 {
+			t.Errorf("%s: adaptive warmup %.2fM cycles is more than 5%% over static tiered %.2fM",
+				row.Bench, a/1e6, s/1e6)
+		}
+	}
+	if want := total - 3; noWorse < want {
+		t.Errorf("adaptive warmup no worse than static tiered on only %d/%d programs; want >= %d",
+			noWorse, total, want)
+	}
+}

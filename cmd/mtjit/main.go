@@ -40,7 +40,7 @@ import (
 func main() {
 	benchName := flag.String("bench", "", "benchmark name (see -list)")
 	file := flag.String("file", "", "run a guest source file instead of a benchmark")
-	vmName := flag.String("vm", "pypy", "vm: cpython | pypy-nojit | pypy | pypy-tiered | racket | pycket | c")
+	vmName := flag.String("vm", "pypy", "vm: cpython | pypy-nojit | pypy | pypy-tiered | pypy-amalg | pypy-adaptive | racket | pycket | c")
 	list := flag.Bool("list", false, "list benchmarks")
 	dumpLog := flag.Bool("jitlog", false, "dump the JIT log (traces and IR)")
 	threshold := flag.Int("threshold", 0, "JIT hot-loop threshold override")
@@ -257,8 +257,14 @@ func runFile(path, vmName string) {
 		cfg.Profile = mtjit.FrameworkProfile()
 		cfg.JIT = true
 		cfg.Baseline = true
+	case "pypy-amalg", "pypy-adaptive":
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+		cfg.Baseline = true
+		cfg.Method = true
+		cfg.Adaptive = vmName == "pypy-adaptive"
 	default:
-		fmt.Fprintf(os.Stderr, "-file supports cpython|pypy-nojit|pypy|pypy-tiered\n")
+		fmt.Fprintf(os.Stderr, "-file supports cpython|pypy-nojit|pypy|pypy-tiered|pypy-amalg|pypy-adaptive\n")
 		os.Exit(2)
 	}
 	vm := pylang.New(mach, cfg)

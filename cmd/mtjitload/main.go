@@ -54,7 +54,7 @@ func main() {
 	target := flag.String("target", "http://127.0.0.1:8100", "frontend (or worker) base URL")
 	rate := flag.Float64("rate", 50, "open-loop arrival rate in requests/second")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
-	vms := flag.String("vms", "cpython,pypy,pypy-tiered", "VM kinds in the mix (comma-separated)")
+	vms := flag.String("vms", "cpython,pypy,pypy-tiered", "VM kinds in the mix (comma-separated; pypy-amalg and pypy-adaptive add the tier-2 method strategies)")
 	benches := flag.String("benches", "", "benchmarks in the mix (comma-separated; default: the full suite)")
 	traceDir := flag.String("traces", "", "recorded-trace fixture directory added to the mix")
 	hot := flag.Float64("hot", 0.5, "fraction of arrivals concentrated on the hot cell subset")

@@ -63,6 +63,17 @@ const (
 	// annotation stream entirely, invisible to stream checkers.
 	TagGCSkipped
 
+	// Tier-2 method-compilation annotations (the amalgamated strategy:
+	// whole guest functions compiled beside traces in one engine).
+	// Enter/Leave and CompileStart/CompileEnd bracket phases like the
+	// baseline pairs above; Deopt is an event marker (a method guard fell
+	// back to the interpreter) with no phase effect.
+	TagMethodCompileStart // method compilation begins (Arg: function code ID)
+	TagMethodCompileEnd   // method code installed (Arg: method code ID)
+	TagMethodEnter        // execution enters method-compiled code (Arg: method code ID)
+	TagMethodLeave        // execution leaves method code back to interp
+	TagMethodDeopt        // a method guard failed; interpreter takes over (Arg: method code ID)
+
 	// tagFirstDynamic is the first tag available to Registry.Define.
 	tagFirstDynamic
 )
@@ -110,6 +121,12 @@ var builtinTagNames = map[Tag]string{
 	TagBaselineDeopt:        "baseline_deopt",
 
 	TagGCSkipped: "gc_skipped",
+
+	TagMethodCompileStart: "method_compile_start",
+	TagMethodCompileEnd:   "method_compile_end",
+	TagMethodEnter:        "method_enter",
+	TagMethodLeave:        "method_leave",
+	TagMethodDeopt:        "method_deopt",
 }
 
 // Phase is the framework-level execution phase taxonomy of Section V-B:
@@ -131,11 +148,14 @@ const (
 	PhaseBlackhole                 // deoptimization via the blackhole interpreter
 	PhaseBaselineComp              // tier-1 baseline (threaded-code) compilation
 	PhaseBaseline                  // tier-1 baseline code execution
+	PhaseMethodComp                // tier-2 method compilation (amalgamated strategy)
+	PhaseMethod                    // tier-2 method code execution
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
 	"interp", "tracing", "jit", "jit_call", "gc", "blackhole", "basecomp", "baseline",
+	"methcomp", "method",
 }
 
 // String returns the phase's short name as used in figures.

@@ -101,6 +101,70 @@ func TestBaselineDeoptRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMethodDeoptRoundTrip is the tier-2 method analog of
+// TestBaselineDeoptRoundTrip: force a failure at every guard the
+// method-compiled code executes, one guard per run, and demand the
+// fallback interpreter reproduces the pure interpreter's result,
+// output, and heap exactly. Tracing is kept out of reach so every
+// deopt exits method code, not a trace.
+func TestMethodDeoptRoundTrip(t *testing.T) {
+	ref, err := RunSource(deoptSrc, false, VMConfig{Name: "interp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discovery run: collect every (method, guard) pair the method code
+	// executes. Guard IDs are only unique within one MethodCode, so the
+	// pair is the key.
+	type guardKey struct {
+		method uint32
+		id     uint64
+	}
+	var order []guardKey
+	seen := map[guardKey]bool{}
+	discover := VMConfig{
+		Name: "method-discover", JIT: true, Method: true,
+		MethodThreshold: 2, Threshold: 1 << 20,
+		ForceMethodGuardFail: func(mc *mtjit.MethodCode, id uint64) bool {
+			k := guardKey{method: mc.ID, id: id}
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+			return false
+		},
+	}
+	if _, err := RunSource(deoptSrc, false, discover); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 5 {
+		t.Fatalf("only %d method guards executed; the loop did not run in tier-2 method code as intended", len(order))
+	}
+
+	for _, gk := range order {
+		gk := gk
+		cfg := VMConfig{
+			Name: "method-forced", JIT: true, Method: true,
+			MethodThreshold: 2, Threshold: 1 << 20,
+			ForceMethodGuardFail: func(mc *mtjit.MethodCode, id uint64) bool {
+				return mc.ID == gk.method && id == gk.id
+			},
+		}
+		out, err := RunSource(deoptSrc, false, cfg)
+		if err != nil {
+			t.Fatalf("method guard %d/%d: %v", gk.method, gk.id, err)
+		}
+		if out.Result != ref.Result || out.Heap != ref.Heap ||
+			out.Output != ref.Output || out.Err != ref.Err {
+			t.Errorf("method guard %d/%d diverged:\n  interp: %s\n  forced: %s",
+				gk.method, gk.id, ref, out)
+		}
+		if out.Stats.MethodDeopts == 0 {
+			t.Errorf("method guard %d/%d: no deopt recorded", gk.method, gk.id)
+		}
+	}
+}
+
 // TestDeoptRoundTrip forces a failure at every guard the compiled code
 // executes, one guard per run, under both exit strategies: blackhole
 // deoptimization (bridge threshold too high to ever compile one) and

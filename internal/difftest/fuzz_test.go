@@ -76,3 +76,44 @@ func FuzzTieredPromotion(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAmalgamatedTiering stresses the full three-tier amalgamation: the
+// input bytes pick all four thresholds (baseline, hot, bridge, method),
+// whether the adaptive controller drives promotion, AND a sparse
+// method-guard failure pattern, then generate a pylang program. Method
+// installation invalidates live baseline fragments, traces and method
+// code coexist, and forced tier-2 deopts land mid-loop — the run must
+// still agree with the plain interpreter on everything.
+func FuzzAmalgamatedTiering(f *testing.F) {
+	for i := uint64(0); i < 8; i++ {
+		f.Add(seedBytes(i | 3<<32))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := newDecider(data)
+		baseT := d.rangeInt(1, 4)
+		hotT := d.rangeInt(baseT+1, baseT+12)
+		bridgeT := d.rangeInt(1, 3)
+		methodT := d.rangeInt(hotT, hotT+16)
+		adaptive := d.chance(50)
+		// mask==0 disables forced failures so clean amalgamation is also
+		// covered; otherwise roughly 1/8..1/2 of guard executions fail.
+		mask := uint64(d.intn(8))
+		src := GenPylang(data)
+
+		amalg := VMConfig{
+			Name: "amalg-fuzz", JIT: true, Baseline: true, Method: true,
+			BaselineThreshold: baseT, Threshold: hotT, BridgeThreshold: bridgeT,
+			MethodThreshold: methodT, Adaptive: adaptive,
+		}
+		if mask != 0 {
+			amalg.ForceMethodGuardFail = func(mc *mtjit.MethodCode, id uint64) bool {
+				return (id+mc.EnterCount+mc.DeoptCount)&7 == mask
+			}
+		}
+		configs := []VMConfig{{Name: "interp"}, amalg}
+		if _, err := RunConfigs(src, false, configs); err != nil {
+			t.Fatalf("thresholds base=%d hot=%d bridge=%d method=%d adaptive=%v mask=%d: %v\nprogram:\n%s",
+				baseT, hotT, bridgeT, methodT, adaptive, mask, err, src)
+		}
+	})
+}

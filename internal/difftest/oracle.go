@@ -27,13 +27,23 @@ type VMConfig struct {
 	// self-describing.
 	Baseline          bool
 	BaselineThreshold int
-	Opts              *mtjit.OptConfig
+	// Method enables the tier-2 method compiler; MethodThreshold
+	// overrides its promotion threshold (0 = the guest's default).
+	Method          bool
+	MethodThreshold int
+	// Adaptive enables the deterministic feedback tier controller
+	// (per-site promotion thresholds; see mtjit/controller.go).
+	Adaptive bool
+	Opts     *mtjit.OptConfig
 	// ForceGuardFail, when set, is installed as the engine's
 	// deoptimization-testing hook (see mtjit.Engine.ForceGuardFail).
 	ForceGuardFail func(*mtjit.Trace, *mtjit.Op) bool
 	// ForceBaselineGuardFail is the tier-1 analog (see
 	// mtjit.Engine.ForceBaselineGuardFail).
 	ForceBaselineGuardFail func(*mtjit.BaselineCode, uint64) bool
+	// ForceMethodGuardFail is the tier-2 method analog (see
+	// mtjit.Engine.ForceMethodGuardFail).
+	ForceMethodGuardFail func(*mtjit.MethodCode, uint64) bool
 }
 
 // hot is the aggressive threshold pair: nearly every loop gets traced
@@ -53,10 +63,13 @@ func ablate(name string, strike func(*mtjit.OptConfig)) VMConfig {
 // under: the plain interpreter (the executable specification), the
 // default JIT, the JIT with aggressive thresholds, each optimizer pass
 // ablated individually, a tiny trace limit (constant abort + blacklist
-// pressure), and the tier-1 cells — baseline code with tracing out of
+// pressure), the tier-1 cells — baseline code with tracing out of
 // reach, the two-tier scheme with tiny thresholds, and a tiered cell
 // whose gap between the baseline and hot thresholds forces promotion
-// while the loop is resident in baseline code.
+// while the loop is resident in baseline code — and the tier-2 method
+// cells: method code with tracing out of reach, the full amalgamated
+// scheme (all three tiers, hot and spaced-promotion variants), and the
+// amalgamated scheme under the adaptive tier controller.
 func Matrix() []VMConfig {
 	return []VMConfig{
 		{Name: "interp"},
@@ -74,19 +87,35 @@ func Matrix() []VMConfig {
 			BaselineThreshold: 1, Threshold: 2, BridgeThreshold: 1},
 		{Name: "tiered-promote", JIT: true, Baseline: true,
 			BaselineThreshold: 2, Threshold: 9, BridgeThreshold: 2},
+		{Name: "method-only", JIT: true, Method: true,
+			MethodThreshold: 2, Threshold: 1 << 20},
+		{Name: "amalg-hot", JIT: true, Baseline: true, Method: true,
+			BaselineThreshold: 1, Threshold: 2, BridgeThreshold: 1,
+			MethodThreshold: 3},
+		{Name: "amalg-promote", JIT: true, Baseline: true, Method: true,
+			BaselineThreshold: 2, Threshold: 9, BridgeThreshold: 2,
+			MethodThreshold: 5},
+		{Name: "adaptive-hot", JIT: true, Baseline: true, Method: true, Adaptive: true,
+			BaselineThreshold: 1, Threshold: 2, BridgeThreshold: 1,
+			MethodThreshold: 3},
 	}
 }
 
 // Outcome is everything observable about one execution that must agree
-// across configurations (Result, Heap, Output, Err), plus engine stats
-// for reporting.
+// across configurations (Result, Heap, Output, Err, and — for clean
+// runs — Work), plus engine stats for reporting.
 type Outcome struct {
 	Config VMConfig
 	Result string
 	Heap   uint64
 	Output string
 	Err    string // guest error message, "" for a clean run
-	Stats  mtjit.EngineStats
+	// Work is the total guest bytecodes the work meter counted. Work
+	// accounting is exact across tiers (trace passes retire only the
+	// bytecodes they actually executed), so every cell of a clean run
+	// must report the same total as the interpreter.
+	Work  uint64
+	Stats mtjit.EngineStats
 }
 
 func (o *Outcome) String() string {
@@ -116,6 +145,10 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 	// checker validates the annotation stream's grammar and its phase
 	// totals are cross-checked against the machine after the run.
 	prof := profile.Attach(mach, profile.Config{})
+	// The work meter rides along too: exact tier-independent work
+	// accounting means every clean cell must count the same bytecode
+	// total (checked in RunConfigs).
+	wm := pintool.NewWorkMeter(mach, 0)
 
 	vm := pylang.New(mach, pylang.Config{
 		Profile:           mtjit.FrameworkProfile(),
@@ -124,6 +157,9 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 		BridgeThreshold:   cfg.BridgeThreshold,
 		Baseline:          cfg.Baseline,
 		BaselineThreshold: cfg.BaselineThreshold,
+		Method:            cfg.Method,
+		MethodThreshold:   cfg.MethodThreshold,
+		Adaptive:          cfg.Adaptive,
 		Opts:              cfg.Opts,
 		HeapConfig:        oracleHeapConfig(),
 	})
@@ -135,6 +171,9 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 	}
 	if cfg.ForceBaselineGuardFail != nil && vm.Eng != nil {
 		vm.Eng.ForceBaselineGuardFail = cfg.ForceBaselineGuardFail
+	}
+	if cfg.ForceMethodGuardFail != nil && vm.Eng != nil {
+		vm.Eng.ForceMethodGuardFail = cfg.ForceMethodGuardFail
 	}
 
 	if scheme {
@@ -168,6 +207,7 @@ func RunSource(src string, scheme bool, cfg VMConfig) (*Outcome, error) {
 
 	out.Heap = vm.HeapChecksum()
 	out.Output = vm.Output.String()
+	out.Work = wm.Bytecodes
 
 	if err := CheckPhases(mach); err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
@@ -214,6 +254,13 @@ func RunConfigs(src string, scheme bool, configs []VMConfig) ([]*Outcome, error)
 			o.Output != ref.Output || o.Err != ref.Err {
 			return outs, fmt.Errorf("divergence between %s and %s:\n  %s: %s\n  %s: %s",
 				ref.Config.Name, o.Config.Name, ref.Config.Name, ref, o.Config.Name, o)
+		}
+		// Work totals are only comparable for clean runs: a guest error
+		// unwinds mid-segment, so the erroring pass's partial work never
+		// gets annotated.
+		if ref.Err == "" && o.Work != ref.Work {
+			return outs, fmt.Errorf("work divergence between %s and %s: %d vs %d bytecodes",
+				ref.Config.Name, o.Config.Name, ref.Work, o.Work)
 		}
 	}
 	return outs, nil

@@ -93,10 +93,14 @@ func TestMatrixShape(t *testing.T) {
 		"jit-hot-no-fold", "jit-hot-no-guards", "jit-hot-no-cse",
 		"jit-hot-no-virtuals", "jit-hot-no-dce", "jit-tinytrace",
 		"tier1-only", "tiered-hot", "tiered-promote",
+		"method-only", "amalg-hot", "amalg-promote", "adaptive-hot",
 	} {
 		if !names[want] {
 			t.Errorf("matrix is missing config %q", want)
 		}
+	}
+	if len(m) < 16 {
+		t.Errorf("matrix has %d cells, want >= 16", len(m))
 	}
 	if m[0].JIT {
 		t.Error("first matrix cell must be the plain interpreter (the reference)")
@@ -104,16 +108,32 @@ func TestMatrixShape(t *testing.T) {
 	for _, c := range m {
 		// The documented naming scheme (package comment) is enforced:
 		// tier prefixes match the tiers the cell actually enables.
-		hasTier1 := strings.HasPrefix(c.Name, "tier1-") || strings.HasPrefix(c.Name, "tiered-")
+		hasTier1 := strings.HasPrefix(c.Name, "tier1-") || strings.HasPrefix(c.Name, "tiered-") ||
+			strings.HasPrefix(c.Name, "amalg-") || strings.HasPrefix(c.Name, "adaptive-")
 		if hasTier1 != c.Baseline {
 			t.Errorf("cell %q: name/tier mismatch (Baseline=%v)", c.Name, c.Baseline)
+		}
+		hasMethod := strings.HasPrefix(c.Name, "method-") || strings.HasPrefix(c.Name, "amalg-") ||
+			strings.HasPrefix(c.Name, "adaptive-")
+		if hasMethod != c.Method {
+			t.Errorf("cell %q: name/tier mismatch (Method=%v)", c.Name, c.Method)
+		}
+		if strings.HasPrefix(c.Name, "adaptive-") != c.Adaptive {
+			t.Errorf("cell %q: name/controller mismatch (Adaptive=%v)", c.Name, c.Adaptive)
 		}
 		if strings.HasPrefix(c.Name, "tier1-") && c.Threshold < 1<<20 {
 			t.Errorf("cell %q: tier1-only cells must keep tracing out of reach (Threshold=%d)",
 				c.Name, c.Threshold)
 		}
+		if strings.HasPrefix(c.Name, "method-") && c.Threshold < 1<<20 {
+			t.Errorf("cell %q: method-only cells must keep tracing out of reach (Threshold=%d)",
+				c.Name, c.Threshold)
+		}
 		if c.Baseline && c.BaselineThreshold == 0 {
 			t.Errorf("cell %q: tier cells must pin BaselineThreshold explicitly", c.Name)
+		}
+		if c.Method && c.MethodThreshold == 0 {
+			t.Errorf("cell %q: method cells must pin MethodThreshold explicitly", c.Name)
 		}
 	}
 }

@@ -10,10 +10,16 @@ import (
 
 // replayKinds is the VM column set of the record→replay equivalence
 // sweep: the meta-tracing JIT, the two-tier configuration (most moving
-// parts: baseline compilation, promotion, tracing), and the Scheme
+// parts: baseline compilation, promotion, tracing), the amalgamated
+// and adaptive three-tier configurations (method compilation and the
+// feedback controller must replay bit-exactly too), and the Scheme
 // guest on the framework. Interpreter-only kinds add nothing — every
 // JIT kind already interprets during warmup.
-var replayKinds = []harness.VMKind{harness.VMPyPyJIT, harness.VMPyPyTiered, harness.VMPycket}
+var replayKinds = []harness.VMKind{
+	harness.VMPyPyJIT, harness.VMPyPyTiered,
+	harness.VMPyPyAmalg, harness.VMPyPyAdaptive,
+	harness.VMPycket,
+}
 
 // TestRecordReplayEquivalence runs CheckReplay — record, wire
 // round-trip, replay, compare summaries and event streams bit-exactly —
@@ -30,6 +36,10 @@ func TestRecordReplayEquivalence(t *testing.T) {
 		for _, kind := range replayKinds {
 			kind := kind
 			if kind == harness.VMPycket && p.SkSource == "" {
+				continue
+			}
+			if testing.Short() && (kind == harness.VMPyPyAmalg || kind == harness.VMPyPyAdaptive) &&
+				p.Name != "telco" {
 				continue
 			}
 			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {

@@ -3,8 +3,10 @@
 // Python-like and Scheme-like guests, an oracle that runs each program
 // under a matrix of VM configurations (interpreter-only, default JIT,
 // per-pass optimizer ablations, aggressive thresholds, tiny trace
-// limits, and the tier-1 baseline compiler) and demands identical
-// results, heap checksums, output, and guest errors across all cells,
+// limits, the tier-1 baseline compiler, the tier-2 method compiler,
+// and the adaptive tier controller) and demands identical results,
+// heap checksums, output, guest errors, and — for clean runs — total
+// bytecode work across all cells,
 // and cross-layer invariant checkers (phase accounting, trace IR
 // well-formedness, engine stats) applied to every execution. It follows
 // the cross-checking methodology used to validate composed
@@ -27,10 +29,21 @@
 //   - "tier1-<variant>" — baseline (tier-1) compiler only, with the
 //     tracing threshold out of reach; all hot code runs as unoptimized
 //     threaded code.
-//   - "tiered-<variant>" — both tiers. "tiered-hot" promotes almost
-//     immediately; "tiered-promote" spaces the baseline and hot
-//     thresholds so loops are resident in baseline code when promotion
-//     and its invalidation hit.
+//   - "tiered-<variant>" — both tier 1 and the tracing JIT.
+//     "tiered-hot" promotes almost immediately; "tiered-promote" spaces
+//     the baseline and hot thresholds so loops are resident in baseline
+//     code when promotion and its invalidation hit.
+//   - "method-<variant>" — tier-2 method compiler with the tracing
+//     threshold out of reach (and no tier 1); hot functions run as
+//     whole-function method code.
+//   - "amalg-<variant>" — the full amalgamated scheme: baseline,
+//     tracing, and method tiers together. "amalg-hot" promotes almost
+//     immediately on every tier; "amalg-promote" spaces the thresholds
+//     so method promotion hits while loops are resident in baseline
+//     code or compiled traces.
+//   - "adaptive-<variant>" — the amalgamated scheme under the adaptive
+//     tier controller (per-site promotion thresholds driven by observed
+//     abort/deopt/guard-failure streams; mtjit/controller.go).
 //
 // Tier thresholds are carried by the VMConfig cell itself (never by
 // test-local constants), so the corpus and fuzz harnesses exercise

@@ -28,6 +28,8 @@ type CellKey struct {
 	Threshold         int
 	BridgeThreshold   int
 	BaselineThreshold int
+	MethodThreshold   int
+	Adaptive          bool
 
 	HasOpts bool
 	Opts    mtjit.OptConfig
@@ -61,6 +63,8 @@ func Key(p *bench.Program, kind VMKind, opt Options) CellKey {
 		Threshold:         opt.Threshold,
 		BridgeThreshold:   opt.BridgeThreshold,
 		BaselineThreshold: opt.BaselineThreshold,
+		MethodThreshold:   opt.MethodThreshold,
+		Adaptive:          opt.Adaptive,
 		MaxInstrs:         opt.MaxInstrs,
 		Profile:           opt.Profile,
 		ProfileDir:        opt.ProfileDir,
@@ -103,6 +107,12 @@ func (k CellKey) String() string {
 	}
 	if k.BaselineThreshold != 0 {
 		s += fmt.Sprintf("+baseline=%d", k.BaselineThreshold)
+	}
+	if k.MethodThreshold != 0 {
+		s += fmt.Sprintf("+method=%d", k.MethodThreshold)
+	}
+	if k.Adaptive {
+		s += "+adaptive"
 	}
 	if k.HasHeap {
 		s += "+heap"

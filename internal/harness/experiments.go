@@ -126,8 +126,8 @@ func Fig2(r *Runner, progs []bench.Program) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 2: Phase breakdown (%% of instructions, PyPy with JIT)\n")
-	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s %8s %8s\n",
-		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline", "methcomp", "method")
 	for i := range progs {
 		p := &progs[i]
 		res, err := r.Get(p, VMPyPyJIT, Options{})
@@ -223,8 +223,8 @@ func Fig3(r *Runner, fast, slow string) string {
 			fmt.Fprintf(&sb, "%s\n", errCell)
 			continue
 		}
-		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole k=basecomp b=baseline)")
-		letters := []byte{'I', 'T', 'J', 'C', 'G', 'B', 'k', 'b'}
+		fmt.Fprintf(&sb, "%12s  %s\n", "instrs", "interval phase mix (I=interp T=tracing J=jit C=jitcall G=gc B=blackhole k=basecomp b=baseline M=methcomp m=method)")
+		letters := []byte{'I', 'T', 'J', 'C', 'G', 'B', 'k', 'b', 'M', 'm'}
 		var prev [core.NumPhases]uint64
 		for _, s := range res.Samples {
 			var deltas [core.NumPhases]uint64
@@ -253,8 +253,8 @@ func Fig4(r *Runner, progs []bench.Program) string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 4: Phase breakdown, PyPy vs Pycket (CLBG)\n")
-	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s %8s %8s\n",
-		"Benchmark", "VM", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline")
+	fmt.Fprintf(&sb, "%-16s %-7s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Benchmark", "VM", "interp", "tracing", "jit", "jitcall", "gc", "blkhole", "basecomp", "baseline", "methcomp", "method")
 	for i := range progs {
 		p := &progs[i]
 		for _, kind := range []VMKind{VMPyPyJIT, VMPycket} {
@@ -662,45 +662,111 @@ func WarmupCycles(res *Result, frac float64) float64 {
 	return res.Cycles
 }
 
-// Fig10 is the tiered-warmup study: cycles for the single-tier JIT vs
-// the two-tier (baseline + tracing) configuration to complete 25% and
-// 50% of the run's total guest bytecodes. Work totals are
-// layer-independent (Section IV), so the same fraction means the same
-// guest progress in both configurations; ratio < 1 means the baseline
-// tier reached that much work sooner.
-func Fig10(r *Runner, progs []bench.Program) string {
+// TierStrategies lists the Figure 10 shootout columns in order: the
+// single-tier tracing JIT, the two-tier (baseline + tracing)
+// configuration, the amalgamated (baseline + tracing + method)
+// configuration with static thresholds, and the amalgamated
+// configuration under the adaptive tier controller.
+var TierStrategies = []VMKind{VMPyPyJIT, VMPyPyTiered, VMPyPyAmalg, VMPyPyAdaptive}
+
+// tierStrategyLabels are the short column labels, in TierStrategies
+// order.
+var tierStrategyLabels = []string{"jit", "tier", "amalg", "adpt"}
+
+// TierRow is one benchmark's tier-strategy shootout measurements:
+// cycles to reach 25% and 50% of total guest bytecodes, and the run
+// total, one entry per TierStrategies element. Err marks a row whose
+// runs failed (the errors live on the Runner).
+type TierRow struct {
+	Bench string
+	W25   [4]float64
+	W50   [4]float64
+	Total [4]float64
+	Err   bool
+}
+
+// Fig10Data runs the tier-strategy shootout: every benchmark on every
+// TierStrategies configuration, with cross-strategy checksum and work
+// totals verified (the same guest progress must mean the same work in
+// every configuration).
+func Fig10Data(r *Runner, progs []bench.Program) []TierRow {
 	opt := Options{SampleInterval: DefaultSampleInterval}
 	for i := range progs {
-		r.Prefetch(&progs[i], VMPyPyJIT, opt)
-		r.Prefetch(&progs[i], VMPyPyTiered, opt)
+		for _, kind := range TierStrategies {
+			r.Prefetch(&progs[i], kind, opt)
+		}
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "Figure 10: tiered warmup - Mcycles to reach a fraction of total work\n")
-	fmt.Fprintf(&sb, "%-20s %9s %9s %6s | %9s %9s %6s | %9s %9s\n",
-		"Benchmark", "JIT 25%", "tier 25%", "ratio", "JIT 50%", "tier 50%", "ratio", "JIT tot", "tier tot")
+	rows := make([]TierRow, 0, len(progs))
 	for i := range progs {
 		p := &progs[i]
-		rj, errJ := r.Get(p, VMPyPyJIT, opt)
-		rt, errT := r.Get(p, VMPyPyTiered, opt)
-		if errJ != nil || errT != nil {
-			fmt.Fprintf(&sb, "%-20s %s\n", p.Name, errCell)
+		row := TierRow{Bench: p.Name}
+		var res [4]*Result
+		for s, kind := range TierStrategies {
+			rr, err := r.Get(p, kind, opt)
+			if err != nil {
+				row.Err = true
+				break
+			}
+			res[s] = rr
+		}
+		if !row.Err {
+			for s := 1; s < len(res); s++ {
+				if res[s].Checksum != res[0].Checksum {
+					r.Fail(fmt.Errorf("fig10: checksum mismatch on %s: %s=%d %s=%d",
+						p.Name, TierStrategies[0], res[0].Checksum,
+						TierStrategies[s], res[s].Checksum))
+				}
+				if res[s].Bytecodes != res[0].Bytecodes {
+					r.Fail(fmt.Errorf("fig10: work mismatch on %s: %s=%d %s=%d bytecodes",
+						p.Name, TierStrategies[0], res[0].Bytecodes,
+						TierStrategies[s], res[s].Bytecodes))
+				}
+			}
+			for s, rr := range res {
+				row.W25[s] = WarmupCycles(rr, 0.25)
+				row.W50[s] = WarmupCycles(rr, 0.50)
+				row.Total[s] = rr.Cycles
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig10 is the tier-strategy shootout: cycles for each tier
+// configuration to complete 25% and 50% of the run's total guest
+// bytecodes, plus run totals. Work totals are layer-independent
+// (Section IV), so the same fraction means the same guest progress in
+// every configuration; a smaller cell means that strategy reached that
+// much work sooner.
+func Fig10(r *Runner, progs []bench.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10: tier-strategy shootout - Mcycles to reach a fraction of total work\n")
+	fmt.Fprintf(&sb, "%-20s", "Benchmark")
+	for _, part := range []string{"25%", "50%", "tot"} {
+		if part != "25%" {
+			sb.WriteString(" |")
+		}
+		for _, lab := range tierStrategyLabels {
+			fmt.Fprintf(&sb, " %8s", lab+" "+part)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, row := range Fig10Data(r, progs) {
+		if row.Err {
+			fmt.Fprintf(&sb, "%-20s %s\n", row.Bench, errCell)
 			continue
 		}
-		if rj.Checksum != rt.Checksum {
-			r.Fail(fmt.Errorf("fig10: checksum mismatch on %s: %d/%d",
-				p.Name, rj.Checksum, rt.Checksum))
+		fmt.Fprintf(&sb, "%-20s", row.Bench)
+		for gi, group := range [][4]float64{row.W25, row.W50, row.Total} {
+			if gi != 0 {
+				sb.WriteString(" |")
+			}
+			for _, v := range group {
+				fmt.Fprintf(&sb, " %8.2f", v/1e6)
+			}
 		}
-		if rj.Bytecodes != rt.Bytecodes {
-			r.Fail(fmt.Errorf("fig10: work mismatch on %s: %d/%d bytecodes",
-				p.Name, rj.Bytecodes, rt.Bytecodes))
-		}
-		j25, t25 := WarmupCycles(rj, 0.25), WarmupCycles(rt, 0.25)
-		j50, t50 := WarmupCycles(rj, 0.50), WarmupCycles(rt, 0.50)
-		fmt.Fprintf(&sb, "%-20s %9.2f %9.2f %6.2f | %9.2f %9.2f %6.2f | %9.2f %9.2f\n",
-			p.Name,
-			j25/1e6, t25/1e6, t25/j25,
-			j50/1e6, t50/1e6, t50/j50,
-			rj.Cycles/1e6, rt.Cycles/1e6)
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

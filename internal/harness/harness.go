@@ -43,6 +43,16 @@ const (
 	// interpreter with the tier-1 baseline compiler in front of the
 	// meta-tracing JIT (warmup study).
 	VMPyPyTiered VMKind = "pypy-tiered"
+
+	// VMPyPyAmalg is the amalgamated configuration: pypy-tiered plus the
+	// tier-2 method compiler, with static promotion thresholds. Trace-
+	// hostile regions fall back to whole-function method code; trace-
+	// friendly hot loops keep tracing.
+	VMPyPyAmalg VMKind = "pypy-amalg"
+	// VMPyPyAdaptive is pypy-amalg with the adaptive tier controller:
+	// per-site promotion thresholds driven by observed abort, deopt, and
+	// guard-failure streams (deterministic; see mtjit/controller.go).
+	VMPyPyAdaptive VMKind = "pypy-adaptive"
 )
 
 // Options tunes a run.
@@ -60,6 +70,12 @@ type Options struct {
 	// BaselineThreshold overrides the tier-1 compile threshold for
 	// tiered VM kinds when non-zero.
 	BaselineThreshold int
+	// MethodThreshold overrides the tier-2 method-compile threshold for
+	// amalgamated VM kinds when non-zero.
+	MethodThreshold int
+	// Adaptive forces the adaptive tier controller on for any JIT kind
+	// (pypy-adaptive implies it).
+	Adaptive bool
 	// Opts overrides the optimizer configuration.
 	Opts *mtjit.OptConfig
 	// Params overrides the CPU model.
@@ -229,6 +245,14 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 		cfg.JIT = true
 		cfg.Baseline = true
 		cfg.BaselineThreshold = opt.BaselineThreshold
+	case VMPyPyAmalg, VMPyPyAdaptive:
+		cfg.Profile = mtjit.FrameworkProfile()
+		cfg.JIT = true
+		cfg.Baseline = true
+		cfg.BaselineThreshold = opt.BaselineThreshold
+		cfg.Method = true
+		cfg.MethodThreshold = opt.MethodThreshold
+		cfg.Adaptive = kind == VMPyPyAdaptive
 	case VMRacket:
 		cfg.Profile = mtjit.CustomVMProfile()
 		src = p.SkSource
@@ -246,6 +270,9 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 	}
 	cfg.Threshold = opt.Threshold
 	cfg.BridgeThreshold = opt.BridgeThreshold
+	if opt.Adaptive {
+		cfg.Adaptive = true
+	}
 	cfg.Opts = opt.Opts
 	hcfg := heapConfigOf(opt)
 	cfg.HeapConfig = &hcfg
@@ -279,6 +306,12 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 						return ""
 					}
 					return profLog.BaselineLabel(id)
+				},
+				Method: func(id uint64) string {
+					if profLog == nil {
+						return ""
+					}
+					return profLog.MethodLabel(id)
 				},
 				AOTFunc: func(id uint64) string {
 					if profVM == nil {
@@ -432,6 +465,8 @@ func snapshotConfig(opt Options, hcfg heap.Config) trace.ConfigSnapshot {
 		Threshold:         int64(opt.Threshold),
 		BridgeThreshold:   int64(opt.BridgeThreshold),
 		BaselineThreshold: int64(opt.BaselineThreshold),
+		MethodThreshold:   int64(opt.MethodThreshold),
+		Adaptive:          opt.Adaptive,
 		NurserySize:       hcfg.NurserySize,
 		MajorThreshold:    hcfg.MajorThreshold,
 		MajorGrowthBits:   math.Float64bits(hcfg.MajorGrowth),
@@ -454,6 +489,8 @@ func ReplayOptions(t *trace.Trace) Options {
 		Threshold:         int(c.Threshold),
 		BridgeThreshold:   int(c.BridgeThreshold),
 		BaselineThreshold: int(c.BaselineThreshold),
+		MethodThreshold:   int(c.MethodThreshold),
+		Adaptive:          c.Adaptive,
 		HeapConfig:        &hc,
 	}
 }

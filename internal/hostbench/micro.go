@@ -3,9 +3,12 @@ package hostbench
 import (
 	"testing"
 
+	"metajit/internal/aot"
 	"metajit/internal/core"
 	"metajit/internal/cpu"
+	"metajit/internal/heap"
 	"metajit/internal/isa"
+	"metajit/internal/mtjit"
 )
 
 // measureMicro times the cpu.Machine retire methods — the simulator's
@@ -31,6 +34,22 @@ func measureMicro(cfg Config) []Entry {
 type microBench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// sinkInt defeats dead-code elimination of the benchmarked lookups.
+var sinkInt int
+
+// newBenchEngine builds a minimal engine for controller micro-benches:
+// default thresholds, method tier enabled only on the adaptive variant.
+func newBenchEngine(adaptive bool) *mtjit.Engine {
+	m := cpu.NewDefault()
+	h := heap.New(m, heap.DefaultConfig())
+	cfg := mtjit.DefaultConfig()
+	if adaptive {
+		cfg.Adaptive = true
+		cfg.MethodThreshold = 60
+	}
+	return mtjit.NewEngineConfig(aot.NewRuntime(h), mtjit.FrameworkProfile(), cfg)
 }
 
 func microBenches() []microBench {
@@ -65,6 +84,29 @@ func microBenches() []microBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Branch(isa.RegionVMText+uint64(i%64)*4, i%3 == 0)
+			}
+		}},
+		{"ctl-detached", func(b *testing.B) {
+			// Controller cost on a static engine: the per-header-visit
+			// threshold lookup must stay a branch on Adaptive, nothing
+			// more — static tiers pay nothing for the controller.
+			e := newBenchEngine(false)
+			key := mtjit.GreenKey{CodeID: 1, PC: 16}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkInt += e.EffectiveThreshold(key)
+			}
+		}},
+		{"ctl-adaptive", func(b *testing.B) {
+			// Controller cost with the adaptive path live: abort-backoff
+			// and warmup-slope lookups on every header visit.
+			e := newBenchEngine(true)
+			key := mtjit.GreenKey{CodeID: 1, PC: 16}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkInt += e.EffectiveThreshold(key)
 			}
 		}},
 		{"cpu-annot", func(b *testing.B) {

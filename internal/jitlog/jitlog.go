@@ -12,19 +12,25 @@ import (
 	"metajit/internal/mtjit"
 )
 
-// Log collects trace and tier-1 compile records from an engine.
+// Log collects trace, tier-1, and tier-2 method compile records from an
+// engine.
 type Log struct {
 	Traces []*mtjit.Trace
 	// Baselines records tier-1 (baseline threaded-code) compilations in
 	// install order, including later-invalidated ones.
 	Baselines []*mtjit.BaselineCode
+	// Methods records tier-2 method compilations in install order,
+	// including later-invalidated ones.
+	Methods []*mtjit.MethodCode
 
-	// Lazy ID indexes for the span-label helpers. Traces/Baselines are
-	// append-only, so the indexes extend incrementally.
+	// Lazy ID indexes for the span-label helpers. Traces/Baselines/
+	// Methods are append-only, so the indexes extend incrementally.
 	traceByID    map[uint32]*mtjit.Trace
 	baselineByID map[uint32]*mtjit.BaselineCode
+	methodByID   map[uint32]*mtjit.MethodCode
 	traceIndexed int
 	baseIndexed  int
+	methIndexed  int
 }
 
 // TraceLabel returns a compact human-readable label for the trace with
@@ -66,11 +72,28 @@ func (l *Log) BaselineLabel(id uint64) string {
 	return fmt.Sprintf("bc%d@c%d:p%d", bc.ID, bc.Key.CodeID, bc.Key.PC)
 }
 
+// MethodLabel is TraceLabel's tier-2 method analog ("mc1@c2").
+func (l *Log) MethodLabel(id uint64) string {
+	for ; l.methIndexed < len(l.Methods); l.methIndexed++ {
+		if l.methodByID == nil {
+			l.methodByID = map[uint32]*mtjit.MethodCode{}
+		}
+		mc := l.Methods[l.methIndexed]
+		l.methodByID[mc.ID] = mc
+	}
+	mc := l.methodByID[uint32(id)]
+	if mc == nil {
+		return ""
+	}
+	return fmt.Sprintf("mc%d@c%d", mc.ID, mc.CodeID)
+}
+
 // Attach registers the log with an engine's compile hooks.
 func Attach(eng *mtjit.Engine) *Log {
 	l := &Log{}
 	eng.OnCompile = func(t *mtjit.Trace) { l.Traces = append(l.Traces, t) }
 	eng.OnBaselineCompile = func(bc *mtjit.BaselineCode) { l.Baselines = append(l.Baselines, bc) }
+	eng.OnMethodCompile = func(mc *mtjit.MethodCode) { l.Methods = append(l.Methods, mc) }
 	return l
 }
 
@@ -211,6 +234,14 @@ func (l *Log) Dump() string {
 		}
 		fmt.Fprintf(&sb, "# tier1 baseline %d (code %d pc %d-%d) entered %d times, %d deopts, %d ops, %d asm bytes%s\n",
 			bc.ID, bc.Key.CodeID, bc.Start, bc.End, bc.EnterCount, bc.DeoptCount, len(bc.Ops), bc.AsmLen*4, status)
+	}
+	for _, mc := range l.Methods {
+		status := ""
+		if mc.Invalidated {
+			status = " (invalidated)"
+		}
+		fmt.Fprintf(&sb, "# tier2 method %d (code %d pc 0-%d) entered %d times, %d deopts, %d ops, %d asm bytes%s\n",
+			mc.ID, mc.CodeID, mc.End, mc.EnterCount, mc.DeoptCount, len(mc.Ops), mc.AsmLen*4, status)
 	}
 	for _, t := range l.Traces {
 		kind := "loop"

@@ -88,6 +88,10 @@ const (
 	// TierTrace: the header crossed Threshold; the driver should begin
 	// tracing (promotion, when baseline code exists).
 	TierTrace
+	// TierMethod: the enclosing function crossed MethodThreshold and
+	// its region is trace-hostile; the driver should lower the whole
+	// function and install method code (see method.go).
+	TierMethod
 )
 
 // Fixed tier-transition instruction mixes, retired as single blocks:
@@ -111,15 +115,22 @@ func (e *Engine) CountAtHeader(key GreenKey) TierEvent {
 		return TierNone
 	}
 	if e.blacklist[key] >= e.MaxAborts {
-		return TierNone
+		// Tracing has given up on this header; the method tier (whose
+		// whole point is trace-hostile regions) may still take it.
+		return e.maybeMethod(key)
 	}
 	e.counters[key]++
-	if e.counters[key] >= e.Threshold && e.traces[key] == nil {
+	if e.counters[key] >= e.traceThresholdFor(key) && e.traces[key] == nil {
 		e.counters[key] = 0
+		e.recordDecision(key, TierTrace)
 		return TierTrace
 	}
+	if ev := e.maybeMethod(key); ev != TierNone {
+		return ev
+	}
 	if e.BaselineThreshold > 0 && e.counters[key] >= e.BaselineThreshold &&
-		e.baseline[key] == nil && !e.baselineFailed[key] && e.traces[key] == nil {
+		e.baseline[key] == nil && !e.baselineFailed[key] && e.traces[key] == nil &&
+		e.method[key.CodeID] == nil {
 		return TierBaseline
 	}
 	return TierNone

@@ -1,0 +1,138 @@
+package mtjit
+
+// This file implements the adaptive tier controller: the replacement
+// for the static BaselineThreshold/Threshold pair. Instead of one
+// global tracing threshold, each loop header gets an effective
+// threshold derived from the engine's own observed event history —
+// trace-abort counts back promotion off, a clean tier-1 warmup slope
+// pulls it forward, and guard-failure traffic feeds the method tier's
+// hostility judgment (Engine.hostile).
+//
+// Determinism contract: every controller input is per-Engine state
+// that is itself maintained deterministically (abort counts, baseline
+// enter/deopt counts, per-header guard-failure attribution). The
+// controller never reads the process-global telemetry registry — those
+// counters are shared across engines and parallel runs, so consuming
+// them would break `-j1 == -jN` and memoization. It only *writes*
+// decision counts there for observability. Controller-relevant
+// configuration (MethodThreshold, Adaptive) enters harness.CellKey, so
+// memoized results can never alias across controller settings.
+
+// Controller tuning constants.
+const (
+	// ctlAbortBackoffMax caps the abort-driven threshold doubling:
+	// after this many failed recordings the header pays 8x the static
+	// threshold per attempt until MaxAborts blacklists it.
+	ctlAbortBackoffMax = 3
+	// ctlWarmupEnters is the tier-1 enter count at which a deopt-free
+	// loop is considered warm with a stable slope and promoted early.
+	ctlWarmupEnters = 4
+	// methodGuardHostile is the per-header trace-guard-failure count
+	// past which the header's region counts as trace-hostile (above
+	// one bridge's worth of failures at the default BridgeThreshold).
+	methodGuardHostile = 24
+)
+
+// ControllerDecision is one recorded promotion decision: which header,
+// which tier, and the effective tracing threshold in force when it
+// fired. TestControllerDeterministic compares whole logs across -j1,
+// -jN, and record/replay runs.
+type ControllerDecision struct {
+	Key       GreenKey
+	Event     TierEvent
+	Threshold int
+}
+
+// ControllerLog returns the promotion decisions made so far, in order.
+// Empty unless the method tier or the adaptive controller is enabled
+// (static single- and two-tier engines pay nothing for it).
+func (e *Engine) ControllerLog() []ControllerDecision { return e.ctlLog }
+
+// EffectiveThreshold reports the tracing threshold currently in effect
+// for a loop header — the static Threshold, or the controller's
+// adjusted value when Adaptive is on. Read-only introspection surface;
+// hostbench uses it to price the controller's per-header-visit cost
+// (detached vs adaptive).
+func (e *Engine) EffectiveThreshold(key GreenKey) int {
+	return e.traceThresholdFor(key)
+}
+
+// traceThresholdFor returns the tracing threshold in effect for a loop
+// header. With Adaptive off it is the static Threshold (and costs
+// nothing extra). With Adaptive on:
+//
+//   - Abort backoff: every failed recording at the header doubles the
+//     price of the next attempt (threshold << aborts, capped), so
+//     abort-prone loops stop burning tracing time long before the
+//     MaxAborts blacklist and the work runs in cheaper tiers instead.
+//   - Warmup-slope early promotion: a header whose tier-1 code has run
+//     ctlWarmupEnters times without a single deopt has a proven stable
+//     type profile — the recording will almost certainly succeed, so
+//     the threshold drops by a quarter to shorten warmup.
+func (e *Engine) traceThresholdFor(key GreenKey) int {
+	if !e.Adaptive {
+		return e.Threshold
+	}
+	th := e.Threshold
+	if a := e.blacklist[key]; a > 0 {
+		if a > ctlAbortBackoffMax {
+			a = ctlAbortBackoffMax
+		}
+		return th << uint(a)
+	}
+	if bc := e.baseline[key]; bc != nil && !bc.Invalidated &&
+		bc.DeoptCount == 0 && bc.EnterCount >= ctlWarmupEnters {
+		return th - th/4
+	}
+	return th
+}
+
+// hostile reports whether a header's observed behavior marks its
+// region trace-hostile — the method tier's admission rule. Hostility
+// is: recording aborts at the header, a failed tier-1 lowering
+// (irreducible control flow defeats both the baseline lowering and the
+// tracer's loop assumption), or guard-failure traffic past
+// methodGuardHostile (megamorphic dispatch keeps failing trace
+// guards). A strategy mix whose tracing threshold sits above the
+// method threshold prefers methods outright, so plain hotness
+// qualifies there — that is what makes a method-only configuration
+// (Threshold effectively infinite) compile every hot function.
+func (e *Engine) hostile(key GreenKey) bool {
+	if e.blacklist[key] > 0 || e.baselineFailed[key] {
+		return true
+	}
+	if e.keyGuardFails[key] >= methodGuardHostile {
+		return true
+	}
+	return e.Threshold > e.MethodThreshold
+}
+
+// recordDecision appends to the controller log and bumps the decision
+// stats. A no-op on static engines (no method tier, no adaptive
+// controller), keeping them allocation- and bookkeeping-identical to
+// the pre-controller engine.
+func (e *Engine) recordDecision(key GreenKey, ev TierEvent) {
+	if !e.Adaptive && e.MethodThreshold <= 0 {
+		return
+	}
+	th := e.traceThresholdFor(key)
+	e.ctlLog = append(e.ctlLog, ControllerDecision{Key: key, Event: ev, Threshold: th})
+	m := telem()
+	switch {
+	case ev == TierMethod:
+		e.stats.CtlMethodDecisions++
+		if m != nil {
+			m.ctlMethodDecisions.Inc()
+		}
+	case th > e.Threshold:
+		e.stats.CtlBackoffDecisions++
+		if m != nil {
+			m.ctlBackoffDecisions.Inc()
+		}
+	case th < e.Threshold:
+		e.stats.CtlEarlyPromotions++
+		if m != nil {
+			m.ctlEarlyPromotions.Inc()
+		}
+	}
+}

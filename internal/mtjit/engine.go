@@ -24,6 +24,19 @@ type EngineStats struct {
 	BaselineInvalidated int // killed by promotion or global mutation
 	BaselineEnters      uint64
 	BaselineDeopts      uint64
+
+	// Tier-2 (method compilation) bookkeeping.
+	MethodsCompiled   int
+	MethodInvalidated int // killed by global mutation
+	MethodEnters      uint64
+	MethodDeopts      uint64
+
+	// Tier-controller bookkeeping: promotion decisions the adaptive
+	// controller made under a non-static threshold, and method-tier
+	// decisions. Zero on non-adaptive engines by construction.
+	CtlBackoffDecisions int // TierTrace fired under an abort-raised threshold
+	CtlEarlyPromotions  int // TierTrace fired under a warmup-lowered threshold
+	CtlMethodDecisions  int // TierMethod decisions
 }
 
 // Engine is the meta-tracing JIT: it owns hot-loop counters, recordings in
@@ -54,6 +67,19 @@ type Engine struct {
 	// Zero disables the tier (single-tier behavior, bit-identical to
 	// the pre-tier engine).
 	BaselineThreshold int
+	// MethodThreshold, when positive, enables the tier-2 method
+	// compiler (the amalgamated strategy): a guest function whose loop
+	// headers accumulate this many crossings becomes eligible for
+	// whole-function compilation when the tier controller judges its
+	// region trace-hostile (see Engine.hostile). Zero disables the
+	// tier (bit-identical to the pre-method engine).
+	MethodThreshold int
+	// Adaptive enables the feedback tier controller: the static
+	// Threshold is reshaped per loop header from the engine's own
+	// observed event history (trace-abort backoff, warmup-slope early
+	// promotion; see controller.go). Decisions are a pure function of
+	// per-engine state, so runs stay deterministic and replayable.
+	Adaptive bool
 
 	// OnCompile, if set, is invoked for every installed trace or bridge
 	// (the PyPy-log hook).
@@ -74,6 +100,16 @@ type Engine struct {
 	// interpreter at the next bytecode boundary. Tier-1 analog of
 	// ForceGuardFail.
 	ForceBaselineGuardFail func(*BaselineCode, uint64) bool
+
+	// OnMethodCompile, if set, is invoked for every installed method
+	// compilation (the tier-2 analog of OnCompile).
+	OnMethodCompile func(*MethodCode)
+
+	// ForceMethodGuardFail, if set, is consulted at every generic guard
+	// executed in method code; returning true deoptimizes to the
+	// interpreter at the next bytecode boundary. Tier-2 analog of
+	// ForceGuardFail.
+	ForceMethodGuardFail func(*MethodCode, uint64) bool
 
 	counters  map[GreenKey]int
 	blacklist map[GreenKey]int
@@ -97,6 +133,26 @@ type Engine struct {
 	baselineDeps   map[string][]*BaselineCode
 	baselineSeq    uint32
 
+	// Tier-2 bookkeeping: installed method code by function, functions
+	// that could not be lowered, the compile log, global-value
+	// dependencies, and per-function hotness accumulation.
+	method         map[uint32]*MethodCode
+	methodFailed   map[uint32]bool
+	allMethod      []*MethodCode
+	methodDeps     map[string][]*MethodCode
+	methodCounters map[uint32]int
+	methodSeq      uint32
+
+	// keyGuardFails attributes trace guard failures to the loop header
+	// whose trace they fired in — the controller's per-site
+	// guard-failure-rate signal.
+	keyGuardFails map[GreenKey]int
+
+	// ctlLog records promotion decisions in the order they were made;
+	// only maintained when the method tier or the adaptive controller
+	// is on (TestControllerDeterministic compares logs across runs).
+	ctlLog []ControllerDecision
+
 	guardSeq uint32
 	traceSeq uint32
 	tracing  *TracingMachine
@@ -117,20 +173,98 @@ type Engine struct {
 	stats    EngineStats
 }
 
+// Config bundles the Engine's tunable tier thresholds. Constructing an
+// engine through a Config validates and clamps degenerate threshold
+// orderings (see normalize) instead of letting the tier state machine
+// silently misbehave on inverted values.
+type Config struct {
+	// Threshold is the loop-header count that triggers tracing.
+	Threshold int
+	// BridgeThreshold is the guard-failure count that triggers bridge
+	// compilation.
+	BridgeThreshold int
+	// TraceLimit aborts recordings that grow too long.
+	TraceLimit int
+	// MaxAborts blacklists a loop after this many failed recordings.
+	MaxAborts int
+	// BaselineThreshold enables the tier-1 baseline compiler when
+	// positive (must stay below Threshold; normalize enforces it).
+	BaselineThreshold int
+	// MethodThreshold enables the tier-2 method compiler when positive.
+	MethodThreshold int
+	// Adaptive enables the feedback tier controller.
+	Adaptive bool
+}
+
+// DefaultConfig returns the default thresholds (PyPy's, scaled to the
+// simulator's workload sizes); the baseline and method tiers are off
+// and promotion is static.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:       57,
+		BridgeThreshold: 17,
+		TraceLimit:      6000,
+		MaxAborts:       4,
+	}
+}
+
+// normalize validates and clamps a Config so a constructed engine never
+// runs with degenerate tier orderings: non-positive core thresholds
+// fall back to their defaults (a BridgeThreshold that is zero or
+// negative could never equal a failure count, silently disabling
+// bridges), a negative tier threshold disables that tier, and a
+// BaselineThreshold at or above Threshold is pulled down to
+// Threshold-1 — tier-1 must engage below the tracing threshold or the
+// baseline compiler would never run before promotion.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.Threshold <= 0 {
+		c.Threshold = d.Threshold
+	}
+	if c.BridgeThreshold <= 0 {
+		c.BridgeThreshold = d.BridgeThreshold
+	}
+	if c.TraceLimit <= 0 {
+		c.TraceLimit = d.TraceLimit
+	}
+	if c.MaxAborts <= 0 {
+		c.MaxAborts = d.MaxAborts
+	}
+	if c.BaselineThreshold < 0 {
+		c.BaselineThreshold = 0
+	}
+	if c.MethodThreshold < 0 {
+		c.MethodThreshold = 0
+	}
+	if c.BaselineThreshold >= c.Threshold {
+		c.BaselineThreshold = c.Threshold - 1
+	}
+	return c
+}
+
 // NewEngine returns an engine over the runtime with default thresholds.
 // It registers itself as a GC root provider (live trace registers and
 // trace constants are roots).
 func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
+	return NewEngineConfig(rt, profile, DefaultConfig())
+}
+
+// NewEngineConfig returns an engine with the normalized config applied.
+func NewEngineConfig(rt *aot.Runtime, profile *CostProfile, cfg Config) *Engine {
+	cfg = cfg.normalize()
 	e := &Engine{
 		RT:                  rt,
 		H:                   rt.H,
 		S:                   rt.H.Stream(),
 		Profile:             profile,
 		Opts:                AllOpts(),
-		Threshold:           57,
-		BridgeThreshold:     17,
-		TraceLimit:          6000,
-		MaxAborts:           4,
+		Threshold:           cfg.Threshold,
+		BridgeThreshold:     cfg.BridgeThreshold,
+		TraceLimit:          cfg.TraceLimit,
+		MaxAborts:           cfg.MaxAborts,
+		BaselineThreshold:   cfg.BaselineThreshold,
+		MethodThreshold:     cfg.MethodThreshold,
+		Adaptive:            cfg.Adaptive,
 		counters:            map[GreenKey]int{},
 		blacklist:           map[GreenKey]int{},
 		traces:              map[GreenKey]*Trace{},
@@ -141,6 +275,11 @@ func NewEngine(rt *aot.Runtime, profile *CostProfile) *Engine {
 		baseline:            map[GreenKey]*BaselineCode{},
 		baselineFailed:      map[GreenKey]bool{},
 		baselineDeps:        map[string][]*BaselineCode{},
+		method:              map[uint32]*MethodCode{},
+		methodFailed:        map[uint32]bool{},
+		methodDeps:          map[string][]*MethodCode{},
+		methodCounters:      map[uint32]int{},
+		keyGuardFails:       map[GreenKey]int{},
 		jitPC:               isa.NewPCAlloc(isa.RegionJITCode),
 		bhSite:              rt.PC.Site(),
 		cmpSite:             rt.PC.Site(),
@@ -489,6 +628,12 @@ func (e *Engine) GuardFailCount(id uint32) int { return e.guardFails[id] }
 // The traces stay in the compile log (Traces/stats) — invalidation does
 // not rewrite history, it only stops the code from running.
 func (e *Engine) InvalidateGlobal(name string) {
+	if mcs := e.methodDeps[name]; len(mcs) > 0 {
+		delete(e.methodDeps, name)
+		for _, mc := range mcs {
+			e.invalidateMethod(mc)
+		}
+	}
 	if bcs := e.baselineDeps[name]; len(bcs) > 0 {
 		delete(e.baselineDeps, name)
 		for _, bc := range bcs {

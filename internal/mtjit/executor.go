@@ -82,7 +82,11 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 	s := e.S
 	s.Annot(core.TagJITEnter, uint64(t.ID))
 	t.ExecCount++
-	s.Annot(core.TagDispatch, uint64(t.BCLength))
+	// Work accounting is exact: a segment's bytecodes are counted when
+	// the segment completes (the loop-closing jump, finish, or
+	// call_assembler), and a guard failure counts only the bytecodes the
+	// pass actually retired (Op.BCProgress). Totals therefore agree with
+	// a pure-interpreter run bit for bit, whatever the tier mix.
 
 	cur := t
 	ops := t.Ops
@@ -99,7 +103,10 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 			s.Annot(core.Tag(op.Aux>>32), uint64(uint32(op.Aux)))
 
 		case OpJump:
-			// Close the loop: remap jump args onto entry slots.
+			// Close the loop: remap jump args onto entry slots. The
+			// completed segment (one loop iteration, or a whole bridge)
+			// retires its recorded bytecodes here.
+			s.Annot(core.TagDispatch, uint64(cur.BCLength))
 			s.Block(jumpBlock)
 			if cap(jumpTmp) < len(op.Args) {
 				jumpTmp = make([]heap.Value, len(op.Args))
@@ -132,17 +139,22 @@ func (e *Engine) Execute(t *Trace, fr FrameAdapter) *ExitState {
 				}
 			}
 			cur.ExecCount++
-			s.Annot(core.TagDispatch, uint64(cur.BCLength))
 			pc = -1 // restart at ops[0]
 			continue
 
 		case OpFinish:
+			// The recorded path ran to its end: the whole segment
+			// retired (finish resumes past the last recorded bytecode).
+			s.Annot(core.TagDispatch, uint64(cur.BCLength))
 			s.Block(finishBlock)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
 			s.Annot(core.TagJITLeave, uint64(cur.ID))
 			return &ExitState{Frames: frames}
 
 		case OpCallAssembler:
+			// Recording ended at another loop's header, before its
+			// bytecode dispatched: the whole segment retired.
+			s.Annot(core.TagDispatch, uint64(cur.BCLength))
 			s.Block(callAsmBlock)
 			s.CallIndirect(opPC, op.Target.AsmBase)
 			frames := e.materializeFrames(cur, op.Resume, regs, false)
@@ -249,12 +261,19 @@ func (e *Engine) checkGuard(t *Trace, op *Op, regs []heap.Value) bool {
 // deoptimize through the blackhole interpreter.
 func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Trace, []heap.Value) {
 	e.guardFails[op.GuardID]++
+	e.keyGuardFails[t.Key]++
 	e.stats.GuardFailures++
 	if m := telem(); m != nil {
 		m.guardFails.Inc()
 	}
 	s := e.S
 	s.Annot(core.TagGuardFail, uint64(op.GuardID))
+	// The failing pass retired only the bytecodes before the guard's
+	// bytecode; the interpreter (or the bridge, which was recorded from
+	// the re-executed bytecode) counts the rest itself.
+	if op.BCProgress > 0 {
+		s.Annot(core.TagDispatch, uint64(op.BCProgress))
+	}
 
 	if bridge := e.bridges[op.GuardID]; bridge != nil {
 		s.Annot(core.TagBridgeEnter, uint64(bridge.ID))
@@ -274,7 +293,6 @@ func (e *Engine) guardFail(t *Trace, op *Op, regs []heap.Value) (*ExitState, *Tr
 			}
 		}
 		bridge.ExecCount++
-		s.Annot(core.TagDispatch, uint64(bridge.BCLength))
 		return nil, bridge, newRegs
 	}
 

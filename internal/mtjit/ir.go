@@ -303,6 +303,12 @@ type Op struct {
 	// GuardID is the process-global guard identity used for failure
 	// counting and bridge attachment.
 	GuardID uint32
+	// BCProgress is the number of guest bytecodes fully executed by the
+	// segment before this guard's bytecode (guards only). On a guard
+	// failure the interpreter resumes at the start of the guard's
+	// bytecode and re-counts it, so this — not BCLength — is the work
+	// the trace pass actually retired (exact work-meter accounting).
+	BCProgress int
 }
 
 // String renders the op in PyPy-log style.

@@ -1,0 +1,388 @@
+package mtjit
+
+import (
+	"metajit/internal/core"
+	"metajit/internal/heap"
+	"metajit/internal/isa"
+)
+
+// This file implements the tier-2 method compiler: whole-function
+// compilation living in the same engine as baseline fragments and loop
+// traces, after the amalgamated designs of Izawa & Bolz-Tereick
+// ("Amalgamating Different JIT Compilations in a Meta-tracing JIT
+// Compiler Framework", "Two-level Just-in-Time Compilation with One
+// Interpreter and One Engine"). The division of labor:
+//
+//   - Trace-friendly hot loops keep the tracing pipeline — a loop trace
+//     always wins its own header (LookupTrace has residency precedence),
+//     and method code coexists with traces covering loops inside it.
+//   - Trace-hostile regions — headers with recording aborts, failed
+//     tier-1 lowerings, or heavy guard-failure traffic — fall back to
+//     method code for the whole enclosing function (Engine.hostile).
+//   - Method code supersedes tier-1 baseline fragments in its function:
+//     installing a method invalidates them, and a function with live
+//     method code never grows new ones (verify.go checks both).
+//
+// Method execution is concrete — like the baseline tier it reuses the
+// guest evaluator through MethodMachine, which changes only the cost
+// accounting (compiled dispatch, a register file instead of the operand
+// stack) and intercepts guards. Results are byte-identical to plain
+// interpretation by construction; the differential oracle checks that
+// this stays true. Deopt is interpreter fallback at the failing
+// bytecode's boundary, with no state reconstruction needed (method
+// frames ARE interpreter frames), mirroring baseline deopt.
+
+// MethodOp describes one guest bytecode lowered into tier-2 code.
+type MethodOp struct {
+	// PC is the guest bytecode position.
+	PC int
+	// AsmLen is the compiled-code footprint in synthetic instructions.
+	AsmLen int
+}
+
+// MethodCode is one installed unit of tier-2 code: a whole guest
+// function compiled ahead of its next call, entered at any loop header
+// or at function entry.
+type MethodCode struct {
+	ID uint32
+	// CodeID identifies the compiled guest function; method code covers
+	// the function's entire bytecode range.
+	CodeID uint32
+	// End is the last guest pc the code covers (the range is [0, End]).
+	End int
+	Ops []MethodOp
+	// Globals lists module globals whose values the compiled code
+	// embeds; mutating any of them invalidates the code.
+	Globals []string
+
+	// AsmBase/AsmLen locate the code in the simulated JIT code region.
+	AsmBase uint64
+	AsmLen  int
+
+	// EnterCount / DeoptCount are execution statistics.
+	EnterCount uint64
+	DeoptCount uint64
+	// Invalidated is set on global mutation; invalidated code is never
+	// entered again.
+	Invalidated bool
+
+	pcIdx map[int]int // guest pc -> index in Ops
+	opOff []uint64    // per-op byte offset from AsmBase
+}
+
+// Covers reports whether pc falls inside the compiled region.
+func (m *MethodCode) Covers(pc int) bool { return pc >= 0 && pc <= m.End }
+
+// SitePC returns the simulated code address of the compiled fragment
+// for a guest pc (the dispatch site while resident, so indirect-branch
+// prediction sees per-fragment sites as real compiled code does).
+func (m *MethodCode) SitePC(pc int) uint64 {
+	if i, ok := m.pcIdx[pc]; ok {
+		return m.AsmBase + m.opOff[i]
+	}
+	return m.AsmBase
+}
+
+// Fixed tier-transition instruction mixes for method code, retired as
+// single blocks (the method entry stub spills into a register frame, so
+// entry/exit are marginally heavier than the baseline stubs).
+var (
+	enterMethodBlock = isa.NewBlock(isa.CC(isa.ALU, 4), isa.CC(isa.Store, 2))
+	leaveMethodBlock = isa.NewBlock(isa.CC(isa.ALU, 2), isa.CC(isa.Load, 1))
+	methodDeoptBlock = isa.NewBlock(isa.CC(isa.ALU, 8), isa.CC(isa.Store, 4))
+)
+
+// maybeMethod accumulates function hotness for key's function and
+// reports whether the driver should method-compile it now. Hotness is
+// per function (all its loop headers pool into one counter), and the
+// decision additionally requires the region to be trace-hostile —
+// trace-friendly functions stay on the tracing pipeline.
+func (e *Engine) maybeMethod(key GreenKey) TierEvent {
+	if e.MethodThreshold <= 0 {
+		return TierNone
+	}
+	if e.method[key.CodeID] != nil || e.methodFailed[key.CodeID] {
+		return TierNone
+	}
+	e.methodCounters[key.CodeID]++
+	if e.methodCounters[key.CodeID] >= e.MethodThreshold && e.hostile(key) {
+		e.recordDecision(key, TierMethod)
+		return TierMethod
+	}
+	return TierNone
+}
+
+// CompileMethod lowers a whole guest function into tier-2 code and
+// installs it. ops lists the function's bytecodes in pc order with
+// their compiled footprints; globals names the module globals whose
+// values the code embeds (invalidation dependencies). The compile cost
+// is charged to the method-compile phase: heavier per bytecode than the
+// baseline template copy (the method compiler allocates registers
+// across the whole function) but far below tracing cost per op.
+// Installing method code supersedes every live baseline fragment in the
+// function.
+func (e *Engine) CompileMethod(codeID uint32, ops []MethodOp, globals []string) *MethodCode {
+	e.S.Annot(core.TagMethodCompileStart, uint64(codeID))
+	e.methodSeq++
+	end := 0
+	if n := len(ops); n > 0 {
+		end = ops[n-1].PC
+	}
+	mc := &MethodCode{
+		ID:      e.methodSeq,
+		CodeID:  codeID,
+		End:     end,
+		Ops:     ops,
+		Globals: globals,
+		pcIdx:   make(map[int]int, len(ops)),
+		opOff:   make([]uint64, len(ops)),
+	}
+	off := uint64(0)
+	for i := range ops {
+		mc.pcIdx[ops[i].PC] = i
+		mc.opOff[i] = off
+		off += uint64(ops[i].AsmLen) * 4
+	}
+	mc.AsmLen = int(off / 4)
+	mc.AsmBase = e.jitPC.Take(off + 64)
+
+	// Per-bytecode lowering plus register allocation over the whole
+	// function, plus fixed entry/exit stub cost.
+	n := len(ops)
+	e.S.Ops(isa.ALU, 34*n+80)
+	e.S.Ops(isa.Load, 9*n+16)
+	e.S.Ops(isa.Store, 14*n+20)
+
+	e.method[codeID] = mc
+	e.allMethod = append(e.allMethod, mc)
+	for _, name := range globals {
+		e.methodDeps[name] = append(e.methodDeps[name], mc)
+	}
+	// Amalgamation: method code owns the function; baseline fragments
+	// inside it are superseded (install order makes this deterministic).
+	for _, bc := range e.allBaseline {
+		if !bc.Invalidated && bc.Key.CodeID == codeID {
+			e.invalidateBaseline(bc)
+		}
+	}
+	e.stats.MethodsCompiled++
+	if m := telem(); m != nil {
+		m.methods.Inc()
+	}
+	e.S.Annot(core.TagMethodCompileEnd, uint64(mc.ID))
+	if e.OnMethodCompile != nil {
+		e.OnMethodCompile(mc)
+	}
+	return mc
+}
+
+// MarkMethodFailed blacklists a function the guest could not lower; the
+// tier state machine will not ask again.
+func (e *Engine) MarkMethodFailed(codeID uint32) { e.methodFailed[codeID] = true }
+
+// LookupMethod returns the installed, valid method code for a guest
+// function, or nil.
+func (e *Engine) LookupMethod(codeID uint32) *MethodCode {
+	mc := e.method[codeID]
+	if mc == nil || mc.Invalidated {
+		return nil
+	}
+	return mc
+}
+
+// MethodCodes returns every method compilation in install order
+// (including invalidated ones — the compile log does not rewrite
+// history).
+func (e *Engine) MethodCodes() []*MethodCode { return e.allMethod }
+
+// EnterMethod accounts a transfer from the interpreter into tier-2
+// code: the entry stub spills locals into the method register frame.
+func (e *Engine) EnterMethod(mc *MethodCode) {
+	e.S.Annot(core.TagMethodEnter, uint64(mc.ID))
+	mc.EnterCount++
+	e.stats.MethodEnters++
+	e.S.Block(enterMethodBlock)
+}
+
+// LeaveMethod accounts a transfer out of tier-2 code back to the
+// interpreter (function return, call, trace entry, or invalidation).
+func (e *Engine) LeaveMethod(mc *MethodCode) {
+	e.S.Block(leaveMethodBlock)
+	e.S.Annot(core.TagMethodLeave, uint64(mc.ID))
+}
+
+// MethodDeopt accounts a method guard failure: like baseline deopt
+// there is no state reconstruction (method frames ARE interpreter
+// frames), only a jump back to the generic handler. The caller leaves
+// residency afterwards via LeaveMethod.
+func (e *Engine) MethodDeopt(mc *MethodCode) {
+	mc.DeoptCount++
+	e.stats.MethodDeopts++
+	if m := telem(); m != nil {
+		m.methodDeopts.Inc()
+	}
+	e.S.Annot(core.TagMethodDeopt, uint64(mc.ID))
+	e.S.Block(methodDeoptBlock)
+}
+
+// invalidateMethod kills one method compilation: it is unlinked from
+// the dispatch table so it is never entered again (execution currently
+// resident notices the flag at the next bytecode-boundary check).
+func (e *Engine) invalidateMethod(mc *MethodCode) {
+	if mc.Invalidated {
+		return
+	}
+	mc.Invalidated = true
+	e.stats.MethodInvalidated++
+	if m := telem(); m != nil {
+		m.methodInvalidated.Inc()
+	}
+	if e.method[mc.CodeID] == mc {
+		delete(e.method, mc.CodeID)
+	}
+	e.S.Ops(isa.ALU, 4)
+	e.S.Ops(isa.Store, 1)
+}
+
+// MethodProfile derives the tier-2 cost profile from an interpreter
+// profile: compiled code has no dispatch at all (a single fused
+// compare-and-fallthrough per bytecode boundary for the deopt check),
+// while primitive and call costs are unchanged — method code runs the
+// same generic handlers, it only removes interpretation overhead. The
+// working set is larger than a baseline fragment's (whole functions).
+func MethodProfile(p *CostProfile) *CostProfile {
+	return &CostProfile{
+		Name:          p.Name + "+method",
+		DispatchALU:   1,
+		DispatchLoads: 0,
+		PrimALU:       p.PrimALU,
+		PrimLoads:     p.PrimLoads,
+		Footprint:     96 << 10,
+		CallALU:       p.CallALU,
+		CallLoads:     p.CallLoads,
+		CallStores:    p.CallStores,
+	}
+}
+
+// MethodMachine executes guest operations concretely at tier-2 cost.
+// It embeds a DirectMachine built from MethodProfile, so semantics are
+// identical to plain interpretation; every operation that would be a
+// guard in a trace passes through a generic-guard point that the
+// ForceMethodGuardFail hook can fail, latching a pending deopt the
+// driver drains at the next bytecode boundary. Structural twin of
+// BaselineMachine.
+type MethodMachine struct {
+	*DirectMachine
+	Eng *Engine
+
+	// Code is the method compilation currently executing.
+	Code *MethodCode
+
+	curPC        int
+	guardSeq     int
+	pendingDeopt bool
+}
+
+var _ Machine = (*MethodMachine)(nil)
+
+// NewMethodMachine returns a tier-2 machine for an engine, deriving its
+// cost profile from the engine's interpreter profile.
+func NewMethodMachine(e *Engine) *MethodMachine {
+	return &MethodMachine{
+		DirectMachine: NewDirectMachine(e.RT, MethodProfile(e.Profile)),
+		Eng:           e,
+	}
+}
+
+// SetCode binds the machine to the method code being entered.
+func (m *MethodMachine) SetCode(mc *MethodCode) { m.Code = mc }
+
+// BeginOp marks the start of one resident bytecode: guard identities
+// are (guest pc, ordinal within the bytecode), stable across runs and
+// enumerable by the deopt round-trip test.
+func (m *MethodMachine) BeginOp(pc int) {
+	m.curPC = pc
+	m.guardSeq = 0
+}
+
+// TakeDeopt consumes the pending-deopt latch set by a forced guard
+// failure.
+func (m *MethodMachine) TakeDeopt() bool {
+	d := m.pendingDeopt
+	m.pendingDeopt = false
+	return d
+}
+
+// MethodGuardID packs a stable guard identity from a guest pc and the
+// guard's ordinal within that bytecode's lowering (same packing as
+// BaselineGuardID; the two tiers never share a hook).
+func MethodGuardID(pc, seq int) uint64 { return uint64(pc)<<8 | uint64(seq&0xFF) }
+
+// guard is one generic-guard point in the compiled code: a compare and
+// a well-predicted branch. A forced failure latches the deopt; the
+// current bytecode still completes concretely (method guards sit at
+// bytecode boundaries in the lowering), so falling back to the
+// interpreter afterwards is state-identical.
+func (m *MethodMachine) guard() {
+	m.S.Ops(isa.ALU, 1)
+	id := MethodGuardID(m.curPC, m.guardSeq)
+	m.guardSeq++
+	if !m.pendingDeopt && m.Eng.ForceMethodGuardFail != nil &&
+		m.Eng.ForceMethodGuardFail(m.Code, id) {
+		m.pendingDeopt = true
+	}
+}
+
+// KindOf implements Machine (guard_class over kinds in trace terms).
+func (m *MethodMachine) KindOf(a TV) heap.Kind {
+	m.guard()
+	return m.DirectMachine.KindOf(a)
+}
+
+// ShapeOf implements Machine (guard_class).
+func (m *MethodMachine) ShapeOf(a TV) *heap.Shape {
+	m.guard()
+	return m.DirectMachine.ShapeOf(a)
+}
+
+// IsNil implements Machine (guard_isnull).
+func (m *MethodMachine) IsNil(a TV) bool {
+	m.guard()
+	return m.DirectMachine.IsNil(a)
+}
+
+// Truth implements Machine (guard_true/guard_false).
+func (m *MethodMachine) Truth(a TV, site uint64) bool {
+	m.guard()
+	return m.DirectMachine.Truth(a, site)
+}
+
+// PromoteInt implements Machine (guard_value).
+func (m *MethodMachine) PromoteInt(a TV) int64 {
+	m.guard()
+	return m.DirectMachine.PromoteInt(a)
+}
+
+// PromoteRef implements Machine (guard_value on identity).
+func (m *MethodMachine) PromoteRef(a TV) *heap.Obj {
+	m.guard()
+	return m.DirectMachine.PromoteRef(a)
+}
+
+// IntAddOvf implements Machine (guard_no_overflow).
+func (m *MethodMachine) IntAddOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntAddOvf(a, b)
+}
+
+// IntSubOvf implements Machine (guard_no_overflow).
+func (m *MethodMachine) IntSubOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntSubOvf(a, b)
+}
+
+// IntMulOvf implements Machine (guard_no_overflow).
+func (m *MethodMachine) IntMulOvf(a, b TV) (TV, bool) {
+	m.guard()
+	return m.DirectMachine.IntMulOvf(a, b)
+}

@@ -171,10 +171,17 @@ func (m *TracingMachine) captureResume() *ResumeState {
 	return &ResumeState{Frames: m.snapshot()}
 }
 
-// guard records a guard op carrying a fresh resume snapshot.
+// guard records a guard op carrying a fresh resume snapshot. The guard
+// sits inside the bytecode currently being recorded (its Dispatch
+// already bumped bcCount), and a failure resumes the interpreter at
+// that bytecode's start, so the segment's exact retired work at this
+// guard excludes the current bytecode.
 func (m *TracingMachine) guard(op Op) {
 	op.Resume = m.captureResume()
 	op.GuardID = m.eng.nextGuardID()
+	if op.BCProgress = m.bcCount - 1; op.BCProgress < 0 {
+		op.BCProgress = 0
+	}
 	m.rec(op, false)
 	// Snapshot capture cost (resume-data construction).
 	n := 0

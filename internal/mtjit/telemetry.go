@@ -23,6 +23,12 @@ type engineMetrics struct {
 	promotions          *telemetry.Counter
 	opsRecorded         *telemetry.Counter
 	opsRemoved          *telemetry.Counter
+	methods             *telemetry.Counter
+	methodDeopts        *telemetry.Counter
+	methodInvalidated   *telemetry.Counter
+	ctlBackoffDecisions *telemetry.Counter
+	ctlEarlyPromotions  *telemetry.Counter
+	ctlMethodDecisions  *telemetry.Counter
 }
 
 // tele holds the installed metrics; nil until InstallTelemetry. An
@@ -54,6 +60,12 @@ func InstallTelemetry(r *telemetry.Registry) {
 		promotions:          r.Counter("mtjit_baseline_promotions_total", "Loop headers promoted from tier-1 baseline code to a compiled trace."),
 		opsRecorded:         r.Counter("mtjit_trace_ops_total", "IR operations recorded into traces.", "stage", "recorded"),
 		opsRemoved:          r.Counter("mtjit_trace_ops_total", "IR operations recorded into traces.", "stage", "removed"),
+		methods:             r.Counter("mtjit_method_compiles_total", "Tier-2 method compilations installed."),
+		methodDeopts:        r.Counter("mtjit_method_deopts_total", "Tier-2 generic-guard deoptimizations."),
+		methodInvalidated:   r.Counter("mtjit_invalidations_total", "Compiled code invalidated by a global mutation or a tier promotion.", "tier", "method"),
+		ctlBackoffDecisions: r.Counter("mtjit_controller_decisions_total", "Tier-controller promotion decisions.", "kind", "trace_backoff"),
+		ctlEarlyPromotions:  r.Counter("mtjit_controller_decisions_total", "Tier-controller promotion decisions.", "kind", "trace_early"),
+		ctlMethodDecisions:  r.Counter("mtjit_controller_decisions_total", "Tier-controller promotion decisions.", "kind", "method"),
 	}
 	tele.Store(m)
 }

@@ -366,7 +366,92 @@ func (e *Engine) validateBaseline() error {
 			}
 		}
 	}
+	return e.validateMethod()
+}
+
+// validateMethod checks tier-2 bookkeeping: stats match the compile
+// log, the dispatch table only holds valid code, per-code counters sum
+// to the engine totals, and the amalgamation invariant holds — a
+// function with live method code has no live baseline fragments
+// (method install must invalidate them), while coexisting loop traces
+// are legal (a loop trace owns its header inside a method-compiled
+// function).
+func (e *Engine) validateMethod() error {
+	st := e.stats
+	if st.MethodsCompiled != len(e.allMethod) {
+		return fmt.Errorf("stats.MethodsCompiled = %d, %d method codes installed",
+			st.MethodsCompiled, len(e.allMethod))
+	}
+	invalidated := 0
+	var enters, deopts uint64
+	for _, mc := range e.allMethod {
+		if mc.Invalidated {
+			invalidated++
+		}
+		enters += mc.EnterCount
+		deopts += mc.DeoptCount
+		if len(mc.Ops) == 0 {
+			return fmt.Errorf("method code %d has no ops", mc.ID)
+		}
+		if mc.AsmLen <= 0 {
+			return fmt.Errorf("method code %d has AsmLen %d", mc.ID, mc.AsmLen)
+		}
+		for i := range mc.Ops {
+			if !mc.Covers(mc.Ops[i].PC) {
+				return fmt.Errorf("method code %d op %d at pc %d outside region [0,%d]",
+					mc.ID, i, mc.Ops[i].PC, mc.End)
+			}
+			if mc.Ops[i].AsmLen <= 0 {
+				return fmt.Errorf("method code %d op %d has AsmLen %d", mc.ID, i, mc.Ops[i].AsmLen)
+			}
+		}
+	}
+	if invalidated != st.MethodInvalidated {
+		return fmt.Errorf("%d method codes marked invalidated, stats.MethodInvalidated = %d",
+			invalidated, st.MethodInvalidated)
+	}
+	if enters != st.MethodEnters {
+		return fmt.Errorf("per-code enter counts sum to %d, stats.MethodEnters = %d", enters, st.MethodEnters)
+	}
+	if deopts != st.MethodDeopts {
+		return fmt.Errorf("per-code deopt counts sum to %d, stats.MethodDeopts = %d", deopts, st.MethodDeopts)
+	}
+	for codeID, mc := range e.method {
+		if mc.CodeID != codeID {
+			return fmt.Errorf("method table entry %d holds code %d for function %d", codeID, mc.ID, mc.CodeID)
+		}
+		if mc.Invalidated {
+			return fmt.Errorf("method table entry %d holds invalidated code %d", codeID, mc.ID)
+		}
+		if !methodInstalled(e.allMethod, mc) {
+			return fmt.Errorf("method table entry %d holds uninstalled code %d", codeID, mc.ID)
+		}
+	}
+	// Amalgamation exclusivity: live method code and live baseline
+	// fragments never share a function.
+	for key, bc := range e.baseline {
+		if mc := e.method[key.CodeID]; mc != nil && !mc.Invalidated {
+			return fmt.Errorf("function %d has both live method code %d and baseline code %d (method install must invalidate)",
+				key.CodeID, mc.ID, bc.ID)
+		}
+	}
+	for name, mcs := range e.methodDeps {
+		for _, mc := range mcs {
+			if !methodInstalled(e.allMethod, mc) {
+				return fmt.Errorf("method global dep %q holds uninstalled code %d", name, mc.ID)
+			}
+		}
+	}
 	return nil
+}
+
+func methodInstalled(all []*MethodCode, mc *MethodCode) bool {
+	for _, x := range all {
+		if x == mc {
+			return true
+		}
+	}
+	return false
 }
 
 func baselineInstalled(all []*BaselineCode, bc *BaselineCode) bool {

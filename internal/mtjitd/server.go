@@ -146,13 +146,15 @@ type RunResponse struct {
 }
 
 var vmKinds = map[string]harness.VMKind{
-	string(harness.VMCPython):    harness.VMCPython,
-	string(harness.VMPyPyNoJIT):  harness.VMPyPyNoJIT,
-	string(harness.VMPyPyJIT):    harness.VMPyPyJIT,
-	string(harness.VMRacket):     harness.VMRacket,
-	string(harness.VMPycket):     harness.VMPycket,
-	string(harness.VMC):          harness.VMC,
-	string(harness.VMPyPyTiered): harness.VMPyPyTiered,
+	string(harness.VMCPython):      harness.VMCPython,
+	string(harness.VMPyPyNoJIT):    harness.VMPyPyNoJIT,
+	string(harness.VMPyPyJIT):      harness.VMPyPyJIT,
+	string(harness.VMRacket):       harness.VMRacket,
+	string(harness.VMPycket):       harness.VMPycket,
+	string(harness.VMC):            harness.VMC,
+	string(harness.VMPyPyTiered):   harness.VMPyPyTiered,
+	string(harness.VMPyPyAmalg):    harness.VMPyPyAmalg,
+	string(harness.VMPyPyAdaptive): harness.VMPyPyAdaptive,
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

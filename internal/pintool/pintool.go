@@ -81,6 +81,14 @@ func (t *PhaseTracker) OnAnnotation(a core.Annotation, _, _ uint64) {
 		t.push(core.PhaseBaseline)
 	case core.TagBaselineLeave:
 		t.pop()
+	case core.TagMethodCompileStart:
+		t.push(core.PhaseMethodComp)
+	case core.TagMethodCompileEnd:
+		t.pop()
+	case core.TagMethodEnter:
+		t.push(core.PhaseMethod)
+	case core.TagMethodLeave:
+		t.pop()
 	}
 }
 
@@ -200,6 +208,11 @@ type TraceEventCounter struct {
 	BaselineCompiles uint64
 	BaselineEnters   uint64
 	BaselineDeopts   uint64
+
+	// Tier-2 (method) lifecycle events.
+	MethodCompiles uint64
+	MethodEnters   uint64
+	MethodDeopts   uint64
 }
 
 // NewTraceEventCounter attaches a counter to m.
@@ -227,6 +240,12 @@ func NewTraceEventCounter(m *cpu.Machine) *TraceEventCounter {
 			c.BaselineEnters++
 		case core.TagBaselineDeopt:
 			c.BaselineDeopts++
+		case core.TagMethodCompileEnd:
+			c.MethodCompiles++
+		case core.TagMethodEnter:
+			c.MethodEnters++
+		case core.TagMethodDeopt:
+			c.MethodDeopts++
 		}
 	}))
 	return c

@@ -104,6 +104,8 @@ type Labels struct {
 	Trace func(id uint64) string
 	// Baseline labels a tier-1 code object by ID (jitlog.Log.BaselineLabel).
 	Baseline func(id uint64) string
+	// Method labels a tier-2 method code object by ID (jitlog.Log.MethodLabel).
+	Method func(id uint64) string
 	// AOTFunc labels an AOT-compiled function by ID.
 	AOTFunc func(id uint64) string
 }
@@ -141,7 +143,9 @@ func isTransition(t core.Tag) bool {
 		core.TagGCMajorStart, core.TagGCMajorEnd,
 		core.TagBlackholeEnter, core.TagBlackholeLeave,
 		core.TagBaselineCompileStart, core.TagBaselineCompileEnd,
-		core.TagBaselineEnter, core.TagBaselineLeave:
+		core.TagBaselineEnter, core.TagBaselineLeave,
+		core.TagMethodCompileStart, core.TagMethodCompileEnd,
+		core.TagMethodEnter, core.TagMethodLeave:
 		return true
 	}
 	return false

@@ -23,17 +23,23 @@ import (
 //	│             baseline (a loop header crossing the tier-1 threshold
 //	│             while another loop's baseline code is resident)
 //	├─ baseline   baseline_enter .. baseline_leave        from interp only
+//	├─ methcomp   method_compile_start .. _end            from interp or
+//	│             baseline (the method tier fires at a loop header,
+//	│             possibly while tier-1 code for the region is resident;
+//	│             never from method residency — a compiled function is
+//	│             no longer a compile candidate)
+//	├─ method     method_enter .. method_leave            from interp only
 //	└─ gc         gc_{minor,major}_start .. _end          from any phase
 //	              except gc itself (GC interrupts anything; a major's
 //	              preparatory minor runs before the major span opens)
 //
 // Event-only tags carry no span structure but are phase-checked:
-// dispatch ticks in interp/tracing/jit/baseline; guard_fail and
+// dispatch ticks in interp/tracing/jit/baseline/method; guard_fail and
 // bridge_enter only inside jit; trace_compiled in interp (installation
 // happens after the tracing span closes); baseline_deopt inside
-// baseline; trace_abort closes the tracing span like trace_end;
-// gc_skipped anywhere. Dynamic (application-defined) tags pass through
-// unchecked.
+// baseline; method_deopt inside method; trace_abort closes the tracing
+// span like trace_end; gc_skipped anywhere. Dynamic
+// (application-defined) tags pass through unchecked.
 
 type phaseMask uint16
 
@@ -51,10 +57,12 @@ var (
 	maskInterp   = maskOf(core.PhaseInterp)
 	maskAnyButGC = ^maskOf(core.PhaseGC)
 	maskJITCall  = maskOf(core.PhaseJIT, core.PhaseJITCall)
-	maskDispatch = maskOf(core.PhaseInterp, core.PhaseTracing, core.PhaseJIT, core.PhaseBaseline)
+	maskDispatch = maskOf(core.PhaseInterp, core.PhaseTracing, core.PhaseJIT, core.PhaseBaseline, core.PhaseMethod)
 	maskJIT      = maskOf(core.PhaseJIT)
 	maskBaseline = maskOf(core.PhaseBaseline)
 	maskBasecomp = maskOf(core.PhaseInterp, core.PhaseBaseline)
+	maskMethod   = maskOf(core.PhaseMethod)
+	maskMethcomp = maskOf(core.PhaseInterp, core.PhaseBaseline)
 )
 
 // flameEntry accumulates one folded-stack signature's weight.
@@ -287,6 +295,17 @@ func (s *Stream) apply(ev Event) {
 			s.errorf("baseline_leave code %d does not match enter code %d", ev.Arg, top.enterArg)
 		}
 		s.close(ev, core.TagBaselineEnter)
+	case core.TagMethodCompileStart:
+		s.open(ev, core.PhaseMethodComp, maskMethcomp)
+	case core.TagMethodCompileEnd:
+		s.close(ev, core.TagMethodCompileStart)
+	case core.TagMethodEnter:
+		s.open(ev, core.PhaseMethod, maskInterp)
+	case core.TagMethodLeave:
+		if top := s.top(); top.openTag == core.TagMethodEnter && top.enterArg != ev.Arg {
+			s.errorf("method_leave code %d does not match enter code %d", ev.Arg, top.enterArg)
+		}
+		s.close(ev, core.TagMethodEnter)
 
 	case core.TagDispatch:
 		s.checkEventPhase(ev, maskDispatch, "dispatch")
@@ -301,6 +320,9 @@ func (s *Stream) apply(ev Event) {
 	case core.TagBaselineDeopt:
 		s.checkEventPhase(ev, maskBaseline, "baseline_deopt")
 		s.instant(ev, "baseline_deopt")
+	case core.TagMethodDeopt:
+		s.checkEventPhase(ev, maskMethod, "method_deopt")
+		s.instant(ev, "method_deopt")
 	case core.TagGCSkipped:
 		s.instant(ev, "gc_skipped")
 
@@ -485,6 +507,10 @@ func (s *Stream) buildLabel(tag core.Tag, arg uint64) string {
 		return fmt.Sprintf("basecomp:c%d:p%d", arg>>16, arg&0xffff)
 	case core.TagBaselineEnter:
 		return named("baseline:", ls.Baseline, arg, fmt.Sprintf("baseline:bc%d", arg))
+	case core.TagMethodCompileStart:
+		return fmt.Sprintf("methcomp:c%d", arg)
+	case core.TagMethodEnter:
+		return named("method:", ls.Method, arg, fmt.Sprintf("method:mc%d", arg))
 	}
 	return fmt.Sprintf("tag%d:%d", tag, arg)
 }

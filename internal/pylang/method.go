@@ -1,0 +1,103 @@
+package pylang
+
+import (
+	"sort"
+
+	"metajit/internal/mtjit"
+)
+
+// This file lowers whole guest functions into tier-2 method code: the
+// per-bytecode templates that CompileMethod strings together into
+// compiled code. Like the tier-1 lowering it is deliberately simple —
+// one template per bytecode, generic guards — but it covers the
+// function's entire bytecode range instead of one loop extent, so it
+// always succeeds (there is no extent to fail to delimit) and stays
+// resident across straight-line code, branches, and multiple loops.
+
+// DefaultMethodThreshold is the pooled per-function header count that
+// makes a function eligible for tier-2 compilation when Config.Method
+// is on. It sits above the tracing threshold so the amalgamated
+// default only method-compiles regions the tracing pipeline has
+// demonstrably struggled with (aborts, failed lowerings, guard
+// churn) — trace-friendly code is promoted to a trace first.
+const DefaultMethodThreshold = 72
+
+// methodUnit lowers an entire code object: every bytecode in pc order,
+// plus the embedded-global dependency set. The per-bytecode footprint
+// reuses the tier-1 template sizes (the method compiler drops the
+// threaded next-handler jump but adds register moves; the net is a
+// wash at this granularity).
+func methodUnit(code *Code) (ops []mtjit.MethodOp, globals []string) {
+	ops = make([]mtjit.MethodOp, 0, len(code.Instrs))
+	seen := map[string]bool{}
+	for pc := 0; pc < len(code.Instrs); pc++ {
+		in := code.Instrs[pc]
+		ops = append(ops, mtjit.MethodOp{PC: pc, AsmLen: baselineAsmLen(in)})
+		if in.Op == BCLoadGlobal {
+			seen[code.Names[in.Arg]] = true
+		}
+	}
+	globals = make([]string, 0, len(seen))
+	for name := range seen {
+		globals = append(globals, name)
+	}
+	sort.Strings(globals)
+	return ops, globals
+}
+
+// compileMethod lowers f's whole function and installs tier-2 code for
+// it. Globals already known-mutated are excluded from the
+// embedded-value dependencies (the template does a dict lookup for
+// them, exactly like the interpreter), so recompilation after an
+// invalidation converges.
+func (vm *VM) compileMethod(f *Frame) {
+	ops, globals := methodUnit(f.Code)
+	if len(ops) == 0 {
+		vm.Eng.MarkMethodFailed(f.Code.ID)
+		return
+	}
+	deps := globals[:0]
+	for _, name := range globals {
+		if !vm.mutatedGlobals[name] {
+			deps = append(deps, name)
+		}
+	}
+	vm.Eng.CompileMethod(f.Code.ID, ops, deps)
+}
+
+// enterMethod makes the dispatch loop resident in mc for frame f.
+func (vm *VM) enterMethod(mc *mtjit.MethodCode, f *Frame) {
+	vm.methMach.SetCode(mc)
+	vm.methCode = mc
+	vm.methFrame = f
+	vm.m = vm.methMach
+	vm.Eng.EnterMethod(mc)
+}
+
+// leaveMethod ends tier-2 residency and returns to the interpreter.
+func (vm *VM) leaveMethod() {
+	if vm.methCode == nil {
+		return
+	}
+	vm.Eng.LeaveMethod(vm.methCode)
+	vm.methCode = nil
+	vm.methFrame = nil
+	vm.m = vm.direct
+}
+
+// checkMethodResidency runs at the top of the dispatch loop: it drains
+// a pending guard deopt and leaves residency when execution has moved
+// to another frame (call, return) or the code was invalidated under
+// us. Unlike tier-1 there is no region exit inside the frame — method
+// code covers the whole function.
+func (vm *VM) checkMethodResidency() {
+	f := vm.frames[len(vm.frames)-1]
+	if vm.methMach.TakeDeopt() {
+		vm.Eng.MethodDeopt(vm.methCode)
+		vm.leaveMethod()
+		return
+	}
+	if f != vm.methFrame || vm.methCode.Invalidated || !vm.methCode.Covers(f.PC) {
+		vm.leaveMethod()
+	}
+}

@@ -99,6 +99,14 @@ type VM struct {
 	baseCode  *mtjit.BaselineCode
 	baseFrame *Frame
 
+	// Tier-2 residency: while methCode is non-nil the dispatch loop runs
+	// inside method-compiled code for methFrame, using methMach for cost
+	// accounting. methMach is nil unless the method tier is on. Tier-1
+	// and tier-2 residency are mutually exclusive.
+	methMach  *mtjit.MethodMachine
+	methCode  *mtjit.MethodCode
+	methFrame *Frame
+
 	frames []*Frame
 	// framePool recycles popped guest frames with their Locals/Stack
 	// backing arrays: one frame per guest call makes frames the
@@ -167,12 +175,23 @@ type Config struct {
 	// Baseline enables the tier-1 threaded-code compiler (requires JIT;
 	// the engine owns the tier state machine).
 	Baseline bool
+	// Method enables the tier-2 method compiler (requires JIT): whole
+	// guest functions compile when the tier controller judges their
+	// region trace-hostile (the amalgamated strategy).
+	Method bool
+	// Adaptive enables the feedback tier controller (requires JIT):
+	// per-header promotion thresholds derived from observed abort
+	// counts, guard-failure rates, and warmup slope.
+	Adaptive bool
 	// Threshold/BridgeThreshold override engine defaults when non-zero.
 	Threshold       int
 	BridgeThreshold int
 	// BaselineThreshold overrides the tier-1 compile threshold when
 	// Baseline is on (default DefaultBaselineThreshold).
 	BaselineThreshold int
+	// MethodThreshold overrides the tier-2 hotness threshold when
+	// Method is on (default DefaultMethodThreshold).
+	MethodThreshold int
 	// Opts overrides optimizer passes when JIT is on.
 	Opts *mtjit.OptConfig
 	// HeapConfig overrides the GC geometry.
@@ -221,22 +240,38 @@ func New(mach *cpu.Machine, cfg Config) *VM {
 	vm.direct = mtjit.NewDirectMachine(rt, cfg.Profile)
 	vm.m = vm.direct
 	if cfg.JIT {
-		vm.Eng = mtjit.NewEngine(rt, cfg.Profile)
+		// The engine config is validated/clamped at construction
+		// (mtjit.Config.normalize), so inverted threshold orderings
+		// never reach the tier state machine.
+		ecfg := mtjit.DefaultConfig()
 		if cfg.Threshold > 0 {
-			vm.Eng.Threshold = cfg.Threshold
+			ecfg.Threshold = cfg.Threshold
 		}
 		if cfg.BridgeThreshold > 0 {
-			vm.Eng.BridgeThreshold = cfg.BridgeThreshold
+			ecfg.BridgeThreshold = cfg.BridgeThreshold
 		}
+		if cfg.Baseline {
+			ecfg.BaselineThreshold = DefaultBaselineThreshold
+			if cfg.BaselineThreshold > 0 {
+				ecfg.BaselineThreshold = cfg.BaselineThreshold
+			}
+		}
+		if cfg.Method {
+			ecfg.MethodThreshold = DefaultMethodThreshold
+			if cfg.MethodThreshold > 0 {
+				ecfg.MethodThreshold = cfg.MethodThreshold
+			}
+		}
+		ecfg.Adaptive = cfg.Adaptive
+		vm.Eng = mtjit.NewEngineConfig(rt, cfg.Profile, ecfg)
 		if cfg.Opts != nil {
 			vm.Eng.Opts = *cfg.Opts
 		}
 		if cfg.Baseline {
-			vm.Eng.BaselineThreshold = DefaultBaselineThreshold
-			if cfg.BaselineThreshold > 0 {
-				vm.Eng.BaselineThreshold = cfg.BaselineThreshold
-			}
 			vm.baseMach = mtjit.NewBaselineMachine(vm.Eng)
+		}
+		if cfg.Method {
+			vm.methMach = mtjit.NewMethodMachine(vm.Eng)
 		}
 	}
 

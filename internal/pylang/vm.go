@@ -101,8 +101,8 @@ func (vm *VM) newFrame(code *Code, numLocals int, ctor bool) *Frame {
 // touch f afterwards. Frames that unwind through guest errors simply
 // miss the pool.
 func (vm *VM) releaseFrame(f *Frame) {
-	if f == vm.baseFrame {
-		// Tier-1 residency still compares against this pointer at the
+	if f == vm.baseFrame || f == vm.methFrame {
+		// Tier residency still compares against this pointer at the
 		// next dispatch; let it drop instead of risking pointer reuse.
 		return
 	}
@@ -241,24 +241,36 @@ func (vm *VM) mergePoint(f *Frame) bool {
 	}
 	if tr := vm.Eng.LookupTrace(key); tr != nil {
 		vm.leaveBaseline()
+		vm.leaveMethod()
 		vm.runTrace(tr)
 		return true
 	}
 	switch vm.Eng.CountAtHeader(key) {
 	case mtjit.TierTrace:
-		// Promotion: tracing records from the interpreter; any tier-1
+		// Promotion: tracing records from the interpreter; any tier
 		// residency ends here, and installing the loop trace will
 		// invalidate the superseded baseline code.
 		vm.leaveBaseline()
+		vm.leaveMethod()
 		vm.traceRoot = len(vm.frames) - 1
 		vm.tm = vm.Eng.BeginTracing(key, f, vm.snapshot)
 		vm.tm.UseUnicodeOps = vm.UnicodeStrings
 		vm.m = vm.tm
 		return false
+	case mtjit.TierMethod:
+		// Amalgamation: the whole enclosing function compiles (and
+		// supersedes its baseline fragments); residency starts below.
+		vm.compileMethod(f)
 	case mtjit.TierBaseline:
 		vm.compileBaseline(f, key)
 	}
-	if vm.baseMach != nil {
+	if vm.methMach != nil && vm.methCode == nil {
+		if mc := vm.Eng.LookupMethod(f.Code.ID); mc != nil {
+			vm.leaveBaseline()
+			vm.enterMethod(mc, f)
+		}
+	}
+	if vm.baseMach != nil && vm.methCode == nil {
 		if bc := vm.Eng.LookupBaseline(key); bc != nil && bc != vm.baseCode {
 			vm.leaveBaseline()
 			vm.enterBaseline(bc, f)
@@ -294,6 +306,9 @@ func (vm *VM) runTrace(tr *mtjit.Trace) {
 // frame at base returns, and returns that value.
 func (vm *VM) run(base int) heap.Value {
 	for {
+		if vm.methCode != nil {
+			vm.checkMethodResidency()
+		}
 		if vm.baseCode != nil {
 			vm.checkBaselineResidency()
 		}
@@ -325,6 +340,11 @@ func (vm *VM) run(base int) heap.Value {
 			// switch), and guard identities reset per bytecode.
 			vm.baseMach.BeginOp(f.PC)
 			site = vm.baseCode.SitePC(f.PC)
+		} else if vm.methCode != nil {
+			// Resident in tier-2 method code: same per-fragment
+			// dispatch-site treatment, method guard identities.
+			vm.methMach.BeginOp(f.PC)
+			site = vm.methCode.SitePC(f.PC)
 		}
 		m.Dispatch(site, HandlerPC(in.Op))
 		f.PC++
@@ -400,6 +420,13 @@ func (vm *VM) run(base int) heap.Value {
 				m = vm.m
 			}
 			if len(vm.frames) == base {
+				// Method code covers the whole function, return included,
+				// so residency can still be live here (baseline fragments
+				// never cover the return); end it before run() exits or
+				// the method span outlives the stream.
+				if f == vm.methFrame {
+					vm.leaveMethod()
+				}
 				vm.releaseFrame(f)
 				return res.V
 			}

@@ -51,7 +51,9 @@ import (
 // traces with a different version: the format is versioned precisely so
 // that incompatible changes bump this constant instead of silently
 // misreading old fixtures (see EXPERIMENTS.md, "Recorded workloads").
-const FormatVersion = 1
+// Version 2 added the tier-2 method-compiler fields (MethodThreshold,
+// Adaptive) to the config snapshot.
+const FormatVersion = 2
 
 // Magic identifies a trace file.
 const Magic = "MTJT"
@@ -114,6 +116,8 @@ type ConfigSnapshot struct {
 	Threshold         int64
 	BridgeThreshold   int64
 	BaselineThreshold int64
+	MethodThreshold   int64
+	Adaptive          bool
 	NurserySize       uint64
 	MajorThreshold    uint64
 	MajorGrowthBits   uint64
@@ -238,6 +242,12 @@ func (t *Trace) Encode() []byte {
 	b = appendUvarint(b, zigzag(h.Config.Threshold))
 	b = appendUvarint(b, zigzag(h.Config.BridgeThreshold))
 	b = appendUvarint(b, zigzag(h.Config.BaselineThreshold))
+	b = appendUvarint(b, zigzag(h.Config.MethodThreshold))
+	adaptive := uint64(0)
+	if h.Config.Adaptive {
+		adaptive = 1
+	}
+	b = appendUvarint(b, adaptive)
 	b = appendUvarint(b, h.Config.NurserySize)
 	b = appendUvarint(b, h.Config.MajorThreshold)
 	b = appendUvarint(b, h.Config.MajorGrowthBits)
@@ -367,6 +377,17 @@ func Decode(data []byte) (*Trace, error) {
 		return nil, err
 	}
 	h.Config.BaselineThreshold = unzigzag(u)
+	if u, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	h.Config.MethodThreshold = unzigzag(u)
+	if u, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if u > 1 {
+		return nil, fmt.Errorf("%w: adaptive flag %d", ErrCorrupt, u)
+	}
+	h.Config.Adaptive = u == 1
 	if h.Config.NurserySize, err = d.uvarint(); err != nil {
 		return nil, err
 	}
