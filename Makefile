@@ -29,7 +29,7 @@ fmt:
 # and differential oracle are single-threaded but ride along under
 # -short to catch races introduced by future parallelism.
 race:
-	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/... ./internal/profile/... ./internal/trace/... ./internal/cluster/...
+	$(GO) test -race -timeout 30m ./internal/harness/... ./internal/pintool/... ./internal/telemetry/... ./internal/mtjitd/... ./internal/profile/... ./internal/trace/... ./internal/cluster/... ./internal/reqtrace/...
 	$(GO) test -race -short -timeout 30m ./internal/mtjit/... ./internal/difftest/...
 
 # -run '^$' keeps `go test` from running the whole unit-test suite

@@ -23,10 +23,16 @@
 //	GET  /vm/traces    compiled trace/bridge inventory with jitlog labels
 //	GET  /vm/warmup    per-tier work-fraction progress (SSE stream)
 //	GET  /debug/pprof  Go runtime profiling
+//	GET  /debug/reqtrace  flight recorder: recent request span trees
+//	                      (JSON; ?format=chrome for a Chrome trace)
 //
 // Worker adds /drain (POST); frontend serves /run, /metrics, /healthz,
-// /ring. See EXPERIMENTS.md "Cluster serving" for topology and failure
-// semantics, and cmd/mtjitload for driving a cluster at saturation.
+// /ring, /debug/reqtrace. Every mode records request span trees into an
+// always-on flight recorder (bounded ring; -reqtrace-trees) and dumps
+// it on panic, drain, and store-corruption quarantine (-reqtrace-dump).
+// See EXPERIMENTS.md "Cluster serving" for topology and failure
+// semantics, "Request tracing & flight recorder" for the span taxonomy,
+// and cmd/mtjitload for driving a cluster at saturation.
 //
 // Usage:
 //
@@ -50,6 +56,7 @@ import (
 
 	"metajit/internal/cluster"
 	"metajit/internal/mtjitd"
+	"metajit/internal/reqtrace"
 )
 
 func main() {
@@ -65,7 +72,20 @@ func main() {
 	replicas := flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0: default)")
 	attempts := flag.Int("attempts", 0, "distinct workers tried per request before giving up (0: all)")
 	drainWait := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight requests")
+	flightN := flag.Int("reqtrace-trees", 0, "completed span trees kept in the flight-recorder ring (0: default)")
+	dumpDir := flag.String("reqtrace-dump", "", "directory for flight-recorder anomaly dumps (empty: stderr)")
 	flag.Parse()
+
+	// One flight recorder per process, named for its role; every mode
+	// serves it at /debug/reqtrace and dumps it on panic and (workers)
+	// drain.
+	newRec := func(process string) *reqtrace.Recorder {
+		return reqtrace.NewRecorder(reqtrace.Config{
+			Process:  process,
+			Capacity: *flightN,
+			DumpDir:  *dumpDir,
+		})
+	}
 
 	var handler http.Handler
 	var onShutdown func()
@@ -75,6 +95,7 @@ func main() {
 			Workers:      *workers,
 			MaxPending:   *maxPending,
 			LiveInterval: *liveInterval,
+			ReqTrace:     newRec("mtjitd"),
 		})
 		handler = srv.Handler()
 	case "worker":
@@ -99,6 +120,7 @@ func main() {
 			Store:                 store,
 			Catalog:               catalog,
 			InstallStackTelemetry: true,
+			ReqTrace:              newRec("worker-" + wname),
 		})
 		handler = w.Handler()
 		// Drain before Shutdown: new requests 503 immediately (the
@@ -118,6 +140,7 @@ func main() {
 			Replicas: *replicas,
 			Attempts: *attempts,
 			Catalog:  catalog,
+			ReqTrace: newRec("frontend"),
 		})
 		handler = f.Handler()
 	default:

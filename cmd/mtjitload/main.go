@@ -47,6 +47,7 @@ import (
 	"metajit/internal/bench"
 	"metajit/internal/cluster"
 	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
 	"metajit/internal/telemetry"
 )
 
@@ -65,6 +66,8 @@ func main() {
 	verify := flag.Bool("verify", true, "fail if a cell ever answers with different result bytes")
 	scrape := flag.String("scrape", "", "extra /metrics base URLs to aggregate (comma-separated; target always scraped)")
 	out := flag.String("out", "", "write the JSON report here (default: stdout)")
+	exemplars := flag.Bool("exemplars", true, "resolve the slowest request per percentile bucket to its span tree via /debug/reqtrace")
+	traceOut := flag.String("reqtrace-out", "", "fetch every scraped process's flight recorder, merge into one Chrome trace, validate, and write it here")
 	flag.Parse()
 
 	mix, err := buildMix(*benches, *vms, *traceDir)
@@ -88,7 +91,12 @@ func main() {
 			}
 		}
 	}
-	rep := g.report(scrapes)
+	rep := g.report(scrapes, *exemplars)
+	if *traceOut != "" {
+		if err := g.writeMergedChrome(scrapes, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -180,10 +188,23 @@ type generator struct {
 	srcStore *telemetry.Counter
 	lat      *telemetry.Histogram
 	inflight atomic.Int64
+	ids      *reqtrace.IDSource
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	seen map[string]json.RawMessage // cell id -> first result payload
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seen    map[string]json.RawMessage // cell id -> first result payload
+	samples []sample                   // one per OK response, for exemplars
+}
+
+// sample ties one OK response to the trace ID the generator minted for
+// it — the key that resolves a latency outlier to its span tree in the
+// servers' flight recorders.
+type sample struct {
+	trace  string
+	bench  string
+	vm     string
+	source string
+	latUS  uint64
 }
 
 func newGenerator(target string, mix []cluster.Request, hot float64, hotCells int, seed int64, timeout time.Duration, maxInstrs uint64, verify bool) *generator {
@@ -196,6 +217,7 @@ func newGenerator(target string, mix []cluster.Request, hot float64, hotCells in
 		verify:    verify,
 		client:    &http.Client{Timeout: timeout},
 		reg:       telemetry.NewRegistry(),
+		ids:       reqtrace.NewIDSource(seed),
 		rng:       rand.New(rand.NewSource(seed)),
 		seen:      map[string]json.RawMessage{},
 	}
@@ -262,10 +284,22 @@ func (g *generator) run(rate float64, d time.Duration) {
 func (g *generator) one(req cluster.Request) {
 	req.MaxInstrs = g.maxInstrs
 	body, _ := json.Marshal(&req)
+	// Mint this request's trace before sending: the seeded ID source
+	// makes a run's trace IDs reproducible, and knowing the ID up front
+	// is what lets the report resolve an outlier to its span tree in the
+	// servers' flight recorders afterwards.
+	ctx := g.ids.NewContext()
+	hreq, err := http.NewRequest(http.MethodPost, g.target+"/run", bytes.NewReader(body))
+	if err != nil {
+		g.errC.Inc()
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	reqtrace.Inject(hreq.Header, ctx)
 	g.inflight.Add(1)
 	defer g.inflight.Add(-1)
 	start := time.Now()
-	resp, err := g.client.Post(g.target+"/run", "application/json", bytes.NewReader(body))
+	resp, err := g.client.Do(hreq)
 	if err != nil {
 		g.errC.Inc()
 		return
@@ -278,8 +312,9 @@ func (g *generator) one(req cluster.Request) {
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		g.lat.Observe(uint64(time.Since(start).Microseconds()))
-		g.check(b)
+		lat := uint64(time.Since(start).Microseconds())
+		g.lat.Observe(lat)
+		g.check(b, req, ctx, lat)
 	case resp.StatusCode == http.StatusTooManyRequests:
 		g.shedC.Inc()
 	default:
@@ -292,7 +327,7 @@ func (g *generator) one(req cluster.Request) {
 // cell pins it; any later response for the same cell must carry
 // byte-identical result JSON, no matter which worker served it or
 // whether it came from the memoizer, the store, or a fresh simulation.
-func (g *generator) check(body []byte) {
+func (g *generator) check(body []byte, req cluster.Request, ctx reqtrace.Context, latUS uint64) {
 	var rr struct {
 		CellID string          `json:"cell_id"`
 		Source string          `json:"source"`
@@ -311,6 +346,15 @@ func (g *generator) check(body []byte) {
 	case "store":
 		g.srcStore.Inc()
 	}
+	g.mu.Lock()
+	g.samples = append(g.samples, sample{
+		trace:  ctx.Trace.Hex(),
+		bench:  req.Bench,
+		vm:     req.VM,
+		source: rr.Source,
+		latUS:  latUS,
+	})
+	g.mu.Unlock()
 	if !g.verify {
 		return
 	}
@@ -358,10 +402,42 @@ type Report struct {
 	DedupRate        float64 `json:"dedup_rate"`
 	StoreHitRate     float64 `json:"store_hit_rate"`
 
+	// Exemplars explain the latency quantiles in place: for each
+	// percentile bucket, the slowest OK request in it, resolved to its
+	// span breakdown via the servers' /debug/reqtrace flight recorders.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+
 	Scraped []string `json:"scraped"`
 }
 
-func (g *generator) report(scrapes []string) *Report {
+// Exemplar is the slowest request of one percentile bucket, explained:
+// the trace ID names the request in every process's flight recorder,
+// and Spans is its end-to-end breakdown — route, failover attempts,
+// singleflight role, store read/write, simulate — merged across the
+// scraped processes.
+type Exemplar struct {
+	Bucket    string      `json:"bucket"` // "p50", "p99", "p999"
+	Trace     string      `json:"trace"`
+	Bench     string      `json:"bench"`
+	VM        string      `json:"vm"`
+	Source    string      `json:"source"`
+	LatencyMS float64     `json:"latency_ms"`
+	Spans     []SpanBrief `json:"spans,omitempty"`
+}
+
+// SpanBrief is one span of an exemplar's tree, flattened for the
+// report; VMSpans counts the simulator phase spans a simulate span
+// captured (the full detail stays in /debug/reqtrace?format=chrome).
+type SpanBrief struct {
+	Process string  `json:"process"`
+	Kind    string  `json:"kind"`
+	Name    string  `json:"name,omitempty"`
+	DurMS   float64 `json:"dur_ms"`
+	Err     string  `json:"err,omitempty"`
+	VMSpans int     `json:"vm_spans,omitempty"`
+}
+
+func (g *generator) report(scrapes []string, exemplars bool) *Report {
 	snap := g.lat.Snapshot()
 	r := &Report{
 		Target:          g.target,
@@ -401,6 +477,9 @@ func (g *generator) report(scrapes []string) *Report {
 		r.StoreCorrupt += sumFamily(fams, "cluster_store_corrupt_total", "", "")
 	}
 	sort.Strings(r.Scraped)
+	if exemplars {
+		r.Exemplars = g.resolveExemplars(scrapes)
+	}
 	if r.OK > 0 {
 		r.DedupRate = r.FrontendDedup / float64(r.OK)
 	}
@@ -412,6 +491,107 @@ func (g *generator) report(scrapes []string) *Report {
 		r.StoreHitRate = float64(r.SourceStore) / float64(r.OK)
 	}
 	return r
+}
+
+// resolveExemplars picks the slowest OK request at each percentile
+// bucket and resolves its trace ID to a span breakdown by querying
+// every scraped process's /debug/reqtrace. Fetch failures degrade to an
+// exemplar without spans — the trace ID is still reported, so the
+// outlier stays attributable by hand.
+func (g *generator) resolveExemplars(scrapes []string) []Exemplar {
+	g.mu.Lock()
+	samples := append([]sample(nil), g.samples...)
+	g.mu.Unlock()
+	if len(samples) == 0 {
+		return nil
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].latUS < samples[j].latUS })
+	var out []Exemplar
+	picked := map[string]bool{}
+	for _, b := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+		idx := int(math.Ceil(b.q*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		s := samples[idx]
+		ex := Exemplar{
+			Bucket:    b.name,
+			Trace:     s.trace,
+			Bench:     s.bench,
+			VM:        s.vm,
+			Source:    s.source,
+			LatencyMS: float64(s.latUS) / 1000,
+		}
+		if !picked[s.trace] { // tiny runs repeat a sample across buckets
+			picked[s.trace] = true
+			for _, t := range g.fetchTrees(scrapes, s.trace) {
+				for _, sp := range t.Spans {
+					ex.Spans = append(ex.Spans, SpanBrief{
+						Process: t.Process,
+						Kind:    sp.Kind,
+						Name:    sp.Name,
+						DurMS:   sp.DurUS / 1000,
+						Err:     sp.Err,
+						VMSpans: len(sp.VM),
+					})
+				}
+			}
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+// fetchTrees collects one trace's span trees from every scraped
+// process's flight recorder (trace == "" fetches everything).
+func (g *generator) fetchTrees(bases []string, trace string) []reqtrace.TreeSnapshot {
+	var out []reqtrace.TreeSnapshot
+	for _, base := range bases {
+		url := strings.TrimSuffix(base, "/") + "/debug/reqtrace"
+		if trace != "" {
+			url += "?trace=" + trace
+		}
+		resp, err := g.client.Get(url)
+		if err != nil {
+			continue
+		}
+		var dump reqtrace.Dump
+		err = json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&dump)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		out = append(out, dump.Trees...)
+	}
+	return out
+}
+
+// writeMergedChrome pulls every scraped process's full flight ring,
+// merges it into a single Chrome trace, validates the export (paired
+// B/E events, monotone tracks), and writes it to path — the artifact CI
+// archives from the cluster-smoke burst.
+func (g *generator) writeMergedChrome(scrapes []string, path string) error {
+	trees := g.fetchTrees(scrapes, "")
+	if len(trees) == 0 {
+		return fmt.Errorf("reqtrace export: no span trees fetched from %v", scrapes)
+	}
+	var buf bytes.Buffer
+	if err := reqtrace.WriteChrome(&buf, trees); err != nil {
+		return fmt.Errorf("reqtrace export: %w", err)
+	}
+	events, err := reqtrace.ValidateChrome(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("reqtrace export: merged trace invalid: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("reqtrace export: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "mtjitload: wrote %s: %d trees, %d chrome events from %d processes\n",
+		path, len(trees), events, len(scrapes))
+	return nil
 }
 
 func (g *generator) scrapeOne(base string) (map[string]*telemetry.ParsedFamily, error) {
@@ -481,6 +661,10 @@ func (r *Report) printSummary(w io.Writer) {
 		r.P50MS, r.P99MS, r.P999MS, r.MeanMS)
 	fmt.Fprintf(w, "mtjitload: served simulated=%d memo=%d store=%d; dedup rate %.1f%%, store hit rate %.1f%%, failovers %.0f\n",
 		r.SourceSimulated, r.SourceMemo, r.SourceStore, 100*r.DedupRate, 100*r.StoreHitRate, r.FrontendFailover)
+	for _, ex := range r.Exemplars {
+		fmt.Fprintf(w, "mtjitload: %s exemplar %.2fms %s/%s (%s) trace=%s: %d spans resolved\n",
+			ex.Bucket, ex.LatencyMS, ex.Bench, ex.VM, ex.Source, ex.Trace, len(ex.Spans))
+	}
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"metajit/internal/bench"
 	"metajit/internal/cluster"
 	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
 )
 
 // ExecFunc is a simulation executor — the same signature the harness
@@ -43,25 +44,42 @@ type Cluster struct {
 	retired  []*cluster.Worker
 	oracles  map[string][]byte
 	oracleRn *harness.Runner
+
+	maxPending int
+}
+
+// Option tweaks a chaos cluster at construction time.
+type Option func(*Cluster)
+
+// WithMaxPending caps each worker's accepted-but-unfinished requests
+// before it sheds with 429. The default is effectively unbounded —
+// chaos plans exercise faults, not shedding — so only shed-path tests
+// set this.
+func WithMaxPending(n int) Option {
+	return func(c *Cluster) { c.maxPending = n }
 }
 
 // New builds a chaos cluster of n workers with the given seed and
 // fault plan. exec replaces the simulator on every worker (including
 // restarted ones); pass nil to run real simulations.
-func New(t testing.TB, n int, seed int64, plan Plan, exec ExecFunc) *Cluster {
+func New(t testing.TB, n int, seed int64, plan Plan, exec ExecFunc, opts ...Option) *Cluster {
 	t.Helper()
 	catalog, err := cluster.NewCatalog("")
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := &Cluster{
-		t:       t,
-		dir:     t.TempDir(),
-		tr:      NewTransport(seed, plan),
-		catalog: catalog,
-		exec:    exec,
-		workers: map[string]*cluster.Worker{},
-		oracles: map[string][]byte{},
+		t:          t,
+		dir:        t.TempDir(),
+		tr:         NewTransport(seed, plan),
+		catalog:    catalog,
+		exec:       exec,
+		workers:    map[string]*cluster.Worker{},
+		oracles:    map[string][]byte{},
+		maxPending: 1024, // chaos tests exercise faults, not shedding
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -76,6 +94,7 @@ func New(t testing.TB, n int, seed int64, plan Plan, exec ExecFunc) *Cluster {
 		RequestTimeout: 30 * time.Second,
 		Client:         &http.Client{Transport: c.tr},
 		Catalog:        catalog,
+		ReqTrace:       reqtrace.NewRecorder(reqtrace.Config{Process: "frontend"}),
 	})
 	return c
 }
@@ -92,9 +111,10 @@ func (c *Cluster) start(host string) {
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Name:       host,
 		Workers:    4,
-		MaxPending: 1024, // chaos tests exercise faults, not shedding
+		MaxPending: c.maxPending,
 		Store:      store,
 		Catalog:    c.catalog,
+		ReqTrace:   reqtrace.NewRecorder(reqtrace.Config{Process: "worker-" + host}),
 	})
 	if c.exec != nil {
 		w.Runner().SetSimulate(c.exec)
@@ -166,11 +186,39 @@ func (c *Cluster) CorruptRandomBlob(rng *rand.Rand) string {
 // Post drives one request through the frontend handler in-process and
 // returns the status code and raw body.
 func (c *Cluster) Post(body string) (int, []byte) {
+	return c.PostTraced(body, reqtrace.Context{})
+}
+
+// PostTraced is Post with a client-minted trace context injected as a
+// traceparent header, the way mtjitload drives a real cluster. A zero
+// context sends no header (the frontend mints a fresh trace).
+func (c *Cluster) PostTraced(body string, ctx reqtrace.Context) (int, []byte) {
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "http://frontend/run", strings.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
+	reqtrace.Inject(req.Header, ctx)
 	c.fe.Handler().ServeHTTP(rec, req)
 	return rec.Code, rec.Body.Bytes()
+}
+
+// Trees collects every completed span tree for trace across the whole
+// cluster — frontend, live workers, and workers retired by Restart —
+// the in-process equivalent of scraping each process's /debug/reqtrace.
+func (c *Cluster) Trees(trace reqtrace.TraceID) []reqtrace.TreeSnapshot {
+	out := c.fe.ReqTrace().Find(trace)
+	c.mu.Lock()
+	recs := []*reqtrace.Recorder{}
+	for _, w := range c.workers {
+		recs = append(recs, w.ReqTrace())
+	}
+	for _, w := range c.retired {
+		recs = append(recs, w.ReqTrace())
+	}
+	c.mu.Unlock()
+	for _, r := range recs {
+		out = append(out, r.Find(trace)...)
+	}
+	return out
 }
 
 // Oracle returns the canonical result bytes the single-process

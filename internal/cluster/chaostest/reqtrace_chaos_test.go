@@ -1,0 +1,219 @@
+package chaostest
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"metajit/internal/bench"
+	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
+)
+
+// mergedSpanIDs collects every span ID across a set of tree snapshots.
+func mergedSpanIDs(trees []reqtrace.TreeSnapshot) map[string]bool {
+	ids := map[string]bool{}
+	for _, t := range trees {
+		for _, s := range t.Spans {
+			ids[s.ID] = true
+		}
+	}
+	return ids
+}
+
+// assertConnected checks the cross-process connectivity invariant on
+// one trace: every span's parent resolves to another span in the merged
+// set, except roots parented directly on the client's minted span.
+func assertConnected(t *testing.T, trees []reqtrace.TreeSnapshot, clientSpan string) {
+	t.Helper()
+	ids := mergedSpanIDs(trees)
+	for _, tree := range trees {
+		for _, s := range tree.Spans {
+			switch {
+			case s.Parent == "":
+				t.Errorf("%s span %s (%s) has no parent — orphaned from the client trace", tree.Process, s.ID, s.Kind)
+			case s.Parent == clientSpan:
+				// Parented on the load generator's span: only the frontend's
+				// route root should sit directly under the client.
+				if s.Kind != reqtrace.KindRoute && s.Kind != reqtrace.KindShed && s.Kind != reqtrace.KindDrain {
+					t.Errorf("%s span kind %q hangs directly off the client span", tree.Process, s.Kind)
+				}
+			case !ids[s.Parent]:
+				t.Errorf("%s span %s (%s) has parent %s not present in any merged tree", tree.Process, s.ID, s.Kind, s.Parent)
+			}
+		}
+	}
+}
+
+// TestReqTraceFailoverConnectedTree kills a worker and drives every
+// cell through the frontend with client-minted trace contexts. For the
+// cells whose primary was the dead worker the frontend fails over; the
+// pinned shape is ONE connected span tree per trace across processes —
+// the failed attempt and the served attempt as siblings under the same
+// dispatch parent, the serving worker's run tree hanging under the
+// served attempt, and no orphan spans anywhere.
+func TestReqTraceFailoverConnectedTree(t *testing.T) {
+	c := New(t, 3, 11, Plan{}, detExec)
+	c.Kill("w0")
+	ids := reqtrace.NewIDSource(99)
+
+	type posted struct {
+		body string
+		ctx  reqtrace.Context
+	}
+	var reqs []posted
+	for _, body := range cellBodies() {
+		ctx := ids.NewContext()
+		status, raw := c.PostTraced(body, ctx)
+		if accepted, err := c.CheckAccepted(status, raw, body); err != nil {
+			t.Fatalf("invariant violated: %v", err)
+		} else if !accepted {
+			t.Fatalf("request not accepted with 2/3 workers alive: %s → %d %s", body, status, raw)
+		}
+		reqs = append(reqs, posted{body, ctx})
+	}
+
+	failovers := 0
+	for _, r := range reqs {
+		trees := c.Trees(r.ctx.Trace)
+		if len(trees) == 0 {
+			t.Fatalf("no span trees recorded for trace %s (%s)", r.ctx.Trace.Hex(), r.body)
+		}
+		// Every tree must carry the client's trace ID and connect.
+		for _, tree := range trees {
+			if tree.Trace != r.ctx.Trace.Hex() {
+				t.Fatalf("tree from %s has trace %s, want %s", tree.Process, tree.Trace, r.ctx.Trace.Hex())
+			}
+		}
+		assertConnected(t, trees, r.ctx.Span.Hex())
+
+		// Exactly one route root, parented on the client span.
+		var route, attempts, failed, served int
+		var attemptParents = map[string]bool{}
+		for _, tree := range trees {
+			for _, s := range tree.Spans {
+				switch s.Kind {
+				case reqtrace.KindRoute:
+					route++
+					if s.Parent != r.ctx.Span.Hex() {
+						t.Errorf("route root parent %s, want client span %s", s.Parent, r.ctx.Span.Hex())
+					}
+				case reqtrace.KindAttempt:
+					attempts++
+					attemptParents[s.Parent] = true
+					if s.Err != "" {
+						failed++
+					} else {
+						served++
+					}
+				}
+			}
+		}
+		if route != 1 {
+			t.Errorf("trace %s: %d route roots, want exactly 1", r.ctx.Trace.Hex(), route)
+		}
+		if served != 1 {
+			t.Errorf("trace %s: %d served attempts, want exactly 1", r.ctx.Trace.Hex(), served)
+		}
+		if failed > 0 {
+			failovers++
+			// Retried attempts are SIBLINGS: all attempts share one parent.
+			if len(attemptParents) != 1 {
+				t.Errorf("trace %s: attempts under %d distinct parents, want siblings under 1", r.ctx.Trace.Hex(), len(attemptParents))
+			}
+			if attempts < 2 {
+				t.Errorf("trace %s: failed attempt without a sibling retry", r.ctx.Trace.Hex())
+			}
+		}
+	}
+	// With one of three ring members dead, a fixed population of 12
+	// cells must include failovers — otherwise the test pinned nothing.
+	if failovers == 0 {
+		t.Fatal("no request failed over — the schedule exercised no retries")
+	}
+}
+
+// TestReqTraceShedTerminalSpan saturates a 1-worker cluster whose
+// MaxPending is 1 with a blocking simulation, then sends a second
+// distinct cell. The pinned shape: the shed request's trace ends in
+// terminal shed spans — the worker records a one-span shed tree joined
+// to the trace, the frontend's route root records a shed child — and
+// both connect to the client's minted context; nothing is retried.
+func TestReqTraceShedTerminalSpan(t *testing.T) {
+	release := make(chan struct{})
+	blockExec := func(p *bench.Program, kind harness.VMKind, opt harness.Options) (*harness.Result, error) {
+		<-release
+		return detExec(p, kind, opt)
+	}
+	c := New(t, 1, 3, Plan{}, blockExec, WithMaxPending(1))
+	ids := reqtrace.NewIDSource(7)
+
+	first := `{"bench":"telco","vm":"pypy"}`
+	second := `{"bench":"nbody","vm":"pypy"}`
+	ctx1, ctx2 := ids.NewContext(), ids.NewContext()
+
+	done := make(chan int, 1)
+	go func() {
+		status, _ := c.PostTraced(first, ctx1)
+		done <- status
+	}()
+	// Wait for the first request to occupy the worker's only pending slot.
+	c.mu.Lock()
+	w := c.workers["w0"]
+	c.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, raw := c.PostTraced(second, ctx2)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated worker answered %d (%s), want 429", status, raw)
+	}
+	if !bytes.Contains(raw, []byte("run queue full")) {
+		t.Fatalf("shed body %q does not name the queue", raw)
+	}
+
+	close(release)
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("blocked request finished with %d, want 200", st)
+	}
+
+	trees := c.Trees(ctx2.Trace)
+	assertConnected(t, trees, ctx2.Span.Hex())
+	var feShed, workerShed, retried int
+	for _, tree := range trees {
+		for _, s := range tree.Spans {
+			switch s.Kind {
+			case reqtrace.KindShed:
+				if tree.Process == "frontend" {
+					feShed++
+				} else {
+					workerShed++
+					if s.Err == "" {
+						t.Error("worker shed span has no error")
+					}
+					if len(tree.Spans) != 1 {
+						t.Errorf("worker shed tree has %d spans, want a single terminal span", len(tree.Spans))
+					}
+				}
+			case reqtrace.KindAttempt:
+				retried++
+			}
+		}
+	}
+	if feShed != 1 {
+		t.Errorf("frontend recorded %d shed spans, want 1", feShed)
+	}
+	if workerShed != 1 {
+		t.Errorf("worker recorded %d terminal shed trees, want 1", workerShed)
+	}
+	// 429 is terminal by design: exactly one attempt, never a retry.
+	if retried != 1 {
+		t.Errorf("shed request made %d attempts, want exactly 1 (429 must not retry)", retried)
+	}
+}

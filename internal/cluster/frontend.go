@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"metajit/internal/reqtrace"
 	"metajit/internal/telemetry"
 )
 
@@ -37,6 +39,11 @@ type FrontendConfig struct {
 	Client *http.Client
 	// Catalog resolves benchmark names; must agree with the workers'.
 	Catalog *Catalog
+	// ReqTrace is the request tracer / flight recorder; nil gets a
+	// default recorder named "frontend". Every /run request records a
+	// span tree here (joined to the client's trace when the request
+	// carries a traceparent header), retrievable at /debug/reqtrace.
+	ReqTrace *reqtrace.Recorder
 }
 
 // Frontend is the cluster's routing tier: it consistent-hashes each
@@ -52,6 +59,7 @@ type Frontend struct {
 	client *http.Client
 	sf     Group
 	reg    *telemetry.Registry
+	rec    *reqtrace.Recorder
 
 	reqOK     *telemetry.Counter
 	reqShed   *telemetry.Counter
@@ -59,7 +67,9 @@ type Frontend struct {
 	reqFail   *telemetry.Counter
 	dedup     *telemetry.Counter
 	failovers *telemetry.Counter
+	retries   *telemetry.Counter
 	latency   *telemetry.Histogram
+	sfWait    *telemetry.Histogram
 	started   time.Time
 }
 
@@ -78,11 +88,16 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	if client == nil {
 		client = &http.Client{}
 	}
+	rec := cfg.ReqTrace
+	if rec == nil {
+		rec = reqtrace.NewRecorder(reqtrace.Config{Process: "frontend"})
+	}
 	f := &Frontend{
 		cfg:     cfg,
 		ring:    NewRing(cfg.Workers, cfg.Replicas),
 		client:  client,
 		reg:     telemetry.NewRegistry(),
+		rec:     rec,
 		started: time.Now(),
 	}
 	help := "Frontend run requests by outcome (ok, shed, client_error, upstream_error)."
@@ -92,7 +107,9 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 	f.reqFail = f.reg.Counter("cluster_frontend_requests_total", help, "outcome", "upstream_error")
 	f.dedup = f.reg.Counter("cluster_frontend_dedup_total", "Requests coalesced onto an identical in-flight cell (singleflight).")
 	f.failovers = f.reg.Counter("cluster_frontend_failovers_total", "Upstream attempts that moved to a ring successor after a worker failure or drain.")
+	f.retries = f.reg.Counter("cluster_failover_retries", "Retried upstream attempts: dispatches re-issued to another worker after a transport failure, 5xx, or drain.")
 	f.latency = f.reg.Histogram("cluster_frontend_latency_micros", "End-to-end /run latency in microseconds.")
+	f.sfWait = f.reg.Histogram("cluster_singleflight_wait_ns", "Nanoseconds coalesced requests spent waiting on another request's in-flight upstream call.")
 	f.reg.GaugeFunc("cluster_frontend_inflight_cells", "Distinct cells currently in flight upstream.", func() float64 {
 		return float64(f.sf.Inflight())
 	})
@@ -103,17 +120,22 @@ func NewFrontend(cfg FrontendConfig) *Frontend {
 // Registry exposes the frontend's telemetry registry.
 func (f *Frontend) Registry() *telemetry.Registry { return f.reg }
 
+// ReqTrace exposes the frontend's request tracer / flight recorder.
+func (f *Frontend) ReqTrace() *reqtrace.Recorder { return f.rec }
+
 // Ring exposes the routing ring (tests pin shard layouts against it).
 func (f *Frontend) Ring() *Ring { return f.ring }
 
-// Handler returns the frontend's HTTP mux.
+// Handler returns the frontend's HTTP mux. A panicking handler dumps
+// the flight ring before answering 500 (reqtrace.PanicDump).
 func (f *Frontend) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", f.handleRun)
 	mux.HandleFunc("/metrics", f.handleMetrics)
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.HandleFunc("/ring", f.handleRing)
-	return mux
+	mux.Handle("/debug/reqtrace", f.rec.Handler())
+	return reqtrace.PanicDump(f.rec, mux)
 }
 
 // upstream is the outcome of one routed request: enough to replay the
@@ -150,6 +172,14 @@ func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The route span is the frontend's root: joined to the client's
+	// trace when the request carries a traceparent header, a fresh trace
+	// otherwise. The trace context rides HTTP headers only — the request
+	// body (the singleflight/dedup key material) stays untouched, so
+	// tracing cannot split coalescing or change any result byte.
+	root := f.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindRoute, req.Bench+"/"+req.VM)
+	root.Annotate("cell", id.Hex())
+
 	start := time.Now()
 	var (
 		up     *upstream
@@ -158,17 +188,26 @@ func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Fresh {
 		// Fresh forces a re-simulation; coalescing it with an ordinary
 		// request would silently drop the forcing.
-		up, err = f.dispatch(r.Context(), id, body)
+		up, err = f.dispatch(r.Context(), id, body, root)
 	} else {
+		// Provisionally a lead; renamed to a wait if the singleflight
+		// reports we coalesced onto someone else's in-flight call (then
+		// the span has no dispatch children — the lead's tree has them).
+		sf := root.StartChild(reqtrace.KindSingleflightLead, id.Short())
 		var v any
 		v, shared, err = f.sf.Do(r.Context(), id.Hex(), func() (any, error) {
 			// The dispatch context is the singleflight's, not any one
 			// client's: a canceled client must not kill the shared call.
-			return f.dispatch(context.Background(), id, body)
+			return f.dispatch(context.Background(), id, body, sf)
 		})
 		if err == nil {
 			up = v.(*upstream)
 		}
+		if shared {
+			sf.SetKind(reqtrace.KindSingleflightWait)
+			f.sfWait.Observe(uint64(time.Since(start).Nanoseconds()))
+		}
+		sf.EndErr(err)
 	}
 	if shared {
 		f.dedup.Inc()
@@ -179,6 +218,8 @@ func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			code = 499 // client closed request (nginx convention)
 		}
+		root.Annotate("status", strconv.Itoa(code))
+		root.EndErr(err)
 		httpError(w, code, err.Error())
 		return
 	}
@@ -188,8 +229,19 @@ func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
 		f.reqOK.Inc()
 	case up.status == http.StatusTooManyRequests:
 		f.reqShed.Inc()
+		// The terminal shed span: backpressure reached the edge and this
+		// request ends here, by design — never retried.
+		shed := root.StartChild(reqtrace.KindShed, req.Bench+"/"+req.VM)
+		shed.Annotate("retry_after", up.retryAfter)
+		shed.End()
 	default:
 		f.reqFail.Inc()
+	}
+	root.Annotate("status", strconv.Itoa(up.status))
+	if up.status == http.StatusOK {
+		root.End()
+	} else {
+		root.EndErr(fmt.Errorf("status %d", up.status))
 	}
 	if up.retryAfter != "" {
 		w.Header().Set("Retry-After", up.retryAfter)
@@ -213,7 +265,7 @@ func (f *Frontend) handleRun(w http.ResponseWriter, r *http.Request) {
 //     routing shed load to non-owners would recompute cells that the
 //     owner will have memoized moments later.
 //   - any other status (200, 400...): authoritative; returned as-is.
-func (f *Frontend) dispatch(ctx context.Context, id CellID, body []byte) (*upstream, error) {
+func (f *Frontend) dispatch(ctx context.Context, id CellID, body []byte, parent *reqtrace.Span) (*upstream, error) {
 	succ := f.ring.Successors(id, f.cfg.Attempts)
 	if len(succ) == 0 {
 		return nil, fmt.Errorf("no workers configured")
@@ -222,27 +274,36 @@ func (f *Frontend) dispatch(ctx context.Context, id CellID, body []byte) (*upstr
 	for attempt, wkr := range succ {
 		if attempt > 0 {
 			f.failovers.Inc()
+			f.retries.Inc()
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-time.After(time.Duration(attempt) * f.cfg.Backoff):
 			}
 		}
-		up, err := f.tryWorker(ctx, wkr, body)
+		// Attempts are siblings under the dispatch parent: a request that
+		// survived a failover shows attempt #0 (failed) next to attempt
+		// #1 (served) in one connected tree.
+		att := parent.StartChild(reqtrace.KindAttempt, wkr)
+		up, err := f.tryWorker(ctx, wkr, body, att)
 		if err != nil {
+			att.EndErr(err)
 			lastErr = fmt.Errorf("%s: %w", wkr, err)
 			continue
 		}
 		if up.status >= 500 {
+			att.EndErr(fmt.Errorf("upstream status %d", up.status))
 			lastErr = fmt.Errorf("%s: upstream status %d", wkr, up.status)
 			continue
 		}
+		att.Annotate("status", strconv.Itoa(up.status))
+		att.End()
 		return up, nil
 	}
 	return nil, fmt.Errorf("all %d workers failed, last: %w", len(succ), lastErr)
 }
 
-func (f *Frontend) tryWorker(ctx context.Context, worker string, body []byte) (*upstream, error) {
+func (f *Frontend) tryWorker(ctx context.Context, worker string, body []byte, att *reqtrace.Span) (*upstream, error) {
 	actx, cancel := context.WithTimeout(ctx, f.cfg.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, strings.TrimSuffix(worker, "/")+"/run", bytes.NewReader(body))
@@ -250,6 +311,10 @@ func (f *Frontend) tryWorker(ctx context.Context, worker string, body []byte) (*
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace so the worker's run tree parents under this
+	// attempt. Header-only: the body bytes workers hash and coalesce on
+	// are identical with and without tracing.
+	reqtrace.Inject(req.Header, att.Context())
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metajit/internal/telemetry"
 )
@@ -57,6 +58,8 @@ type storeMetrics struct {
 	misses  *telemetry.Counter
 	writes  *telemetry.Counter
 	corrupt *telemetry.Counter
+	readNS  *telemetry.Histogram
+	writeNS *telemetry.Histogram
 }
 
 // OpenStore opens (creating if needed) a store rooted at dir.
@@ -78,6 +81,8 @@ func (s *Store) InstallTelemetry(r *telemetry.Registry) {
 	s.m.misses = r.Counter("cluster_store_misses_total", "Result reads that found no (usable) blob.")
 	s.m.writes = r.Counter("cluster_store_writes_total", "Result blobs written to the content store.")
 	s.m.corrupt = r.Counter("cluster_store_corrupt_total", "Blobs that failed verification and were quarantined.")
+	s.m.readNS = r.Histogram("cluster_store_read_ns", "Nanoseconds per store read (hit, miss, or quarantine), verification included.")
+	s.m.writeNS = r.Histogram("cluster_store_write_ns", "Nanoseconds per store write, atomic rename included.")
 }
 
 // Dir returns the store's root directory.
@@ -92,6 +97,8 @@ func (s *Store) path(id CellID) string {
 // is a no-op (results are immutable by content addressing), so
 // concurrent double-computes race harmlessly.
 func (s *Store) Put(id CellID, payload []byte) error {
+	start := time.Now()
+	defer func() { s.m.writeNS.Observe(uint64(time.Since(start).Nanoseconds())) }()
 	final := s.path(id)
 	if _, err := os.Stat(final); err == nil {
 		return nil
@@ -124,6 +131,8 @@ func (s *Store) Put(id CellID, payload []byte) error {
 // ErrCorrupt (wrapped with the reason) — corrupted results are never
 // served and never consulted again.
 func (s *Store) Get(id CellID) ([]byte, error) {
+	start := time.Now()
+	defer func() { s.m.readNS.Observe(uint64(time.Since(start).Nanoseconds())) }()
 	p := s.path(id)
 	blob, err := os.ReadFile(p)
 	if err != nil {

@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
 	"metajit/internal/telemetry"
 )
 
@@ -33,6 +36,12 @@ type WorkerConfig struct {
 	// it off for in-process test clusters, where N workers would fight
 	// over the global hook.
 	InstallStackTelemetry bool
+	// ReqTrace is the request tracer / flight recorder; nil gets a
+	// default recorder named "worker-<Name>". Every /run request records
+	// a span tree here, parented under the frontend's attempt span when
+	// the request carries a traceparent header; a fresh simulation's
+	// span additionally collects that run's VM phase spans.
+	ReqTrace *reqtrace.Recorder
 }
 
 // Worker is one shard of the cluster: an HTTP daemon that simulates the
@@ -45,6 +54,7 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg      WorkerConfig
 	reg      *telemetry.Registry
+	rec      *reqtrace.Recorder
 	runner   *harness.Runner
 	store    *Store
 	catalog  *Catalog
@@ -71,9 +81,18 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 4 * workers
 	}
+	rec := cfg.ReqTrace
+	if rec == nil {
+		name := cfg.Name
+		if name == "" {
+			name = "anon"
+		}
+		rec = reqtrace.NewRecorder(reqtrace.Config{Process: "worker-" + name})
+	}
 	w := &Worker{
 		cfg:     cfg,
 		reg:     telemetry.NewRegistry(),
+		rec:     rec,
 		runner:  harness.NewRunner(workers),
 		store:   cfg.Store,
 		catalog: cfg.Catalog,
@@ -109,14 +128,23 @@ func NewWorker(cfg WorkerConfig) *Worker {
 // Registry exposes the worker's telemetry registry.
 func (w *Worker) Registry() *telemetry.Registry { return w.reg }
 
+// ReqTrace exposes the worker's request tracer / flight recorder.
+func (w *Worker) ReqTrace() *reqtrace.Recorder { return w.rec }
+
 // Runner exposes the memoizing runner (tests swap its executor).
 func (w *Worker) Runner() *harness.Runner { return w.runner }
 
 // Drain flips the worker into drain mode: new /run requests get 503
 // "draining" (the frontend fails them over), in-flight ones finish.
 // The caller (cmd/mtjitd on SIGTERM, or a test) then waits for the
-// HTTP server's graceful shutdown.
-func (w *Worker) Drain() { w.draining.Store(true) }
+// HTTP server's graceful shutdown. The first drain dumps the flight
+// recorder — the span trees leading into a drain are exactly what a
+// post-mortem of a misbehaving worker wants.
+func (w *Worker) Drain() {
+	if w.draining.CompareAndSwap(false, true) {
+		w.rec.Anomaly("drain")
+	}
+}
 
 // Draining reports drain mode.
 func (w *Worker) Draining() bool { return w.draining.Load() }
@@ -124,14 +152,16 @@ func (w *Worker) Draining() bool { return w.draining.Load() }
 // Pending reports requests currently being processed (tests).
 func (w *Worker) Pending() int64 { return w.pending.Load() }
 
-// Handler returns the worker's HTTP mux.
+// Handler returns the worker's HTTP mux. A panicking handler dumps the
+// flight ring before answering 500 (reqtrace.PanicDump).
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", w.handleRun)
 	mux.HandleFunc("/metrics", w.handleMetrics)
 	mux.HandleFunc("/healthz", w.handleHealthz)
 	mux.HandleFunc("/drain", w.handleDrain)
-	return mux
+	mux.Handle("/debug/reqtrace", w.rec.Handler())
+	return reqtrace.PanicDump(w.rec, mux)
 }
 
 // RunResponse is the worker's POST /run reply (and, passed through
@@ -154,6 +184,10 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	}
 	if w.draining.Load() {
 		w.runDrain.Inc()
+		// A terminal drain span, joined to the caller's trace: the
+		// frontend's failover tree shows exactly which worker refused.
+		w.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindDrain, "").
+			EndErr(errors.New("draining"))
 		httpError(rw, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -163,6 +197,10 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	if n := w.pending.Add(1); n > int64(w.cfg.MaxPending) {
 		w.pending.Add(-1)
 		w.runShed.Inc()
+		// The terminal shed span: backpressure is this request's whole
+		// story in this process — by design it is never retried.
+		w.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindShed, "").
+			EndErr(errors.New("run queue full"))
 		rw.Header().Set("Retry-After", "1")
 		httpError(rw, http.StatusTooManyRequests, "run queue full")
 		return
@@ -177,12 +215,17 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		httpError(rw, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	// The run span is the worker's root, parented under the frontend's
+	// attempt span when the request propagated a trace context.
+	root := w.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindRun, req.Bench+"/"+req.VM)
 	p, kind, opt, id, err := w.catalog.Cell(&req)
 	if err != nil {
 		w.runErr.Inc()
+		root.EndErr(err)
 		httpError(rw, http.StatusBadRequest, err.Error())
 		return
 	}
+	root.Annotate("cell", id.Hex())
 
 	start := time.Now()
 	if req.Fresh {
@@ -193,23 +236,40 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 	if !req.Fresh {
 		if w.runner.Has(p, kind, opt) {
 			src = "memo"
-		} else if wres = w.fromStore(id); wres != nil {
+		} else if wres = w.fromStore(id, root); wres != nil {
 			src = "store"
 		}
 	}
 	if wres == nil {
+		spanKind := reqtrace.KindSimulate
+		if src == "memo" {
+			spanKind = reqtrace.KindMemo
+		}
+		sp := root.StartChild(spanKind, req.Bench+"/"+req.VM)
+		if src == "simulated" {
+			// A real simulation: link the run's VM phase spans to this
+			// request. ReqTrace is excluded from the memo CellKey, so the
+			// traced result stays byte-identical to an untraced one.
+			opt.ReqTrace = sp
+		}
 		res, err := w.runner.Get(p, kind, opt)
 		if err != nil {
 			w.runErr.Inc()
+			sp.EndErr(err)
+			root.EndErr(err)
 			httpError(rw, http.StatusInternalServerError, err.Error())
 			return
 		}
+		sp.End()
 		wres = FromResult(res)
 		if w.store != nil {
+			ws := root.StartChild(reqtrace.KindStoreWrite, id.Short())
 			// A failed write only costs the next restart a re-simulation.
-			_ = w.store.Put(id, wres.Encode())
+			ws.EndErr(w.store.Put(id, wres.Encode()))
 		}
 	}
+	root.Annotate("source", src)
+	root.End()
 	switch src {
 	case "simulated":
 		w.runSim.Inc()
@@ -231,13 +291,22 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 // fromStore fetches and decodes a stored result; any corruption (blob
 // or payload level) has already been quarantined by the store — the
 // caller transparently falls back to re-simulation, which repairs the
-// store on the way out.
-func (w *Worker) fromStore(id CellID) *WireResult {
+// store on the way out. The read is recorded as a store_read span under
+// parent (miss vs. corruption in its error); a quarantine additionally
+// records a quarantine span and dumps the flight ring (Anomaly) — the
+// span trees leading into a corruption event are post-mortem evidence.
+func (w *Worker) fromStore(id CellID, parent *reqtrace.Span) *WireResult {
 	if w.store == nil {
 		return nil
 	}
+	sp := parent.StartChild(reqtrace.KindStoreRead, id.Short())
 	payload, err := w.store.Get(id)
 	if err != nil {
+		sp.EndErr(err)
+		if errors.Is(err, ErrCorrupt) {
+			parent.StartChild(reqtrace.KindQuarantine, id.Short()).EndErr(err)
+			w.rec.Anomaly("quarantine")
+		}
 		return nil
 	}
 	res, err := DecodeResult(payload)
@@ -245,8 +314,10 @@ func (w *Worker) fromStore(id CellID) *WireResult {
 		// CRC passed but the payload doesn't parse (e.g. a stale wire
 		// version would have been a miss; this is a true collision-class
 		// event). Treat like corruption: never serve it.
+		sp.EndErr(fmt.Errorf("stored payload undecodable: %w", err))
 		return nil
 	}
+	sp.End()
 	return res
 }
 

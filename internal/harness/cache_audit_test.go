@@ -9,6 +9,7 @@ import (
 	"metajit/internal/cpu"
 	"metajit/internal/heap"
 	"metajit/internal/mtjit"
+	"metajit/internal/reqtrace"
 	"metajit/internal/trace"
 )
 
@@ -19,7 +20,8 @@ import (
 // same result because the field was missing here — this audit is the
 // regression test for that class of bug.
 var keyExcluded = map[string]string{
-	"Live": "a live tracker observes counters without perturbing the run",
+	"Live":     "a live tracker observes counters without perturbing the run",
+	"ReqTrace": "request-trace span capture observes counters without perturbing the run",
 }
 
 // perturb returns an Options differing from the zero value only in the
@@ -49,6 +51,9 @@ func perturb(t *testing.T, field string) Options {
 		v.Set(reflect.ValueOf(&p))
 	case *LiveTracker:
 		v.Set(reflect.ValueOf(NewLiveTracker(1)))
+	case *reqtrace.Span:
+		rec := reqtrace.NewRecorder(reqtrace.Config{Process: "audit"})
+		v.Set(reflect.ValueOf(rec.StartTrace(reqtrace.Context{}, reqtrace.KindSimulate, "audit")))
 	default:
 		t.Fatalf("Options.%s has type %s the audit cannot perturb — teach perturb() about it "+
 			"and decide whether it belongs in CellKey", field, v.Type())

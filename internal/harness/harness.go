@@ -22,6 +22,7 @@ import (
 	"metajit/internal/pintool"
 	"metajit/internal/profile"
 	"metajit/internal/pylang"
+	"metajit/internal/reqtrace"
 	"metajit/internal/sklang"
 	"metajit/internal/static"
 	"metajit/internal/trace"
@@ -115,11 +116,49 @@ type Options struct {
 	// the dj_trace mode) instead of executing guest code. Requires a
 	// trace benchmark (bench.FromTrace / bench.LoadTraceDir).
 	ReplayAlloc bool
+	// ReqTrace, when non-nil, links this run into a request trace: the
+	// profiler is attached (with no artifact output unless Profile /
+	// ProfileDir also ask for it) and every closed phase span is
+	// forwarded to the request span, in simulated microseconds, so the
+	// serving stack's merged Chrome export can decompose the request
+	// down to GC/tracing/JIT phases. Excluded from the memo CellKey:
+	// like Live, span capture observes counters without perturbing the
+	// simulation, so a traced run's Result is byte-identical to an
+	// untraced one.
+	ReqTrace *reqtrace.Span
 }
 
 // DefaultProfileWindow is the time-series window (in retired
 // instructions) used when profiling is on and no override is given.
 const DefaultProfileWindow = 1 << 16
+
+// reqTraceSink forwards closed profile spans to a request span in
+// simulated microseconds (nil sink when the run carries no request
+// trace). Start/Dur are the span's inclusive interval on the simulated
+// clock; Instrs/Cycles are the self counters — the per-phase work the
+// merged Chrome export annotates with IPC. Retention is bounded by the
+// span's recorder (Config.MaxVMSpans), so a long run cannot grow the
+// request tree without bound.
+func reqTraceSink(dst *reqtrace.Span, clockHz float64) func(profile.CompletedSpan) {
+	if dst == nil {
+		return nil
+	}
+	if clockHz <= 0 {
+		clockHz = 3e9
+	}
+	scale := 1e6 / clockHz
+	return func(cs profile.CompletedSpan) {
+		dst.AddVM(reqtrace.VMSpan{
+			Label:   cs.Label,
+			Phase:   cs.Phase.String(),
+			Depth:   cs.Depth,
+			StartUS: cs.Start.Cycles * scale,
+			DurUS:   (cs.End.Cycles - cs.Start.Cycles) * scale,
+			Instrs:  cs.Self.Instrs,
+			Cycles:  uint64(cs.Self.Cycles),
+		})
+	}
+}
 
 // Result is one benchmark execution's measurements.
 type Result struct {
@@ -290,10 +329,11 @@ func Run(p *bench.Program, kind VMKind, opt Options) (*Result, error) {
 		chromeBuf  *bufio.Writer
 		chromePath string
 	)
-	if opt.Profile || opt.ProfileDir != "" {
+	if opt.Profile || opt.ProfileDir != "" || opt.ReqTrace != nil {
 		pcfg := profile.Config{
-			Window:  opt.ProfileWindow,
-			ClockHz: params.ClockHz,
+			Window:   opt.ProfileWindow,
+			ClockHz:  params.ClockHz,
+			SpanSink: reqTraceSink(opt.ReqTrace, params.ClockHz),
 			Labels: profile.Labels{
 				Trace: func(id uint64) string {
 					if profLog == nil {
@@ -546,8 +586,12 @@ func runAllocReplay(p *bench.Program, kind VMKind, opt Options, mach *cpu.Machin
 		chromeBuf  *bufio.Writer
 		chromePath string
 	)
-	if opt.Profile || opt.ProfileDir != "" {
-		pcfg := profile.Config{Window: opt.ProfileWindow, ClockHz: mach.Params().ClockHz}
+	if opt.Profile || opt.ProfileDir != "" || opt.ReqTrace != nil {
+		pcfg := profile.Config{
+			Window:   opt.ProfileWindow,
+			ClockHz:  mach.Params().ClockHz,
+			SpanSink: reqTraceSink(opt.ReqTrace, mach.Params().ClockHz),
+		}
 		if pcfg.Window == 0 {
 			pcfg.Window = DefaultProfileWindow
 		}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"metajit/internal/bench"
+	"metajit/internal/reqtrace"
+)
+
+// TestReqTraceLinksPhaseSpans runs one benchmark with a request span
+// attached and checks (a) the run's phase spans land on the span in
+// simulated microseconds, and (b) the traced Result is byte-identical
+// to an untraced one — tracing must observe, never perturb.
+func TestReqTraceLinksPhaseSpans(t *testing.T) {
+	p := bench.ByName("telco")
+
+	// Run directly, not through the memo runner: ReqTrace is key-excluded
+	// (deliberately — see cache_audit_test.go), so a cached read would
+	// never execute and never produce spans. That mirrors production: the
+	// worker only attaches a span on the fresh-simulate path.
+	plain, err := Run(p, VMPyPyTiered, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A roomy VM-span cap: the assertions below want the complete phase
+	// stream (the default cap keeps captures bounded in production and
+	// is tested in the reqtrace package).
+	rec := reqtrace.NewRecorder(reqtrace.Config{Process: "harness-test", MaxVMSpans: 1 << 20})
+	root := rec.StartTrace(reqtrace.Context{}, reqtrace.KindRun, "telco")
+	sim := root.StartChild(reqtrace.KindSimulate, "telco/pypy-tiered")
+	traced, err := Run(p, VMPyPyTiered, Options{ReqTrace: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.End()
+	root.End()
+
+	if plain.Checksum != traced.Checksum ||
+		plain.HeapChecksum != traced.HeapChecksum ||
+		plain.Instrs != traced.Instrs ||
+		plain.Cycles != traced.Cycles ||
+		plain.GC != traced.GC {
+		t.Fatalf("request tracing perturbed the run:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+
+	snap := rec.Trees(1)[0]
+	if len(snap.Spans) != 2 {
+		t.Fatalf("tree has %d spans, want 2", len(snap.Spans))
+	}
+	vm := snap.Spans[1].VM
+	if len(vm) == 0 {
+		t.Fatal("simulate span captured no VM phase spans")
+	}
+	// The last delivered span is the interp root covering the whole run.
+	last := vm[len(vm)-1]
+	if last.Phase != "interp" || last.Depth != 0 {
+		t.Fatalf("final VM span is not the interp root: %+v", last)
+	}
+	wantUS := plain.Cycles * 1e6 / 3e9 // default clock is 3 GHz
+	if got := last.StartUS + last.DurUS; got < wantUS*0.99 || got > wantUS*1.01 {
+		t.Fatalf("root span ends at %.1fus, want ~%.1fus", got, wantUS)
+	}
+	// A tiered telco run exercises compilation: some non-interp phase
+	// must appear, with work attributed to it.
+	phases := map[string]bool{}
+	var attributed uint64
+	for _, v := range vm {
+		phases[v.Phase] = true
+		attributed += v.Instrs
+	}
+	if len(phases) < 2 {
+		t.Fatalf("only phases %v captured", phases)
+	}
+	if attributed != plain.Instrs {
+		t.Fatalf("self instrs sum to %d, want the run's %d", attributed, plain.Instrs)
+	}
+}
+
+// TestReqTraceNoProfilerWithoutSpan guards the default path: without
+// ReqTrace/Profile/ProfileDir no profiler attaches (Result.Profile nil).
+func TestReqTraceNoProfilerWithoutSpan(t *testing.T) {
+	r := mustRun(t, bench.ByName("telco"), VMPyPyTiered, Options{})
+	if r.Profile != nil {
+		t.Fatal("profiler attached to an untraced, unprofiled run")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"metajit/internal/bench"
 	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
 	"metajit/internal/telemetry"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	// LiveInterval is the live-snapshot publish cadence in machine
 	// annotations (<= 0: harness.DefaultLiveInterval).
 	LiveInterval int
+	// ReqTrace is the request tracer / flight recorder; nil gets a
+	// default recorder named "mtjitd". Every /run request records a span
+	// tree here (joined to the caller's trace when the request carries a
+	// traceparent header), retrievable at /debug/reqtrace.
+	ReqTrace *reqtrace.Recorder
 }
 
 // Server owns the daemon's state: one registry, one memoizing runner,
@@ -39,6 +45,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	reg     *telemetry.Registry
+	rec     *reqtrace.Recorder
 	runner  *harness.Runner
 	live    *harness.LiveTracker
 	started time.Time
@@ -61,9 +68,14 @@ func New(cfg Config) *Server {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 4 * workers
 	}
+	rec := cfg.ReqTrace
+	if rec == nil {
+		rec = reqtrace.NewRecorder(reqtrace.Config{Process: "mtjitd"})
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     telemetry.NewRegistry(),
+		rec:     rec,
 		runner:  harness.NewRunner(workers),
 		live:    harness.NewLiveTracker(cfg.LiveInterval),
 		started: time.Now(),
@@ -93,7 +105,11 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 // Runner exposes the memoizing runner (tests swap its executor).
 func (s *Server) Runner() *harness.Runner { return s.runner }
 
-// Handler returns the daemon's HTTP mux.
+// ReqTrace exposes the daemon's request tracer / flight recorder.
+func (s *Server) ReqTrace() *reqtrace.Recorder { return s.rec }
+
+// Handler returns the daemon's HTTP mux. A panicking handler dumps the
+// flight ring before answering 500 (reqtrace.PanicDump).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
@@ -107,9 +123,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/reqtrace", s.rec.Handler())
+	inner := reqtrace.PanicDump(s.rec, mux)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.httpReqs.Inc()
-		mux.ServeHTTP(w, r)
+		inner.ServeHTTP(w, r)
 	})
 }
 
@@ -145,6 +163,10 @@ type RunResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// errShed labels shed spans; a sentinel so the flight recorder's dump
+// reads uniformly.
+var errShed = fmt.Errorf("run queue full")
+
 var vmKinds = map[string]harness.VMKind{
 	string(harness.VMCPython):      harness.VMCPython,
 	string(harness.VMPyPyNoJIT):    harness.VMPyPyNoJIT,
@@ -169,6 +191,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if n := s.pending.Add(1); n > int64(s.cfg.MaxPending) {
 		s.pending.Add(-1)
 		s.runShed.Inc()
+		// The terminal shed span: this request's whole story here.
+		s.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindShed, "").
+			EndErr(errShed)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "run queue full")
 		return
@@ -183,16 +208,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	root := s.rec.StartTrace(reqtrace.FromHTTP(r), reqtrace.KindRun, req.Bench+"/"+req.VM)
 	p := bench.ByName(req.Bench)
 	if p == nil {
 		s.runErr.Inc()
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q", req.Bench))
+		err := fmt.Errorf("unknown benchmark %q", req.Bench)
+		root.EndErr(err)
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	kind, ok := vmKinds[req.VM]
 	if !ok {
 		s.runErr.Inc()
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown vm %q", req.VM))
+		err := fmt.Errorf("unknown vm %q", req.VM)
+		root.EndErr(err)
+		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	opt := harness.Options{
@@ -207,13 +237,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.runner.Evict(p, kind, opt)
 	}
 	cached := s.runner.Has(p, kind, opt)
+	spanKind := reqtrace.KindSimulate
+	if cached {
+		spanKind = reqtrace.KindMemo
+	}
+	sp := root.StartChild(spanKind, req.Bench+"/"+req.VM)
+	if !cached {
+		// A fresh simulation: link the run's VM phase spans to this
+		// request. ReqTrace is excluded from the memo CellKey, so a
+		// traced result is byte-identical to an untraced one.
+		opt.ReqTrace = sp
+	}
 	start := time.Now()
 	res, err := s.runner.Get(p, kind, opt)
 	if err != nil {
 		s.runErr.Inc()
+		sp.EndErr(err)
+		root.EndErr(err)
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	sp.End()
+	root.End()
 	s.runOK.Inc()
 	writeJSON(w, RunResponse{
 		Bench:     res.Bench,

@@ -13,6 +13,7 @@ import (
 
 	"metajit/internal/bench"
 	"metajit/internal/harness"
+	"metajit/internal/reqtrace"
 	"metajit/internal/telemetry"
 )
 
@@ -380,5 +381,99 @@ func TestPprofMounted(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+// TestReqTraceEndpoint: a traced /run records a span tree retrievable
+// from the flight recorder by trace ID — a run root holding a simulate
+// span that captured the run's VM phase spans; a memoized re-request
+// under a new trace records a memo span with no profiler attach.
+func TestReqTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	ids := reqtrace.NewIDSource(21)
+
+	fetch := func(trace reqtrace.TraceID) reqtrace.Dump {
+		t.Helper()
+		var d reqtrace.Dump
+		if resp := getJSON(t, ts.URL+"/debug/reqtrace?trace="+trace.Hex(), &d); resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/reqtrace status %d", resp.StatusCode)
+		}
+		return d
+	}
+	post := func(ctx reqtrace.Context) RunResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/run", strings.NewReader(`{"bench":"telco","vm":"pypy"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		reqtrace.Inject(req.Header, ctx)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traced run status %d", resp.StatusCode)
+		}
+		var rr RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	ctx1 := ids.NewContext()
+	if rr := post(ctx1); rr.Cached {
+		t.Fatal("first traced run was cached")
+	}
+	d := fetch(ctx1.Trace)
+	if d.Process != "mtjitd" || len(d.Trees) != 1 {
+		t.Fatalf("dump process %q with %d trees, want 1 mtjitd tree", d.Process, len(d.Trees))
+	}
+	tree := d.Trees[0]
+	root := tree.Root()
+	if root.Kind != reqtrace.KindRun || root.Parent != ctx1.Span.Hex() {
+		t.Fatalf("root kind %q parent %s, want run under the client span", root.Kind, root.Parent)
+	}
+	var sim int
+	for _, s := range tree.Spans {
+		if s.Kind == reqtrace.KindSimulate {
+			sim++
+			if len(s.VM) == 0 {
+				t.Error("simulate span captured no VM phase spans")
+			}
+			if s.Parent != root.ID {
+				t.Error("simulate span not parented under the run root")
+			}
+		}
+	}
+	if sim != 1 {
+		t.Fatalf("%d simulate spans, want 1", sim)
+	}
+
+	// Memoized re-request under a fresh trace: memo span, no VM spans.
+	ctx2 := ids.NewContext()
+	if rr := post(ctx2); !rr.Cached {
+		t.Fatal("second traced run missed the memo")
+	}
+	d2 := fetch(ctx2.Trace)
+	if len(d2.Trees) != 1 {
+		t.Fatalf("memo trace has %d trees, want 1", len(d2.Trees))
+	}
+	var memo int
+	for _, s := range d2.Trees[0].Spans {
+		if s.Kind == reqtrace.KindMemo {
+			memo++
+			if len(s.VM) != 0 {
+				t.Error("memo span carries VM spans — the profiler attached on a cache hit")
+			}
+		}
+		if s.Kind == reqtrace.KindSimulate {
+			t.Error("memoized request recorded a simulate span")
+		}
+	}
+	if memo != 1 {
+		t.Fatalf("%d memo spans, want 1", memo)
 	}
 }

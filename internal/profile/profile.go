@@ -129,6 +129,25 @@ type Config struct {
 	MaxChromeEvents int
 	// RingSize is the event ring capacity (0: DefaultRingSize).
 	RingSize int
+	// SpanSink, when non-nil, receives every span as it closes
+	// (including the implicit interp root, delivered at Finish). The
+	// request tracer uses it to link a run's phase spans to the serving
+	// cluster's span tree; consumers must bound their own retention —
+	// long runs close arbitrarily many spans.
+	SpanSink func(CompletedSpan)
+}
+
+// CompletedSpan is the sink's view of one closed phase/tier span:
+// machine totals at open and close plus the self time attributed while
+// it was top of stack. Depth is the span's nesting level (0 is the
+// interp root), enough to reconstruct the stack without pointers.
+type CompletedSpan struct {
+	Label string
+	Phase core.Phase
+	Depth int
+	Start State
+	End   State
+	Self  State
 }
 
 // isTransition reports whether tag switches the accounting phase; the

@@ -397,6 +397,16 @@ func (s *Stream) pop(at State) {
 		incl := at.Sub(top.start)
 		s.cw.end(at.Cycles, incl, top.self)
 	}
+	if s.cfg.SpanSink != nil {
+		s.cfg.SpanSink(CompletedSpan{
+			Label: top.label,
+			Phase: top.phase,
+			Depth: len(s.stack) - 1,
+			Start: top.start,
+			End:   at,
+			Self:  top.self,
+		})
+	}
 	s.sig = top.prevSig
 	s.stack = s.stack[:len(s.stack)-1]
 }
@@ -456,6 +466,17 @@ func (s *Stream) Finish(final State) {
 		if err := s.cw.Err(); err != nil {
 			s.errorf("chrome trace write: %v", err)
 		}
+	}
+	if s.cfg.SpanSink != nil {
+		root := &s.stack[0]
+		s.cfg.SpanSink(CompletedSpan{
+			Label: root.label,
+			Phase: root.phase,
+			Depth: 0,
+			Start: root.start,
+			End:   final,
+			Self:  root.self,
+		})
 	}
 	s.finished = true
 }

@@ -1,0 +1,290 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Trace Event Format record. The merged export uses
+// paired B/E duration events exclusively (plus M metadata), so
+// consumers can validate nesting with a simple stack.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome merges tree snapshots — typically the same trace as seen
+// by the frontend, a worker, and the simulator — into a single Chrome
+// trace (chrome://tracing, Perfetto).
+//
+// Layout: one pid per process (named via process_name metadata), one
+// tid per tree. Cluster spans are wall-clock, rebased so the earliest
+// tree starts at ts 0. A simulate span's captured VM phase spans are
+// emitted on a companion "<process>/vm" pid at the simulate span's wall
+// start: simulated microseconds displayed alongside the wall-clock
+// request timeline, same trace ID in every event's args.
+func WriteChrome(w io.Writer, trees []TreeSnapshot) error {
+	var events []chromeEvent
+
+	// Stable pid assignment in order of first appearance.
+	pids := map[string]int{}
+	pidOf := func(proc string) int {
+		if id, ok := pids[proc]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[proc] = id
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: id,
+			Args: map[string]any{"name": proc},
+		})
+		return id
+	}
+
+	// Rebase everything to the earliest root so ts values stay small.
+	var epoch int64
+	for i, t := range trees {
+		if i == 0 || t.Start.UnixNano() < epoch {
+			epoch = t.Start.UnixNano()
+		}
+	}
+	wallUS := func(t TreeSnapshot, s SpanSnapshot) float64 {
+		return float64(s.Start.UnixNano()-epoch) / 1e3
+	}
+
+	for ti, t := range trees {
+		if len(t.Spans) == 0 {
+			continue
+		}
+		pid := pidOf(t.Process)
+		tid := ti + 1
+
+		// Index spans and their children; snapshot order already has
+		// children sorted by start time.
+		byID := map[string]SpanSnapshot{}
+		kids := map[string][]SpanSnapshot{}
+		for _, s := range t.Spans {
+			byID[s.ID] = s
+		}
+		for _, s := range t.Spans[1:] {
+			if _, ok := byID[s.Parent]; ok {
+				kids[s.Parent] = append(kids[s.Parent], s)
+			} else {
+				// Orphan (should not happen): hang it off the root so it
+				// still renders.
+				kids[t.Spans[0].ID] = append(kids[t.Spans[0].ID], s)
+			}
+		}
+
+		// Recursive clamped B/E emission, returning the emitted end: a
+		// child's interval is clamped into its parent's remaining window
+		// (starting where the previous sibling ended), so neither clock
+		// skew between goroutines nor float rounding can produce
+		// unbalanced or backwards-running nesting.
+		var emit func(s SpanSnapshot, lo, hi float64) float64
+		emit = func(s SpanSnapshot, lo, hi float64) float64 {
+			b := wallUS(t, s)
+			e := b + s.DurUS
+			if b < lo {
+				b = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if e > hi {
+				e = hi
+			}
+			if e < b {
+				e = b
+			}
+			args := map[string]any{"trace": t.Trace, "kind": s.Kind}
+			if s.Err != "" {
+				args["err"] = s.Err
+			}
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			name := s.Kind
+			if s.Name != "" {
+				name = s.Kind + " " + s.Name
+			}
+			events = append(events, chromeEvent{Name: name, Ph: "B", TS: b, PID: pid, TID: tid, Cat: "reqtrace", Args: args})
+			cur := b
+			for _, c := range kids[s.ID] {
+				cur = emit(c, cur, e)
+			}
+			events = append(events, chromeEvent{Name: name, Ph: "E", TS: e, PID: pid, TID: tid, Cat: "reqtrace"})
+
+			if len(s.VM) > 0 {
+				events = append(events, vmEvents(t, s, b, pidOf(t.Process+"/vm"), tid)...)
+			}
+			return e
+		}
+		emit(t.Spans[0], wallUS(t, t.Spans[0]), wallUS(t, t.Spans[0])+t.Spans[0].DurUS)
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		Events []chromeEvent `json:"traceEvents"`
+	}{Events: events}, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+// ValidateChrome checks that blob is a loadable Chrome trace as this
+// package writes them: well-formed JSON whose traceEvents are B/E pairs
+// with LIFO nesting and non-decreasing timestamps per (pid, tid) track,
+// plus M metadata. Returns the event count. CI and tests run exported
+// merges through it before archiving them as artifacts.
+func ValidateChrome(blob []byte) (int, error) {
+	var doc struct {
+		Events []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return 0, fmt.Errorf("reqtrace: chrome trace does not parse: %w", err)
+	}
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
+	lastTS := map[track]float64{}
+	for _, ev := range doc.Events {
+		k := track{ev.PID, ev.TID}
+		switch ev.Ph {
+		case "M":
+		case "B", "E":
+			if ev.TS < lastTS[k] {
+				return 0, fmt.Errorf("reqtrace: ts went backwards on pid=%d tid=%d: %v < %v", ev.PID, ev.TID, ev.TS, lastTS[k])
+			}
+			lastTS[k] = ev.TS
+			if ev.Ph == "B" {
+				stacks[k] = append(stacks[k], ev.Name)
+				continue
+			}
+			st := stacks[k]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("reqtrace: E %q with empty stack on pid=%d tid=%d", ev.Name, ev.PID, ev.TID)
+			}
+			if st[len(st)-1] != ev.Name {
+				return 0, fmt.Errorf("reqtrace: E %q closes B %q", ev.Name, st[len(st)-1])
+			}
+			stacks[k] = st[:len(st)-1]
+		default:
+			return 0, fmt.Errorf("reqtrace: unexpected phase %q", ev.Ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			return 0, fmt.Errorf("reqtrace: %d unclosed B events on pid=%d tid=%d", len(st), k.pid, k.tid)
+		}
+	}
+	return len(doc.Events), nil
+}
+
+// vmEvents renders one simulate span's captured VM phase spans as B/E
+// pairs on the companion vm pid, rebased at the simulate span's wall
+// start. The profiler delivers spans at close time (post-order), so
+// nesting is reconstructed first — sort by start (parents before
+// children at equal starts), then a depth-driven stack walk — and the
+// tree is emitted recursively with child intervals clamped into their
+// parent's, so neither float rounding nor capped-out interior spans can
+// produce unbalanced B/E pairs.
+func vmEvents(t TreeSnapshot, s SpanSnapshot, baseUS float64, pid, tid int) []chromeEvent {
+	type vnode struct {
+		v    VMSpan
+		kids []*vnode
+	}
+	order := append([]VMSpan(nil), s.VM...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].StartUS != order[j].StartUS {
+			return order[i].StartUS < order[j].StartUS
+		}
+		return order[i].Depth < order[j].Depth
+	})
+	var roots []*vnode
+	var stack []*vnode
+	for i := range order {
+		n := &vnode{v: order[i]}
+		// Pop anything n cannot nest inside: spans at n's depth or deeper
+		// (same-depth spans never overlap in a well-formed stream), and
+		// spans that ended before n began — with interior spans dropped by
+		// the per-request cap, the nearest shallower span is not
+		// necessarily still open when n starts.
+		for len(stack) > 0 {
+			top := stack[len(stack)-1].v
+			if top.Depth < n.v.Depth && top.StartUS+top.DurUS > n.v.StartUS {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, n)
+		} else {
+			p := stack[len(stack)-1]
+			p.kids = append(p.kids, n)
+		}
+		stack = append(stack, n)
+	}
+
+	var out []chromeEvent
+	var emit func(n *vnode, lo, hi float64) float64
+	emit = func(n *vnode, lo, hi float64) float64 {
+		b := baseUS + n.v.StartUS
+		e := b + n.v.DurUS
+		if b < lo {
+			b = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if e > hi {
+			e = hi
+		}
+		if e < b {
+			e = b
+		}
+		args := map[string]any{"trace": t.Trace, "phase": n.v.Phase}
+		if n.v.Instrs > 0 {
+			args["instrs"] = n.v.Instrs
+		}
+		if n.v.Cycles > 0 {
+			args["cycles"] = n.v.Cycles
+			if n.v.Instrs > 0 {
+				args["ipc"] = fmt.Sprintf("%.3f", float64(n.v.Instrs)/float64(n.v.Cycles))
+			}
+		}
+		name := n.v.Label
+		if name == "" {
+			name = n.v.Phase
+		}
+		out = append(out, chromeEvent{Name: name, Ph: "B", TS: b, PID: pid, TID: tid, Cat: "vmphase", Args: args})
+		cur := b
+		for _, k := range n.kids {
+			cur = emit(k, cur, e)
+		}
+		out = append(out, chromeEvent{Name: name, Ph: "E", TS: e, PID: pid, TID: tid, Cat: "vmphase"})
+		return e
+	}
+	// Successive roots share the track: each starts no earlier than the
+	// previous one ended, for the same float-rounding reason children do.
+	cur := 0.0
+	for _, r := range roots {
+		b := baseUS + r.v.StartUS
+		e := b + r.v.DurUS
+		if b < cur {
+			b = cur
+		}
+		if e < b {
+			e = b
+		}
+		cur = emit(r, b, e)
+	}
+	return out
+}
